@@ -1,0 +1,74 @@
+"""Shared helpers for the benchmark suite.
+
+Conventions
+-----------
+* Each ``bench_figXX`` file regenerates one paper figure.  Per panel there
+  is one pytest-benchmark *group*; within a group, one benchmark per
+  (solver, N) pair — reading a group's table reproduces the figure's
+  series (solver columns over the N axis).
+* Each file also carries a ``test_figXX_series`` benchmark that runs the
+  full figure driver once and prints the paper-style series table (visible
+  with ``pytest -s``; also attached to the benchmark's ``extra_info``).
+* Scale follows :func:`repro.bench.current_scale` — CI-sized by default,
+  ``REPRO_BENCH_FULL=1`` for paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import current_scale
+from repro.core.api import get_solver
+from repro.decluster.multisite import make_placement
+from repro.workloads.experiments import build_problem, build_system
+
+SCALE = current_scale()
+#: N values benchmarked per panel (small/mid/large keeps group tables and
+#: total runtime readable; the figure drivers still sweep the full range)
+BENCH_NS = (
+    SCALE.ns
+    if len(SCALE.ns) <= 2
+    else (SCALE.ns[0], SCALE.ns[len(SCALE.ns) // 2], SCALE.ns[-1])
+)
+#: queries per benchmarked batch
+BATCH = max(2, min(SCALE.queries_per_point, 10 if not SCALE.full else 50))
+
+
+def make_batch(experiment, scheme, qtype, load, N, n_queries=None, seed=0):
+    """Sample a reproducible batch of retrieval problems at one point."""
+    n_queries = n_queries or BATCH
+    rng = np.random.default_rng(seed + 97 * N)
+    placement = make_placement(scheme, N, num_sites=2, rng=rng, seed=seed)
+    system = build_system(experiment, N, rng)
+    return [
+        build_problem(
+            experiment, scheme, N, qtype, load, rng,
+            placement=placement, system=system,
+        )
+        for _ in range(n_queries)
+    ]
+
+
+def batch_solver(problems, solver_name, **solver_kwargs):
+    """A zero-arg callable solving the whole batch (the benchmark body)."""
+    solver = get_solver(solver_name, **solver_kwargs)
+
+    def run():
+        total = 0.0
+        for p in problems:
+            total += solver.solve(p).response_time_ms
+        return total
+
+    return run
+
+
+def attach_series(benchmark, figure_result):
+    """Record a figure's series in the benchmark JSON and print it."""
+    benchmark.extra_info["figure"] = figure_result.figure_id
+    for panel in figure_result.panels:
+        benchmark.extra_info[panel.title] = {
+            "x": list(panel.xs),
+            **{k: list(v) for k, v in panel.series.items()},
+        }
+    print()
+    print(figure_result.render())

@@ -1,0 +1,57 @@
+"""Ablation — max-flow engine choice inside the black-box scheduler.
+
+The paper motivates push–relabel over augmenting paths ("better
+performance both in theory and practice", §II-B) and over the other
+classics it surveys (blocking flow, network simplex).  This ablation runs
+the [12]-style black-box binary-scaling scheduler with each of our
+engines on identical Experiment-5 batches, and additionally times the raw
+engines on one fixed retrieval network.
+
+Expected shape: push–relabel and Dinic lead on the shallow 4-layer
+retrieval networks; DFS Ford–Fulkerson trails and degrades fastest with
+query size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, make_batch
+from repro.core import RetrievalNetwork
+from repro.core.api import get_solver
+from repro.maxflow import get_engine
+
+ENGINES = ["ford-fulkerson", "edmonds-karp", "dinic", "push-relabel"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_blackbox_scheduler_engine(benchmark, engine):
+    """Engine choice inside the full black-box retrieval solver."""
+    N = BENCH_NS[-1]
+    benchmark.group = f"ablation scheduler-engine exp5 N={N}"
+    problems = make_batch(5, "orthogonal", "arbitrary", 1, N, seed=12)
+    solver = get_solver("blackbox-binary", engine=engine)
+
+    def run():
+        total = 0.0
+        for p in problems:
+            total += solver.solve(p).response_time_ms
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ENGINES + ["parallel-push-relabel"])
+def test_raw_engine_on_retrieval_network(benchmark, engine):
+    """One cold max-flow solve on a fixed mid-size retrieval network."""
+    N = BENCH_NS[-1]
+    benchmark.group = f"ablation raw-engine retrieval-network N={N}"
+    problem = make_batch(5, "orthogonal", "arbitrary", 2, N, n_queries=1, seed=13)[0]
+    net = RetrievalNetwork(problem)
+    net.set_deadline_capacities(problem.theoretical_max_deadline())
+    eng = get_engine(engine)
+
+    def run():
+        return eng.solve(net.graph, net.source, net.sink, warm_start=False).value
+
+    benchmark(run)

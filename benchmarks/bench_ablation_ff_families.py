@@ -1,0 +1,59 @@
+"""Ablation — §I's verdict: "integrated push-relabel based algorithms are
+superior to the integrated Ford-Fulkerson based algorithms".
+
+Four integrated solvers on identical Experiment-5 batches factor the
+verdict into its two axes:
+
+========================  =================  ====================
+solver                    engine family      capacity-search
+========================  =================  ====================
+``ff-incremental``        augmenting paths   min-cost increments
+``ff-binary``             augmenting paths   binary scaling
+``pr-incremental``        push-relabel       min-cost increments
+``pr-binary``             push-relabel       binary scaling
+========================  =================  ====================
+
+Expected shape: binary scaling helps both families; push–relabel banks
+its probe work (heights/excesses) across the binary search better than
+augmenting paths can, so the PR column wins at scale — the paper's
+conclusion, decomposed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, batch_solver, make_batch
+
+SOLVERS = ["ff-incremental", "ff-binary", "pr-incremental", "pr-binary"]
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_integrated_family(benchmark, solver, N):
+    benchmark.group = f"ablation ff-vs-pr-families exp5 N={N}"
+    problems = make_batch(5, "orthogonal", "arbitrary", 1, N, seed=23)
+    benchmark(batch_solver(problems, solver))
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_probe_and_increment_counts(benchmark, solver):
+    """Operation counts per family (machine-noise-free comparison)."""
+    from repro.core.api import get_solver
+
+    N = BENCH_NS[-1]
+    benchmark.group = f"ablation ff-vs-pr-families counts N={N}"
+    problems = make_batch(5, "orthogonal", "arbitrary", 1, N, seed=23)
+    instance = get_solver(solver)
+
+    def run():
+        probes = increments = 0
+        for p in problems:
+            sched = instance.solve(p)
+            probes += sched.stats.probes
+            increments += sched.stats.increments
+        return probes, increments
+
+    probes, increments = benchmark(run)
+    benchmark.extra_info["total_probes"] = probes
+    benchmark.extra_info["total_increments"] = increments

@@ -1,0 +1,77 @@
+"""Benchmarks for the analysis toolkit + recorded study outcomes.
+
+Beyond timing, each benchmark attaches its study's headline numbers as
+``extra_info`` — the replication gain, scheme ordering, decision
+overhead and conservation ratio become part of the benchmark record.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_NS
+from repro.analysis import (
+    decision_overhead_study,
+    replication_gain_study,
+    scheme_comparison,
+    work_profile_study,
+)
+
+N = min(BENCH_NS[-1], 10)  # studies solve many instances; keep bounded
+QUERIES = 6
+
+
+def test_replication_gain(benchmark):
+    benchmark.group = "analysis studies"
+    out = benchmark.pedantic(
+        lambda: replication_gain_study(
+            1, "orthogonal", N, "arbitrary", 2, n_queries=QUERIES, seed=31
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    gain = out["single-copy"].mean / out["replicated"].mean
+    benchmark.extra_info["mean_gain_x"] = round(gain, 3)
+    assert gain >= 1.0
+
+
+def test_scheme_comparison(benchmark):
+    benchmark.group = "analysis studies"
+    out = benchmark.pedantic(
+        lambda: scheme_comparison(
+            5, N, "range", 2, n_queries=QUERIES, seed=32
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["mean_response_ms"] = {
+        k: round(v.mean, 2) for k, v in out.items()
+    }
+
+
+def test_decision_overhead(benchmark):
+    benchmark.group = "analysis studies"
+    out = benchmark.pedantic(
+        lambda: decision_overhead_study(
+            5, "orthogonal", N, "arbitrary", 1, n_queries=QUERIES, seed=33
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["overhead_fraction"] = {
+        k: round(v.overhead_fraction, 4) for k, v in out.items()
+    }
+
+
+def test_work_profiles(benchmark):
+    benchmark.group = "analysis studies"
+    out = benchmark.pedantic(
+        lambda: work_profile_study(
+            5, "orthogonal", N, "arbitrary", 1,
+            solvers=["pr-binary", "blackbox-binary"],
+            n_queries=QUERIES, seed=34,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ratio = out["pr-binary"].conservation_ratio(out["blackbox-binary"])
+    benchmark.extra_info["blackbox_over_integrated_pushes"] = round(ratio, 3)
+    assert ratio > 1.0  # conservation must show in the push counts

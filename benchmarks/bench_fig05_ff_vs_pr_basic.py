@@ -1,0 +1,40 @@
+"""Figure 5 — Experiment 1 (basic problem), RDA: Algorithm 1
+(Ford–Fulkerson) vs Algorithm 6 (push–relabel) execution time.
+
+Panels: (a) range/load 1, (b) arbitrary/load 2, (c) range/load 3.
+Expected shape: push–relabel scales far better as N and |Q| grow;
+Ford–Fulkerson may edge it for load 3's tiny queries at small N.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import fig05
+from repro.bench.harness import BenchScale
+
+PANELS = [
+    ("a-range-load1", "range", 1),
+    ("b-arbitrary-load2", "arbitrary", 2),
+    ("c-range-load3", "range", 3),
+]
+SOLVERS = [("ford-fulkerson", "ff-basic"), ("push-relabel", "pr-binary")]
+
+
+@pytest.mark.parametrize("panel,qtype,load", PANELS)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_fig05_point(benchmark, panel, qtype, load, label, solver, N):
+    benchmark.group = f"fig05{panel} N={N}"
+    problems = make_batch(1, "rda", qtype, load, N, seed=5)
+    benchmark(batch_solver(problems, solver))
+
+
+def test_fig05_series(benchmark):
+    """Regenerate the whole figure's series (printed with -s)."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=3, full=False)
+    result = benchmark.pedantic(
+        lambda: fig05(scale=scale, seed=5), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

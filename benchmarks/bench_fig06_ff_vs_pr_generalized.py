@@ -1,0 +1,42 @@
+"""Figure 6 — Experiment 5 (generalized problem), Orthogonal:
+Algorithm 2 (Ford–Fulkerson incremental) vs Algorithm 6 (push–relabel)
+execution time.
+
+Panels: (a) arbitrary/load 1, (b) range/load 2, (c) arbitrary/load 3.
+Expected shape: same as Figure 5 but on the generalized problem —
+push–relabel wins as N and |Q| grow; incremental FF suffers from the
+per-increment DFS restarts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import fig06
+from repro.bench.harness import BenchScale
+
+PANELS = [
+    ("a-arbitrary-load1", "arbitrary", 1),
+    ("b-range-load2", "range", 2),
+    ("c-arbitrary-load3", "arbitrary", 3),
+]
+SOLVERS = [("ford-fulkerson", "ff-incremental"), ("push-relabel", "pr-binary")]
+
+
+@pytest.mark.parametrize("panel,qtype,load", PANELS)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_fig06_point(benchmark, panel, qtype, load, label, solver, N):
+    benchmark.group = f"fig06{panel} N={N}"
+    problems = make_batch(5, "orthogonal", qtype, load, N, seed=6)
+    benchmark(batch_solver(problems, solver))
+
+
+def test_fig06_series(benchmark):
+    """Regenerate the whole figure's series (printed with -s)."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=3, full=False)
+    result = benchmark.pedantic(
+        lambda: fig06(scale=scale, seed=6), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

@@ -1,0 +1,47 @@
+"""Figure 7 — Experiment 1 (basic problem): black-box vs integrated
+push–relabel runtime ratio, per allocation scheme.
+
+Panels: (a) range/load 1, (b) arbitrary/load 2, (c) range/load 3.
+Expected shape: ratios near 1 — the basic problem increments all
+capacities together, so few increment steps exist for flow conservation
+to exploit; allocations that need more incrementation (orthogonal on
+range queries, RDA on arbitrary) show ratios up to ~1.3 in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import fig07
+from repro.bench.harness import BenchScale
+
+SCHEMES = ("rda", "dependent", "orthogonal")
+SOLVERS = [("black-box", "blackbox-binary"), ("integrated", "pr-binary")]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_fig07_range_load1(benchmark, scheme, label, solver, N):
+    benchmark.group = f"fig07a range-load1 {scheme} N={N}"
+    problems = make_batch(1, scheme, "range", 1, N, seed=7)
+    benchmark(batch_solver(problems, solver))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_fig07_arbitrary_load2(benchmark, scheme, label, solver, N):
+    benchmark.group = f"fig07b arbitrary-load2 {scheme} N={N}"
+    problems = make_batch(1, scheme, "arbitrary", 2, N, seed=7)
+    benchmark(batch_solver(problems, solver))
+
+
+def test_fig07_series(benchmark):
+    """Regenerate the figure's bb/int ratio series (printed with -s)."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=3, full=False)
+    result = benchmark.pedantic(
+        lambda: fig07(scale=scale, seed=7), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

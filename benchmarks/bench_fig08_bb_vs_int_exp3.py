@@ -1,0 +1,38 @@
+"""Figure 8 — Experiment 3 (HDD site + SSD site), arbitrary/load 1:
+(a) black-box runtime, (b) integrated runtime, (c) their ratio,
+per allocation scheme.
+
+Expected shape: the integrated algorithm narrows the runtime gap between
+allocation schemes — Dependent stays cheapest (its retrieval choices are
+most obvious), while Orthogonal and RDA converge toward it; hence the
+ratio (panel c) is highest for Orthogonal (~1.8 in the paper at N=100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import fig08
+from repro.bench.harness import BenchScale
+
+SCHEMES = ("rda", "dependent", "orthogonal")
+SOLVERS = [("black-box", "blackbox-binary"), ("integrated", "pr-binary")]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+@pytest.mark.parametrize("N", BENCH_NS)
+def test_fig08_point(benchmark, scheme, label, solver, N):
+    benchmark.group = f"fig08 exp3 arbitrary-load1 {scheme} N={N}"
+    problems = make_batch(3, scheme, "arbitrary", 1, N, seed=8)
+    benchmark(batch_solver(problems, solver))
+
+
+def test_fig08_series(benchmark):
+    """Regenerate the three panels (printed with -s)."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=3, full=False)
+    result = benchmark.pedantic(
+        lambda: fig08(scale=scale, seed=8), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

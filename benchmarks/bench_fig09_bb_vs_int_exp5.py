@@ -1,0 +1,40 @@
+"""Figure 9 — Experiment 5 (all-random parameters), arbitrary queries:
+black-box vs integrated push–relabel runtime ratio, loads 1/2/3, per
+allocation scheme.
+
+Expected shape: the evaluation's largest ratios (up to 2.5x in the
+paper), growing with N — Experiment 5's random delays and initial loads
+force many capacity-increment steps, each of which the black-box
+baseline pays for with a from-scratch max-flow while the integrated
+algorithm conserves flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import fig09
+from repro.bench.harness import BenchScale
+
+SCHEMES = ("rda", "dependent", "orthogonal")
+SOLVERS = [("black-box", "blackbox-binary"), ("integrated", "pr-binary")]
+
+
+@pytest.mark.parametrize("load", [1, 2, 3])
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("label,solver", SOLVERS)
+def test_fig09_point(benchmark, load, scheme, label, solver):
+    N = BENCH_NS[-1]
+    benchmark.group = f"fig09 exp5 arbitrary-load{load} {scheme} N={N}"
+    problems = make_batch(5, scheme, "arbitrary", load, N, seed=9)
+    benchmark(batch_solver(problems, solver))
+
+
+def test_fig09_series(benchmark):
+    """Regenerate the full ratio series over N (printed with -s)."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=3, full=False)
+    result = benchmark.pedantic(
+        lambda: fig09(scale=scale, seed=9), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

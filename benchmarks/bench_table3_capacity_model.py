@@ -1,0 +1,76 @@
+"""Table III — disk specifications and the capacity model they induce.
+
+Benchmarks the per-disk hot paths every solver leans on
+(``finish_time``, ``capacity_at``, deadline re-scaling of a retrieval
+network) across the five catalogue disks, and prints Table III itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import attach_series
+from repro.bench.figures import table3
+from repro.core import RetrievalNetwork, RetrievalProblem
+from repro.storage import StorageSystem
+from repro.storage.disk import DISK_CATALOG
+
+
+@pytest.mark.parametrize("disk", sorted(DISK_CATALOG))
+def test_finish_time_per_spec(benchmark, disk):
+    benchmark.group = "table3 finish_time"
+    sys_ = StorageSystem.homogeneous(8, disk)
+
+    def run():
+        total = 0.0
+        for j in range(8):
+            for k in range(1, 32):
+                total += sys_.finish_time(j, k)
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("disk", sorted(DISK_CATALOG))
+def test_capacity_at_per_spec(benchmark, disk):
+    benchmark.group = "table3 capacity_at"
+    sys_ = StorageSystem.homogeneous(8, disk)
+
+    def run():
+        total = 0
+        for j in range(8):
+            for t in range(1, 200, 7):
+                total += sys_.capacity_at(j, float(t))
+        return total
+
+    benchmark(run)
+
+
+def test_deadline_rescaling(benchmark):
+    """Capacity re-scaling of a mid-sized retrieval network — the inner
+    operation of every binary-scaling probe."""
+    benchmark.group = "table3 deadline rescaling"
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], 16, delays_ms=[2, 4], rng=rng
+    )
+    reps = tuple(
+        tuple(sorted(rng.choice(32, size=2, replace=False).tolist()))
+        for _ in range(64)
+    )
+    net = RetrievalNetwork(RetrievalProblem(sys_, reps))
+
+    def run():
+        for t in (10.0, 25.0, 50.0, 100.0):
+            net.set_deadline_capacities(t)
+        return net.sink_caps()
+
+    benchmark(run)
+
+
+def test_table3_render(benchmark):
+    """Print Table III (visible with -s)."""
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    attach_series(benchmark, result)

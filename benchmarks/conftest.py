@@ -1,0 +1,6 @@
+"""Make the benchmark helpers importable as a top-level module."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

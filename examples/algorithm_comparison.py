@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison of every retrieval solver on one workload.
+
+Reproduces, at example scale, the comparisons behind the paper's §VI:
+Ford–Fulkerson vs push–relabel (Figures 5/6), black box vs integrated
+(Figures 7-9), sequential vs parallel (Figure 10) — all on the same
+Experiment-5 query batch, with optima cross-checked.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.api import get_solver
+from repro.decluster import make_placement
+from repro.workloads.experiments import build_problem, build_system
+
+SOLVERS = [
+    ("Alg 2  FF incremental (integrated)", "ff-incremental", {}),
+    ("Alg 5  PR incremental (integrated)", "pr-incremental", {}),
+    ("Alg 6  PR binary      (integrated)", "pr-binary", {}),
+    ("[12]   PR binary      (black box)", "blackbox-binary", {}),
+    ("§V     PR binary      (parallel x2)", "parallel-binary", {"num_threads": 2}),
+]
+
+
+def main() -> None:
+    N, n_queries = 10, 15
+    rng = np.random.default_rng(1)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = build_system(5, N, rng)
+    problems = [
+        build_problem(5, "orthogonal", N, "arbitrary", 1, rng,
+                      placement=placement, system=system)
+        for _ in range(n_queries)
+    ]
+    sizes = [p.num_buckets for p in problems]
+    print(f"Experiment 5, orthogonal, arbitrary/load 1, N={N}/site, "
+          f"{n_queries} queries (|Q| {min(sizes)}..{max(sizes)})\n")
+
+    print(f"{'solver':38}  {'ms/query':>9}  {'probes':>7}  "
+          f"{'increments':>10}  {'pushes':>8}")
+    reference = None
+    baseline_ms = None
+    for label, name, kwargs in SOLVERS:
+        solver = get_solver(name, **kwargs)
+        start = time.perf_counter()
+        schedules = [solver.solve(p) for p in problems]
+        elapsed_ms = 1000 * (time.perf_counter() - start) / n_queries
+        optima = [s.response_time_ms for s in schedules]
+        if reference is None:
+            reference = optima
+        else:
+            assert all(abs(a - b) < 1e-6 for a, b in zip(reference, optima)), (
+                "solver disagreement!")
+        probes = sum(s.stats.probes for s in schedules)
+        incs = sum(s.stats.increments for s in schedules)
+        pushes = sum(s.stats.pushes for s in schedules)
+        print(f"{label:38}  {elapsed_ms:9.3f}  {probes:7d}  "
+              f"{incs:10d}  {pushes:8d}")
+        if name == "blackbox-binary":
+            baseline_ms = elapsed_ms
+        if name == "pr-binary":
+            integrated_ms = elapsed_ms
+
+    print("\nall solvers returned identical optimal response times "
+          f"(mean {np.mean(reference):.2f} ms)")
+    print(f"integrated vs black box: {baseline_ms / integrated_ms:.2f}x "
+          f"(paper: up to 2.5x at N=100)")
+    print("note: parallel wall-clock under CPython's GIL is expected to "
+          "trail the sequential solver; its value here is the identical "
+          "optimum via the lock-emulated asynchronous algorithm of [31].")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Burst scheduling: a batch of simultaneous queries, jointly optimized.
+
+A dashboard refresh fires many queries at once.  Scheduling them one by
+one — each optimal *in isolation* — interleaves badly on shared disks;
+merging the burst into one max-flow instance minimizes the true batch
+makespan.  This example measures the isolation penalty and shows the
+per-query view of the joint schedule, plus what happens when a disk
+fails mid-deployment.
+
+Run:  python examples/batch_burst.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    RetrievalProblem,
+    failure_impact,
+    isolation_penalty,
+    solve_batch,
+)
+from repro.decluster import make_placement
+from repro.storage import StorageSystem
+from repro.workloads.queries import sample_range_query
+
+
+def main() -> None:
+    N = 6
+    rng = np.random.default_rng(23)
+    placement = make_placement("rda", N, num_sites=2, rng=rng)
+    # homogeneous arrays: contention (not raw speed) decides the makespan
+    system = StorageSystem.from_groups(
+        ["cheetah", "cheetah"], N, delays_ms=[0.0, 2.0], rng=rng
+    )
+
+    # the burst: viewport queries from a dashboard refresh
+    burst = []
+    for _ in range(6):
+        q = sample_range_query(N, rng)
+        burst.append(RetrievalProblem.from_query(system, placement, q.buckets()))
+    sizes = [p.num_buckets for p in burst]
+    print(f"burst of {len(burst)} queries, |Q| = {sizes} "
+          f"({sum(sizes)} buckets total)\n")
+
+    joint, isolated = isolation_penalty(burst)
+    print(f"isolated scheduling makespan: {isolated:8.2f} ms")
+    print(f"joint scheduling makespan   : {joint:8.2f} ms")
+    print(f"isolation penalty           : {isolated / joint:8.2f}x\n")
+
+    batch = solve_batch(burst)
+    finishes = batch.per_query_finish_ms()
+    print("per-query completion under the joint schedule:")
+    for k, (size, finish) in enumerate(zip(sizes, finishes)):
+        print(f"  query {k}: |Q|={size:3d} finishes at {finish:7.2f} ms")
+
+    # failure drill on the merged burst: lose the busiest disk
+    merged = batch.schedule
+    busiest = merged.bottleneck_disk()
+    impact = failure_impact(merged.problem, [busiest])
+    print(f"\nfailure drill: disk {busiest} (the bottleneck) dies")
+    print(f"  healthy makespan : {impact.healthy_ms:7.2f} ms")
+    print(f"  degraded makespan: {impact.degraded_ms:7.2f} ms "
+          f"({impact.slowdown:.2f}x) — replicas absorb the loss")
+
+
+if __name__ == "__main__":
+    main()

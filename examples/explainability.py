@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Operating the scheduler: explanations, certificates, and what-ifs.
+
+A storage operator's three questions about any schedule, answered from
+the max-flow structure itself (no heuristic narratives):
+
+1. *Why is this query slow?*    → the min-cut **binding disk set**
+2. *Is the scheduler right?*    → the optimality **certificate**
+3. *What should I upgrade?*     → **sensitivity sweeps** on the binding set
+
+Run:  python examples/explainability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import sweep_disk_load
+from repro.core import (
+    RetrievalProblem,
+    certify_optimal,
+    explain_schedule,
+    solve,
+)
+from repro.storage import Disk, Site, StorageSystem
+from repro.storage.disk import DISK_CATALOG
+
+
+def main() -> None:
+    # a mixed rack: two SSDs, one busy Raptor, one aging Barracuda
+    system = StorageSystem(
+        [
+            Site(0, 0.0, [
+                Disk(0, DISK_CATALOG["x25e"]),
+                Disk(1, DISK_CATALOG["vertex"]),
+                Disk(2, DISK_CATALOG["raptor"], initial_load_ms=6.0),
+                Disk(3, DISK_CATALOG["barracuda"]),
+            ])
+        ]
+    )
+    rng = np.random.default_rng(9)
+    replicas = tuple(
+        tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+        for _ in range(8)
+    )
+    problem = RetrievalProblem(system, replicas)
+
+    print("-- 1. why is this query slow? --")
+    schedule = solve(problem)
+    explanation = explain_schedule(problem, schedule)
+    print(explanation.render(problem))
+
+    print("\n-- 2. is the scheduler right? --")
+    cert = certify_optimal(problem, schedule)
+    print(f"certified optimal: {bool(cert)} — {cert.reason}")
+
+    print("\n-- 3. what should I upgrade? --")
+    if explanation.binding_disks:
+        target = explanation.binding_disks[0]
+        print(f"the explanation blames disk {target}; check the claim by "
+              f"sweeping its backlog:")
+        sweep = sweep_disk_load(problem, target, [0.0, 3.0, 6.0, 12.0, 24.0])
+        for value, resp in sweep.response_curve():
+            print(f"  X[{target}] = {value:5.1f} ms -> response {resp:7.2f} ms")
+        non_binding = next(
+            j for j, _ in explanation.disk_summary.items()
+            if j not in explanation.binding_disks
+        )
+        sweep2 = sweep_disk_load(problem, non_binding, [0.0, 3.0])
+        flat = len({round(r, 6) for _, r in sweep2.response_curve()[:2]}) == 1
+        print(f"sweeping non-binding disk {non_binding} instead: "
+              f"{'response unchanged' if flat else 'response moved'} — "
+              f"as the cut predicted" if flat else "")
+    else:
+        print("source-limited: the query saturates the system; "
+              "no single disk upgrade helps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Why max-flow? Greedy schedulers vs the optimal one.
+
+The paper assumes optimal scheduling is worth a max-flow computation;
+this example measures the assumption.  A greedy scheduler assigns each
+bucket to the replica disk with the best marginal finish time — fast, and
+often right — but it can never *revoke* an earlier choice, which is
+exactly the ability the max-flow formulation's residual arcs provide
+(the paper's "reversal is necessary to be able to change the retrieval
+decision of a previously assigned bucket", §III).
+
+Run:  python examples/greedy_vs_optimal.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RetrievalProblem, solve
+from repro.core.greedy import GreedyFinishTimeSolver
+from repro.storage import StorageSystem
+from repro.workloads.experiments import build_problem, build_system
+from repro.decluster import make_placement
+
+
+def revocation_gadget() -> None:
+    """A 3-disk instance where greedy provably loses."""
+    print("-- the revocation gadget --")
+    sys_ = StorageSystem.homogeneous(3, "cheetah")
+    # b0 could go either way; b1 and b2 are stuck on disks 0 and 1.
+    replicas = ((0, 1), (0,), (0,), (1,), (2,))
+    p = RetrievalProblem(sys_, replicas)
+    greedy = GreedyFinishTimeSolver().solve(p)
+    optimal = solve(p)
+    print(f"  greedy : {greedy.response_time_ms:6.2f} ms, per-disk "
+          f"{greedy.counts_per_disk()}")
+    print(f"  optimal: {optimal.response_time_ms:6.2f} ms, per-disk "
+          f"{optimal.counts_per_disk()}")
+    print("  greedy commits b0 to disk 0 before it learns that b1 and b2 "
+          "have no alternative; max-flow reroutes b0 through the residual "
+          "arc instead.\n")
+
+
+def workload_study(n_queries: int = 40) -> None:
+    """Gap statistics on the paper's Experiment-5 workload."""
+    print("-- Experiment 5 workload, arbitrary/load 1, N=8/site --")
+    rng = np.random.default_rng(17)
+    N = 8
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = build_system(5, N, rng)
+    gaps = []
+    suboptimal = 0
+    for _ in range(n_queries):
+        p = build_problem(5, "orthogonal", N, "arbitrary", 1, rng,
+                          placement=placement, system=system)
+        g = solve(p, solver="greedy-finish-time").response_time_ms
+        o = solve(p).response_time_ms
+        assert g >= o - 1e-9
+        gaps.append(g / o)
+        if g > o + 1e-9:
+            suboptimal += 1
+    print(f"  greedy suboptimal on {suboptimal}/{n_queries} queries")
+    print(f"  response-time ratio greedy/optimal: mean {np.mean(gaps):.4f}, "
+          f"worst {np.max(gaps):.4f}")
+    print("  small mean, fat tail: the occasional badly-committed query is "
+          "what the optimal scheduler exists for.\n")
+
+
+def decision_cost() -> None:
+    """...and what the optimality costs in scheduler time."""
+    from repro.analysis import decision_overhead_study
+
+    print("-- decision time vs response time (the paper's motivation) --")
+    out = decision_overhead_study(5, "orthogonal", 8, "arbitrary", 1,
+                                  n_queries=10, seed=3)
+    for name, d in out.items():
+        print(f"  {name:20} decision {d.mean_decision_ms:7.3f} ms on a "
+              f"{d.mean_response_ms:7.2f} ms response "
+              f"({100 * d.overhead_fraction:4.1f}% overhead)")
+    print("  shaving the decision is the paper's whole point: every "
+          "millisecond here is added to every query's response.")
+
+
+if __name__ == "__main__":
+    revocation_gadget()
+    workload_study()
+    decision_cost()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Beyond two sites: the generalized problem at three replicas/sites.
+
+The generalized formulation ([12], and this paper's solvers) handles "more
+than two number of sites"; the evaluation stops at two, so this example
+exercises the extension: three sites, one copy per site, heterogeneous
+hardware, and a look at how the optimal schedule exploits the third
+replica as the parameters shift.
+
+Run:  python examples/three_sites.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RetrievalProblem, solve
+from repro.decluster import make_placement
+from repro.storage import StorageSystem
+from repro.workloads.queries import sample_range_query
+
+
+def build(N: int, delays, rng) -> tuple:
+    placement = make_placement("dependent", N, num_sites=3, rng=rng)
+    system = StorageSystem.from_groups(
+        ["cheetah", "ssd", "hdd"], N, delays_ms=list(delays), rng=rng
+    )
+    return placement, system
+
+
+def site_counts(schedule, N: int) -> list[int]:
+    counts = [0, 0, 0]
+    for d in schedule.assignment.values():
+        counts[d // N] += 1
+    return counts
+
+
+def main() -> None:
+    N = 6
+    rng = np.random.default_rng(11)
+    queries = [sample_range_query(N, rng) for _ in range(12)]
+
+    print(f"{N}x{N} grid, 3 copies on 3 sites "
+          f"(cheetah / ssd / hdd), 12 random range queries\n")
+    print(f"{'ssd site delay':>15}  {'mean resp (ms)':>15}  "
+          f"{'site1':>6}  {'site2':>6}  {'site3':>6}")
+    for ssd_delay in (0.0, 5.0, 15.0, 60.0):
+        placement, system = build(N, [2.0, ssd_delay, 8.0], rng)
+        total = 0.0
+        counts = [0, 0, 0]
+        for q in queries:
+            p = RetrievalProblem.from_query(system, placement, q.buckets())
+            sched = solve(p)
+            total += sched.response_time_ms
+            for k, c in enumerate(site_counts(sched, N)):
+                counts[k] += c
+        print(f"{ssd_delay:15.1f}  {total / len(queries):15.2f}  "
+              f"{counts[0]:6d}  {counts[1]:6d}  {counts[2]:6d}")
+
+    print("\nAs the SSD site's network delay grows, the optimal schedule "
+          "shifts buckets back to the nearby HDD arrays — the third copy "
+          "degrades gracefully instead of being an on/off failover.")
+
+    # three copies also buy fault tolerance: drop a whole site and re-solve
+    print("\n-- site failure drill: exclude site 2's replicas entirely --")
+    placement, system = build(N, [2.0, 5.0, 8.0], rng)
+    q = queries[0]
+    p = RetrievalProblem.from_query(system, placement, q.buckets())
+    healthy = solve(p)
+    degraded_replicas = tuple(
+        tuple(d for d in reps if not (N <= d < 2 * N)) for reps in p.replicas
+    )
+    degraded = solve(RetrievalProblem(system, degraded_replicas))
+    print(f"  healthy : {healthy.response_time_ms:6.2f} ms "
+          f"(sites {site_counts(healthy, N)})")
+    print(f"  degraded: {degraded.response_time_ms:6.2f} ms using only "
+          f"sites 1 and 3 — the query still completes optimally.")
+
+
+if __name__ == "__main__":
+    main()

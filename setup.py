@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` / ``python setup.py develop`` work on environments
+whose setuptools predates PEP 660 editable wheels (or lacks the ``wheel``
+package, as offline CI images sometimes do).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Sensitivity analysis: how the optimum moves as one parameter sweeps.
+
+Deployment questions the storage model can answer directly: *how much
+WAN delay can the mirror site tolerate before it stops helping?  How
+busy can the SSD tier get before queries spill to disk?*  Each sweep
+re-solves the same query across a parameter grid and reports the
+response curve plus the *breakpoints* — the sweep values where the
+optimal schedule's disk usage actually changes shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.api import solve
+from repro.core.problem import RetrievalProblem
+from repro.errors import StorageConfigError
+from repro.storage.system import StorageSystem
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_site_delay",
+    "sweep_disk_load",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Outcome at one parameter value."""
+
+    value: float
+    response_time_ms: float
+    counts_per_disk: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The full curve plus shape-change breakpoints."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+
+    def breakpoints(self) -> list[float]:
+        """Sweep values where the schedule's disk-usage pattern changed.
+
+        Compares *which* disks are used (the support of the counts), not
+        exact counts — ties can reshuffle counts without changing shape.
+        """
+        out: list[float] = []
+        prev: tuple[bool, ...] | None = None
+        for p in self.points:
+            support = tuple(k > 0 for k in p.counts_per_disk)
+            if prev is not None and support != prev:
+                out.append(p.value)
+            prev = support
+        return out
+
+    def response_curve(self) -> list[tuple[float, float]]:
+        return [(p.value, p.response_time_ms) for p in self.points]
+
+    @property
+    def monotone_nondecreasing(self) -> bool:
+        """True if the response never improves as the parameter grows —
+        expected when sweeping any delay or load upward."""
+        values = [p.response_time_ms for p in self.points]
+        return all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def _resolve(problem: RetrievalProblem, solver: str) -> SweepPoint:
+    sched = solve(problem, solver=solver)
+    return SweepPoint(0.0, sched.response_time_ms, tuple(sched.counts_per_disk()))
+
+
+def sweep_site_delay(
+    problem: RetrievalProblem,
+    site_id: int,
+    delays_ms: Sequence[float],
+    *,
+    solver: str = "pr-binary",
+) -> SweepResult:
+    """Re-solve the query as one site's network delay sweeps.
+
+    The system is mutated during the sweep and restored afterwards.
+    """
+    system: StorageSystem = problem.system
+    target = None
+    for site in system.sites:
+        if site.site_id == site_id:
+            target = site
+    if target is None:
+        raise StorageConfigError(f"unknown site {site_id}")
+    original = target.delay_ms
+    points = []
+    try:
+        for d in delays_ms:
+            if d < 0:
+                raise StorageConfigError(f"negative delay {d}")
+            target.delay_ms = float(d)
+            pt = _resolve(problem, solver)
+            points.append(SweepPoint(float(d), pt.response_time_ms, pt.counts_per_disk))
+    finally:
+        target.delay_ms = original
+    return SweepResult(f"site[{site_id}].delay_ms", tuple(points))
+
+
+def sweep_disk_load(
+    problem: RetrievalProblem,
+    disk_id: int,
+    loads_ms: Sequence[float],
+    *,
+    solver: str = "pr-binary",
+) -> SweepResult:
+    """Re-solve the query as one disk's initial load sweeps."""
+    system: StorageSystem = problem.system
+    disk = system.disk(disk_id)
+    original = disk.initial_load_ms
+    points = []
+    try:
+        for x in loads_ms:
+            if x < 0:
+                raise StorageConfigError(f"negative load {x}")
+            disk.initial_load_ms = float(x)
+            pt = _resolve(problem, solver)
+            points.append(SweepPoint(float(x), pt.response_time_ms, pt.counts_per_disk))
+    finally:
+        disk.initial_load_ms = original
+    return SweepResult(f"disk[{disk_id}].initial_load_ms", tuple(points))

@@ -1,0 +1,121 @@
+"""Graph-structure correlation — the paper's Figure 10 explanation, tested.
+
+"Since the performance of the parallel maximum flow algorithm is highly
+dependent on the graph structure [31], we show different queries on the
+x-axis ... The fluctuation in the graph is caused by the change in the
+graph structure depending on the query size." (§VI.F.3)
+
+This study makes the claim measurable: for a batch of queries it records
+each query's structure (|Q|, replica-arc count, distinct disks touched)
+next to its parallel/sequential runtime ratio, and reports the rank
+correlation between size and ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.response import _sample_problems
+from repro.core.api import get_solver
+
+__all__ = ["StructurePoint", "StructureStudy", "structure_correlation_study"]
+
+
+@dataclass(frozen=True)
+class StructurePoint:
+    """One query's structure and its runtime ratio."""
+
+    num_buckets: int
+    num_replica_arcs: int
+    num_disks_touched: int
+    sequential_ms: float
+    parallel_ms: float
+
+    @property
+    def ratio(self) -> float:
+        return (
+            self.parallel_ms / self.sequential_ms
+            if self.sequential_ms > 0
+            else float("nan")
+        )
+
+
+@dataclass(frozen=True)
+class StructureStudy:
+    """All points plus the size↔ratio rank correlation."""
+
+    points: list[StructurePoint]
+
+    @property
+    def mean_ratio(self) -> float:
+        return float(np.mean([p.ratio for p in self.points]))
+
+    @property
+    def size_ratio_correlation(self) -> float:
+        """Spearman rank correlation between |Q| and the runtime ratio.
+
+        Computed directly (rank both, Pearson on ranks) to avoid a scipy
+        hard-dependency at runtime.
+        """
+        if len(self.points) < 3:
+            return 0.0
+        sizes = np.array([p.num_buckets for p in self.points], dtype=float)
+        ratios = np.array([p.ratio for p in self.points], dtype=float)
+        rs = np.argsort(np.argsort(sizes)).astype(float)
+        rr = np.argsort(np.argsort(ratios)).astype(float)
+        rs -= rs.mean()
+        rr -= rr.mean()
+        denom = float(np.sqrt((rs**2).sum() * (rr**2).sum()))
+        return float((rs * rr).sum() / denom) if denom else 0.0
+
+    def by_size_band(self, bands: int = 3) -> list[tuple[str, float]]:
+        """Mean ratio per query-size band (small/medium/large)."""
+        pts = sorted(self.points, key=lambda p: p.num_buckets)
+        out = []
+        chunk = max(1, len(pts) // bands)
+        for k in range(0, len(pts), chunk):
+            group = pts[k : k + chunk]
+            label = f"|Q| {group[0].num_buckets}-{group[-1].num_buckets}"
+            out.append((label, float(np.mean([p.ratio for p in group]))))
+        return out
+
+
+def structure_correlation_study(
+    experiment: int,
+    scheme: str,
+    N: int,
+    qtype: str,
+    load: int,
+    *,
+    n_queries: int = 30,
+    num_threads: int = 2,
+    seed: int = 0,
+) -> StructureStudy:
+    """Per-query structure vs parallel/sequential runtime ratio."""
+    problems = _sample_problems(
+        experiment, scheme, N, qtype, load, n_queries, seed
+    )
+    seq = get_solver("pr-binary")
+    par = get_solver("parallel-binary", num_threads=num_threads)
+    points: list[StructurePoint] = []
+    for p in problems:
+        start = time.perf_counter()
+        a = seq.solve(p)
+        t_seq = 1000.0 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        b = par.solve(p)
+        t_par = 1000.0 * (time.perf_counter() - start)
+        assert abs(a.response_time_ms - b.response_time_ms) < 1e-6
+        points.append(
+            StructurePoint(
+                num_buckets=p.num_buckets,
+                num_replica_arcs=sum(len(set(r)) for r in p.replicas),
+                num_disks_touched=len(p.replica_disks()),
+                sequential_ms=t_seq,
+                parallel_ms=t_par,
+            )
+        )
+    return StructureStudy(points)

@@ -1,0 +1,39 @@
+"""Benchmark harness: regenerate every table and figure of §VI.
+
+* :mod:`repro.bench.harness` — timed sweeps over (experiment, scheme,
+  query type, load, N) points.
+* :mod:`repro.bench.figures` — one driver per paper figure; each returns
+  the figure's series and prints them in the paper's layout.
+* :mod:`repro.bench.reporting` — ASCII tables and aligned series output.
+
+Scale knobs (environment variables):
+
+=====================  ==============================================
+``REPRO_BENCH_FULL``   ``1`` → paper scale (N up to 100, 1000 queries
+                       per point).  Default: CI scale (N ≤ 24,
+                       ~10 queries/point); shapes are preserved.
+``REPRO_BENCH_NS``     comma-separated N values, overriding both.
+``REPRO_BENCH_QUERIES``queries per point, overriding both.
+=====================  ==============================================
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    PointResult,
+    SolverTiming,
+    current_scale,
+    run_point,
+    sweep,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "BenchScale",
+    "PointResult",
+    "SolverTiming",
+    "current_scale",
+    "run_point",
+    "sweep",
+    "format_series",
+    "format_table",
+]

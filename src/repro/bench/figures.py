@@ -1,0 +1,370 @@
+"""One driver per figure/table of the paper's evaluation (§VI).
+
+Every driver returns a :class:`FigureResult` whose panels mirror the
+paper's subfigures, and whose ``render()`` prints the series in the
+paper's layout.  The drivers are consumed by ``benchmarks/bench_fig*.py``
+(pytest-benchmark targets) and by the CLI (``python -m repro figure …``).
+
+The expected *shapes* — who wins, by what factor, where crossovers fall —
+are recorded per figure in EXPERIMENTS.md together with measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.harness import BenchScale, current_scale, run_point, sweep
+from repro.bench.reporting import banner, format_series, format_table
+
+__all__ = [
+    "FigureResult",
+    "Panel",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "headline_speedups",
+    "table3",
+    "FIGURES",
+]
+
+#: allocation schemes plotted in Figures 7-9
+SCHEMES = ("rda", "dependent", "orthogonal")
+
+
+@dataclass
+class Panel:
+    """One subfigure: x values and named series."""
+
+    title: str
+    x_label: str
+    xs: list
+    series: dict[str, list[float]]
+    unit: str = "msec"
+    notes: str = ""
+
+    def render(self) -> str:
+        out = [f"--- {self.title} ---"]
+        out.append(format_series(self.x_label, self.xs, self.series, unit=self.unit))
+        if self.notes:
+            out.append(self.notes)
+        return "\n".join(out)
+
+
+@dataclass
+class FigureResult:
+    """A figure: header plus panels."""
+
+    figure_id: str
+    title: str
+    panels: list[Panel] = field(default_factory=list)
+    scale: BenchScale | None = None
+
+    def render(self) -> str:
+        sub = self.scale.label if self.scale else ""
+        out = [banner(f"{self.figure_id}: {self.title}", sub)]
+        for panel in self.panels:
+            out.append(panel.render())
+            out.append("")
+        return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6: Ford-Fulkerson vs Push-relabel runtimes
+# ----------------------------------------------------------------------
+def fig05(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """Experiment 1, RDA: Algorithm 1 (FF) vs Algorithm 6 (PR) runtime.
+
+    Panels: (a) range/load 1, (b) arbitrary/load 2, (c) range/load 3.
+    Expected shape: PR scales far better as N (and |Q|) grow; FF may edge
+    PR for load 3's tiny queries at small N.
+    """
+    scale = scale or current_scale()
+    solvers = {"Ford-Fulkerson": {"solver": "ff-basic"},
+               "Push-relabel": {"solver": "pr-binary"}}
+    fig = FigureResult("Figure 5", "Experiment 1, RDA, FF vs PR execution time", scale=scale)
+    for tag, qtype, load in (("a", "range", 1), ("b", "arbitrary", 2), ("c", "range", 3)):
+        points = sweep(1, "rda", qtype, load, scale.ns, solvers,
+                       n_queries=scale.queries_per_point, seed=seed)
+        fig.panels.append(Panel(
+            f"({tag}) {qtype.capitalize()}, Load {load}",
+            "N", [p.N for p in points],
+            {name: [p.timings[name].mean_ms for p in points] for name in solvers},
+        ))
+    return fig
+
+
+def fig06(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """Experiment 5, Orthogonal: Algorithm 2 (FF) vs Algorithm 6 (PR).
+
+    Panels: (a) arbitrary/load 1, (b) range/load 2, (c) arbitrary/load 3.
+    Same expected shape as Figure 5, now on the generalized problem.
+    """
+    scale = scale or current_scale()
+    solvers = {"Ford-Fulkerson": {"solver": "ff-incremental"},
+               "Push-relabel": {"solver": "pr-binary"}}
+    fig = FigureResult("Figure 6", "Experiment 5, Orthogonal, FF vs PR execution time", scale=scale)
+    for tag, qtype, load in (("a", "arbitrary", 1), ("b", "range", 2), ("c", "arbitrary", 3)):
+        points = sweep(5, "orthogonal", qtype, load, scale.ns, solvers,
+                       n_queries=scale.queries_per_point, seed=seed)
+        fig.panels.append(Panel(
+            f"({tag}) {qtype.capitalize()}, Load {load}",
+            "N", [p.N for p in points],
+            {name: [p.timings[name].mean_ms for p in points] for name in solvers},
+        ))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 7-9: black box vs integrated push-relabel
+# ----------------------------------------------------------------------
+_BB_INT = {"black box": {"solver": "blackbox-binary"},
+           "integrated": {"solver": "pr-binary"}}
+
+
+def fig07(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """Experiment 1 (basic): black-box/integrated runtime ratio per scheme.
+
+    Panels: (a) range/load 1, (b) arbitrary/load 2, (c) range/load 3.
+    Expected shape: ratios hover near 1 (few increment steps in the basic
+    problem), rising where a scheme needs more incrementation.
+    """
+    scale = scale or current_scale()
+    fig = FigureResult("Figure 7", "Experiment 1, PR black box / integrated ratio", scale=scale)
+    for tag, qtype, load in (("a", "range", 1), ("b", "arbitrary", 2), ("c", "range", 3)):
+        series: dict[str, list[float]] = {}
+        for scheme in SCHEMES:
+            points = sweep(1, scheme, qtype, load, scale.ns, _BB_INT,
+                           n_queries=scale.queries_per_point, seed=seed)
+            series[scheme.capitalize()] = [
+                p.ratio("black box", "integrated") for p in points
+            ]
+        fig.panels.append(Panel(
+            f"({tag}) {qtype.capitalize()}, Load {load}",
+            "N", list(scale.ns), series, unit="bb/int",
+        ))
+    return fig
+
+
+def fig08(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """Experiment 3, arbitrary/load 1: (a) black-box time, (b) integrated
+    time, (c) ratio — per allocation scheme.
+
+    Expected shape: the integrated algorithm narrows the runtime gap
+    between schemes (panel b flatter across schemes than panel a), so the
+    ratio is highest for the scheme that needs the most increments.
+    """
+    scale = scale or current_scale()
+    fig = FigureResult("Figure 8", "Experiment 3, Arbitrary Load 1, PR comparison", scale=scale)
+    per_scheme = {
+        scheme: sweep(3, scheme, "arbitrary", 1, scale.ns, _BB_INT,
+                      n_queries=scale.queries_per_point, seed=seed)
+        for scheme in SCHEMES
+    }
+    fig.panels.append(Panel(
+        "(a) Black Box Execution Time", "N", list(scale.ns),
+        {s.capitalize(): [p.timings["black box"].mean_ms for p in pts]
+         for s, pts in per_scheme.items()},
+    ))
+    fig.panels.append(Panel(
+        "(b) Integrated Execution Time", "N", list(scale.ns),
+        {s.capitalize(): [p.timings["integrated"].mean_ms for p in pts]
+         for s, pts in per_scheme.items()},
+    ))
+    fig.panels.append(Panel(
+        "(c) Execution Time Ratio", "N", list(scale.ns),
+        {s.capitalize(): [p.ratio("black box", "integrated") for p in pts]
+         for s, pts in per_scheme.items()},
+        unit="bb/int",
+    ))
+    return fig
+
+
+def fig09(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """Experiment 5: black-box/integrated ratio, arbitrary queries.
+
+    Panels: loads 1, 2, 3; series per scheme.  Expected shape: the largest
+    ratios of the evaluation (up to ~2.5x in the paper) — Experiment 5's
+    random delays/loads force many increment steps, which is where flow
+    conservation pays.
+    """
+    scale = scale or current_scale()
+    fig = FigureResult("Figure 9", "Experiment 5, PR black box / integrated ratio", scale=scale)
+    for tag, load in (("a", 1), ("b", 2), ("c", 3)):
+        series: dict[str, list[float]] = {}
+        for scheme in SCHEMES:
+            points = sweep(5, scheme, "arbitrary", load, scale.ns, _BB_INT,
+                           n_queries=scale.queries_per_point, seed=seed)
+            series[scheme.capitalize()] = [
+                p.ratio("black box", "integrated") for p in points
+            ]
+        fig.panels.append(Panel(
+            f"({tag}) Load {load}", "N", list(scale.ns), series, unit="bb/int",
+        ))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 10: parallel vs sequential, per query
+# ----------------------------------------------------------------------
+def fig10(
+    scale: BenchScale | None = None,
+    seed: int = 0,
+    *,
+    num_threads: int = 2,
+) -> FigureResult:
+    """Experiment 5, fixed N: per-query parallel/sequential runtime ratio.
+
+    Panels: (a) arbitrary/load 1/orthogonal, (b) range/load 2/orthogonal,
+    (c) arbitrary/load 1/RDA.  The paper's plots show ratios fluctuating
+    with graph structure around a mean speed-up of ~1.2x on 2 threads.
+
+    GIL caveat (DESIGN.md §2): under CPython the mean ratio sits at or
+    above 1.0 (parallel not faster); the per-query *fluctuation with
+    graph structure* is the reproduced phenomenon, and the per-thread
+    work split is reported to show the parallel schedule engages.
+    """
+    scale = scale or current_scale()
+    N = max(scale.ns)
+    n_queries = min(scale.queries_per_point * 4, 100) if not scale.full else 100
+    fig = FigureResult(
+        "Figure 10",
+        f"Experiment 5, parallel/sequential per-query ratio, {num_threads} threads, {N} disks",
+        scale=scale,
+    )
+    solvers = {
+        "sequential": {"solver": "pr-binary"},
+        "parallel": {"solver": "parallel-binary", "num_threads": num_threads},
+    }
+    for tag, qtype, load, scheme in (
+        ("a", "arbitrary", 1, "orthogonal"),
+        ("b", "range", 2, "orthogonal"),
+        ("c", "arbitrary", 1, "rda"),
+    ):
+        point = run_point(5, scheme, qtype, load, N, solvers,
+                          n_queries=n_queries, seed=seed)
+        seq = point.timings["sequential"].per_query_s
+        par = point.timings["parallel"].per_query_s
+        ratios = [p / s if s > 0 else float("nan") for p, s in zip(par, seq)]
+        mean_ratio = float(np.mean(ratios))
+        # the paper attributes the fluctuation to graph structure (§VI.F.3);
+        # quantify it with the size<->ratio rank correlation
+        from repro.analysis.structure import structure_correlation_study
+
+        study = structure_correlation_study(
+            5, scheme, N, qtype, load,
+            n_queries=min(n_queries, 20), num_threads=num_threads, seed=seed,
+        )
+        fig.panels.append(Panel(
+            f"({tag}) {qtype.capitalize()}, Load {load}, {scheme.capitalize()}",
+            "Query", list(range(len(ratios))),
+            {"parallel/sequential": ratios},
+            unit="ratio",
+            notes=(
+                f"mean ratio = {mean_ratio:.3f} "
+                f"(paper: ~0.83 = 1/1.2x; CPython GIL keeps ours >= ~1); "
+                f"|Q|<->ratio rank correlation = "
+                f"{study.size_ratio_correlation:+.2f} "
+                f"(structure-dependence, paper §VI.F.3)"
+            ),
+        ))
+    return fig
+
+
+# ----------------------------------------------------------------------
+# headline numbers and Table III
+# ----------------------------------------------------------------------
+def headline_speedups(scale: BenchScale | None = None, seed: int = 0) -> FigureResult:
+    """§VI.F headline: integrated-vs-black-box and parallel-vs-sequential
+    aggregate speedups (paper: <=2.5x, <=1.7x, combined <=4.25x / ~3x avg)."""
+    scale = scale or current_scale()
+    fig = FigureResult("Headline", "Aggregate speedups (paper §VI headline numbers)", scale=scale)
+    ratios_bb_int: list[float] = []
+    for scheme in SCHEMES:
+        for load in (1, 2, 3):
+            point = run_point(
+                5, scheme, "arbitrary", load, max(scale.ns), _BB_INT,
+                n_queries=scale.queries_per_point, seed=seed,
+            )
+            ratios_bb_int.append(point.ratio("black box", "integrated"))
+    solvers_par = {
+        "sequential": {"solver": "pr-binary"},
+        "parallel": {"solver": "parallel-binary", "num_threads": 2},
+    }
+    point = run_point(5, "orthogonal", "arbitrary", 1, max(scale.ns),
+                      solvers_par, n_queries=scale.queries_per_point, seed=seed)
+    par_seq = point.ratio("parallel", "sequential")
+    rows = [
+        ["integrated over black box (max)", f"{max(ratios_bb_int):.2f}x", "2.5x"],
+        ["integrated over black box (mean)", f"{np.mean(ratios_bb_int):.2f}x", "—"],
+        ["sequential over parallel", f"{1.0 / par_seq:.2f}x", "1.7x (1.2x avg)"],
+        ["combined (max bb/int x seq/par)",
+         f"{max(ratios_bb_int) / par_seq:.2f}x", "4.25x (~3x avg)"],
+    ]
+    fig.panels.append(Panel(
+        "Aggregates at N = %d" % max(scale.ns), "metric",
+        [r[0] for r in rows],
+        {"measured": [float(r[1].rstrip("x")) for r in rows]},
+        unit="x",
+        notes=format_table(["metric", "measured", "paper"], rows)
+        + "\nGIL note: parallel >= sequential wall-clock under CPython is expected.",
+    ))
+    return fig
+
+
+def table3() -> FigureResult:
+    """Table III (disk specs) + the capacity model they induce."""
+    from repro.storage.disk import DISK_CATALOG
+
+    fig = FigureResult("Table III", "Disk specifications (paper Table III)")
+    rows = [
+        [s.producer, s.model, s.kind, s.rpm or "—", s.block_time_ms]
+        for s in DISK_CATALOG.values()
+    ]
+    fig.panels.append(Panel(
+        "Disk catalogue", "Producer", [r[0] for r in rows],
+        {"Time (ms)": [r[4] for r in rows]},
+        notes=format_table(["Producer", "Model", "Type", "RPM", "Time (ms)"], rows),
+    ))
+    # capacity curves: buckets servable by deadline t per spec
+    deadlines = [5.0, 10.0, 25.0, 50.0, 100.0]
+    series = {
+        s.name: [float(int(t // s.block_time_ms)) for t in deadlines]
+        for s in DISK_CATALOG.values()
+    }
+    fig.panels.append(Panel(
+        "Capacity vs deadline (idle disk, no delay)", "deadline (ms)",
+        deadlines, series, unit="buckets",
+    ))
+    return fig
+
+
+def _ablation(name):
+    def driver(scale=None, seed=0):
+        import repro.bench.ablations as ablations
+
+        return getattr(ablations, name)(scale=scale, seed=seed)
+
+    driver.__name__ = name
+    return driver
+
+
+#: registry used by the CLI and benchmark files
+FIGURES = {
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "headline": headline_speedups,
+    "table3": table3,
+    # ablations (ours): same CLI/persistence/regression machinery
+    "ablation-engines": _ablation("ablation_engines"),
+    "ablation-conservation": _ablation("ablation_conservation"),
+    "greedy-gap": _ablation("greedy_gap"),
+}

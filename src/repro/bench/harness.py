@@ -1,0 +1,214 @@
+"""Timed sweeps over experiment points.
+
+A *point* is one ``(experiment, scheme, query type, load, N)`` tuple; the
+harness samples ``n_queries`` queries at the point, runs every requested
+solver on the *same* instances, cross-checks that all solvers report the
+same optimal response time (the paper's §VI.F validation, re-run inside
+every benchmark), and reports mean per-query runtimes — the paper's
+"Avg. Runtime Per Query (msec)" axis.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import get_solver
+from repro.core.problem import RetrievalProblem
+from repro.decluster.multisite import make_placement
+from repro.errors import ReproError
+from repro.workloads.experiments import build_problem, build_system
+
+__all__ = [
+    "BenchScale",
+    "SolverTiming",
+    "PointResult",
+    "current_scale",
+    "run_point",
+    "sweep",
+]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """How big the sweeps are; see the package docstring for the knobs."""
+
+    ns: tuple[int, ...]
+    queries_per_point: int
+    full: bool
+
+    @property
+    def label(self) -> str:
+        return "paper scale" if self.full else "CI scale"
+
+
+def current_scale() -> BenchScale:
+    """Resolve the sweep scale from the environment."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    if full:
+        ns: tuple[int, ...] = tuple(range(10, 101, 10))
+        queries = 1000
+    else:
+        ns = (4, 8, 12, 16)
+        queries = 8
+    env_ns = os.environ.get("REPRO_BENCH_NS")
+    if env_ns:
+        ns = tuple(int(x) for x in env_ns.split(",") if x.strip())
+    env_q = os.environ.get("REPRO_BENCH_QUERIES")
+    if env_q:
+        queries = int(env_q)
+    return BenchScale(ns, queries, full)
+
+
+@dataclass
+class SolverTiming:
+    """Aggregated timing of one solver over one point's query batch."""
+
+    solver: str
+    total_s: float = 0.0
+    n_queries: int = 0
+    total_response_ms: float = 0.0
+    per_query_s: list[float] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean runtime per query in milliseconds (the paper's y-axis)."""
+        return 1000.0 * self.total_s / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def mean_response_ms(self) -> float:
+        return (
+            self.total_response_ms / self.n_queries if self.n_queries else 0.0
+        )
+
+
+@dataclass
+class PointResult:
+    """All solver timings at one sweep point."""
+
+    experiment: int
+    scheme: str
+    qtype: str
+    load: int
+    N: int
+    timings: dict[str, SolverTiming]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Runtime ratio between two solvers (e.g. blackbox/integrated)."""
+        num = self.timings[numerator].total_s
+        den = self.timings[denominator].total_s
+        if den == 0.0:
+            raise ReproError(f"zero denominator timing for {denominator}")
+        return num / den
+
+
+def _make_problems(
+    experiment: int,
+    scheme: str,
+    qtype: str,
+    load: int,
+    N: int,
+    n_queries: int,
+    seed: int,
+) -> list[RetrievalProblem]:
+    rng = np.random.default_rng(seed)
+    placement = make_placement(scheme, N, num_sites=2, rng=rng, seed=seed)
+    system = build_system(experiment, N, rng)
+    return [
+        build_problem(
+            experiment,
+            scheme,
+            N,
+            qtype,
+            load,
+            rng,
+            placement=placement,
+            system=system,
+        )
+        for _ in range(n_queries)
+    ]
+
+
+def run_point(
+    experiment: int,
+    scheme: str,
+    qtype: str,
+    load: int,
+    N: int,
+    solvers: dict[str, dict] | list[str],
+    *,
+    n_queries: int = 8,
+    seed: int = 0,
+    cross_check: bool = True,
+) -> PointResult:
+    """Time every solver on the same ``n_queries`` instances of a point.
+
+    ``solvers`` maps a display name to ``{"solver": registry_name, ...}``
+    kwargs (a plain list of registry names is accepted as shorthand).
+    """
+    if isinstance(solvers, list):
+        solvers = {name: {"solver": name} for name in solvers}
+    problems = _make_problems(
+        experiment, scheme, qtype, load, N, n_queries, seed
+    )
+    timings: dict[str, SolverTiming] = {}
+    responses: dict[str, list[float]] = {}
+    for display, spec in solvers.items():
+        spec = dict(spec)
+        registry_name = spec.pop("solver", display)
+        instance = get_solver(registry_name, **spec)
+        timing = SolverTiming(solver=display)
+        responses[display] = []
+        for problem in problems:
+            start = time.perf_counter()
+            schedule = instance.solve(problem)
+            elapsed = time.perf_counter() - start
+            timing.total_s += elapsed
+            timing.per_query_s.append(elapsed)
+            timing.n_queries += 1
+            timing.total_response_ms += schedule.response_time_ms
+            responses[display].append(schedule.response_time_ms)
+        timings[display] = timing
+
+    if cross_check and len(responses) > 1:
+        names = list(responses)
+        ref = responses[names[0]]
+        for other in names[1:]:
+            for q, (a, b) in enumerate(zip(ref, responses[other])):
+                if abs(a - b) > 1e-6:
+                    raise ReproError(
+                        f"solver disagreement at query {q}: "
+                        f"{names[0]}={a} vs {other}={b}"
+                    )
+
+    return PointResult(experiment, scheme, qtype, load, N, timings)
+
+
+def sweep(
+    experiment: int,
+    scheme: str,
+    qtype: str,
+    load: int,
+    ns: tuple[int, ...],
+    solvers: dict[str, dict] | list[str],
+    *,
+    n_queries: int = 8,
+    seed: int = 0,
+) -> list[PointResult]:
+    """Run :func:`run_point` across a range of N values."""
+    return [
+        run_point(
+            experiment,
+            scheme,
+            qtype,
+            load,
+            N,
+            solvers,
+            n_queries=n_queries,
+            seed=seed + N,
+        )
+        for N in ns
+    ]

@@ -1,0 +1,106 @@
+"""Full experiment-matrix runner.
+
+The paper evaluates 5 experiments x 3 schemes x 2 query types x 3 loads
+(a 90-cell grid per N, thinned to "the results that are interesting").
+This runner sweeps any sub-grid and emits a long-form table — the raw
+material behind "all the results are available on the project web
+page [2]", regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.bench.harness import run_point
+from repro.bench.reporting import format_table
+
+__all__ = ["MatrixCell", "MatrixResult", "run_matrix"]
+
+_DEFAULT_SOLVERS = ["pr-binary", "blackbox-binary"]
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One grid cell's outcome."""
+
+    experiment: int
+    scheme: str
+    qtype: str
+    load: int
+    N: int
+    mean_ms: dict[str, float]
+    mean_response_ms: float
+
+    def ratio(self, a: str, b: str) -> float:
+        return self.mean_ms[a] / self.mean_ms[b] if self.mean_ms[b] else 0.0
+
+
+@dataclass
+class MatrixResult:
+    """The swept grid plus tabulation helpers."""
+
+    cells: list[MatrixCell] = field(default_factory=list)
+
+    def filter(self, **criteria) -> list[MatrixCell]:
+        """Cells matching every keyword (e.g. ``experiment=5, load=1``)."""
+        out = []
+        for cell in self.cells:
+            if all(getattr(cell, k) == v for k, v in criteria.items()):
+                out.append(cell)
+        return out
+
+    def to_table(self, solvers: list[str]) -> str:
+        headers = ["exp", "scheme", "qtype", "load", "N",
+                   *[f"{s} (ms/q)" for s in solvers], "resp (ms)"]
+        rows = []
+        for c in self.cells:
+            rows.append([
+                c.experiment, c.scheme, c.qtype, c.load, c.N,
+                *[c.mean_ms[s] for s in solvers],
+                c.mean_response_ms,
+            ])
+        return format_table(headers, rows)
+
+    def worst_ratio(self, a: str, b: str) -> MatrixCell | None:
+        """The cell where solver ``a`` is slowest relative to ``b``."""
+        if not self.cells:
+            return None
+        return max(self.cells, key=lambda c: c.ratio(a, b))
+
+
+def run_matrix(
+    *,
+    experiments: Iterable[int] = (1, 2, 3, 4, 5),
+    schemes: Iterable[str] = ("rda", "dependent", "orthogonal"),
+    qtypes: Iterable[str] = ("range", "arbitrary"),
+    loads: Iterable[int] = (1, 2, 3),
+    ns: Iterable[int] = (8,),
+    solvers: list[str] | None = None,
+    n_queries: int = 5,
+    seed: int = 0,
+) -> MatrixResult:
+    """Sweep the requested sub-grid; every cell cross-checks its optima."""
+    solvers = solvers or list(_DEFAULT_SOLVERS)
+    result = MatrixResult()
+    for experiment in experiments:
+        for scheme in schemes:
+            for qtype in qtypes:
+                for load in loads:
+                    for N in ns:
+                        point = run_point(
+                            experiment, scheme, qtype, load, N, solvers,
+                            n_queries=n_queries, seed=seed,
+                        )
+                        result.cells.append(
+                            MatrixCell(
+                                experiment, scheme, qtype, load, N,
+                                mean_ms={
+                                    s: point.timings[s].mean_ms for s in solvers
+                                },
+                                mean_response_ms=point.timings[
+                                    solvers[0]
+                                ].mean_response_ms,
+                            )
+                        )
+    return result

@@ -1,0 +1,102 @@
+"""JSON persistence for benchmark results.
+
+Figure regeneration at paper scale takes hours in pure Python; persisting
+results lets a run be split across sessions, diffed against earlier
+builds, and post-processed (plotting, regression gates) without re-timing
+anything.  The schema is deliberately flat: one JSON document per figure,
+panels as objects, series as parallel arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bench.figures import FigureResult, Panel
+from repro.bench.harness import BenchScale
+from repro.errors import ReproError
+
+__all__ = ["figure_to_dict", "figure_from_dict", "save_figure", "load_figure"]
+
+_SCHEMA_VERSION = 1
+
+
+def figure_to_dict(result: FigureResult) -> dict[str, Any]:
+    """Serialize a :class:`FigureResult` to plain JSON-ready data."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "scale": (
+            {
+                "ns": list(result.scale.ns),
+                "queries_per_point": result.scale.queries_per_point,
+                "full": result.scale.full,
+            }
+            if result.scale
+            else None
+        ),
+        "panels": [
+            {
+                "title": p.title,
+                "x_label": p.x_label,
+                "xs": list(p.xs),
+                "series": {k: list(v) for k, v in p.series.items()},
+                "unit": p.unit,
+                "notes": p.notes,
+            }
+            for p in result.panels
+        ],
+    }
+
+
+def figure_from_dict(data: dict[str, Any]) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from :func:`figure_to_dict` output."""
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported results schema {data.get('schema')!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    scale = None
+    if data.get("scale"):
+        s = data["scale"]
+        scale = BenchScale(
+            ns=tuple(s["ns"]),
+            queries_per_point=s["queries_per_point"],
+            full=s["full"],
+        )
+    panels = [
+        Panel(
+            title=p["title"],
+            x_label=p["x_label"],
+            xs=list(p["xs"]),
+            series={k: list(v) for k, v in p["series"].items()},
+            unit=p.get("unit", ""),
+            notes=p.get("notes", ""),
+        )
+        for p in data["panels"]
+    ]
+    return FigureResult(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        panels=panels,
+        scale=scale,
+    )
+
+
+def save_figure(result: FigureResult, path: str | Path) -> Path:
+    """Write a figure's series to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(figure_to_dict(result), indent=2))
+    return path
+
+
+def load_figure(path: str | Path) -> FigureResult:
+    """Load a figure previously saved with :func:`save_figure`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load results from {path}: {exc}") from exc
+    return figure_from_dict(data)

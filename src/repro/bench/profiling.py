@@ -1,0 +1,89 @@
+"""Profiling helpers — "no optimization without measuring".
+
+Wraps :mod:`cProfile` around any solver on any workload point and
+returns the hotspot table, so performance work on this codebase starts
+from data (the discipline the HPC guides this repository follows
+prescribe).  Exposed on the CLI as ``repro profile``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import get_solver
+from repro.decluster.multisite import make_placement
+from repro.workloads.experiments import build_problem, build_system
+
+__all__ = ["ProfileReport", "profile_solver"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Hotspot summary of one profiled batch."""
+
+    solver: str
+    n_queries: int
+    total_seconds: float
+    table: str  # pstats text, top rows by cumulative time
+
+    def render(self) -> str:
+        header = (
+            f"profile: {self.solver}, {self.n_queries} queries, "
+            f"{self.total_seconds:.3f}s total\n"
+        )
+        return header + self.table
+
+
+def profile_solver(
+    solver: str,
+    *,
+    experiment: int = 5,
+    scheme: str = "orthogonal",
+    N: int = 12,
+    qtype: str = "arbitrary",
+    load: int = 1,
+    n_queries: int = 6,
+    seed: int = 0,
+    top: int = 15,
+    sort: str = "cumulative",
+    **solver_kwargs,
+) -> ProfileReport:
+    """Profile ``solver`` over one workload point; return the hotspots.
+
+    ``sort`` is any :mod:`pstats` sort key (``"cumulative"``,
+    ``"tottime"``, ...).
+    """
+    rng = np.random.default_rng(seed)
+    placement = make_placement(scheme, N, num_sites=2, rng=rng, seed=seed)
+    system = build_system(experiment, N, rng)
+    problems = [
+        build_problem(experiment, scheme, N, qtype, load, rng,
+                      placement=placement, system=system)
+        for _ in range(n_queries)
+    ]
+    instance = get_solver(solver, **solver_kwargs)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for p in problems:
+        instance.solve(p)
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    total = sum(row[3] for row in stats.stats.values())  # cumtime of roots
+    # pstats' own total is in its header; recompute simply from tt sums
+    total_tt = sum(row[2] for row in stats.stats.values())
+    del total
+    return ProfileReport(
+        solver=solver,
+        n_queries=n_queries,
+        total_seconds=total_tt,
+        table=buffer.getvalue(),
+    )

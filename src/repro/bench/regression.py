@@ -1,0 +1,97 @@
+"""Regression comparison between two saved figure results.
+
+Benchmarks drift; this module diffs two JSON files produced by
+:mod:`repro.bench.persistence` (e.g. before/after an optimization, or two
+machines) series-by-series and flags deviations beyond a tolerance — the
+CI gate for "did this change slow a figure down".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.figures import FigureResult
+from repro.errors import ReproError
+
+__all__ = ["SeriesDelta", "compare_figures", "format_deltas"]
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Change of one series point between two runs."""
+
+    panel: str
+    series: str
+    x: object
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+    def exceeds(self, tolerance: float) -> bool:
+        """True if the relative change is beyond ``tolerance`` (e.g. 0.25)."""
+        return abs(self.ratio - 1.0) > tolerance
+
+
+def compare_figures(
+    before: FigureResult, after: FigureResult
+) -> list[SeriesDelta]:
+    """Pointwise deltas between two runs of the same figure.
+
+    Panels/series are matched by title/name; x grids must agree (the
+    scale knobs define them), otherwise the comparison is meaningless and
+    raises.
+    """
+    if before.figure_id != after.figure_id:
+        raise ReproError(
+            f"different figures: {before.figure_id!r} vs {after.figure_id!r}"
+        )
+    after_panels = {p.title: p for p in after.panels}
+    deltas: list[SeriesDelta] = []
+    for panel in before.panels:
+        other = after_panels.get(panel.title)
+        if other is None:
+            continue  # panel removed; nothing to compare
+        if list(panel.xs) != list(other.xs):
+            raise ReproError(
+                f"panel {panel.title!r}: x grids differ "
+                f"({panel.xs} vs {other.xs}); rerun at matching scale"
+            )
+        for name, values in panel.series.items():
+            if name not in other.series:
+                continue
+            for x, b, a in zip(panel.xs, values, other.series[name]):
+                deltas.append(SeriesDelta(panel.title, name, x, b, a))
+    return deltas
+
+
+def format_deltas(
+    deltas: list[SeriesDelta], *, tolerance: float = 0.25
+) -> str:
+    """Human summary: flagged regressions first, then the aggregate."""
+    flagged = [d for d in deltas if d.exceeds(tolerance)]
+    lines = []
+    if flagged:
+        lines.append(
+            f"{len(flagged)}/{len(deltas)} points moved more than "
+            f"{tolerance:.0%}:"
+        )
+        for d in sorted(flagged, key=lambda d: -abs(d.ratio - 1.0))[:20]:
+            lines.append(
+                f"  {d.panel} / {d.series} @ {d.x}: "
+                f"{d.before:.4g} -> {d.after:.4g}  ({d.ratio:.2f}x)"
+            )
+    else:
+        lines.append(
+            f"all {len(deltas)} comparable points within {tolerance:.0%}"
+        )
+    if deltas:
+        mean_ratio = sum(d.ratio for d in deltas if d.ratio != float("inf"))
+        count = sum(1 for d in deltas if d.ratio != float("inf"))
+        if count:
+            lines.append(f"mean after/before ratio: {mean_ratio / count:.3f}")
+    return "\n".join(lines)

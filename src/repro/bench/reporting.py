@@ -1,0 +1,66 @@
+"""ASCII reporting for the figure drivers.
+
+The paper's figures are line plots; on a terminal we print the underlying
+series as aligned columns, one row per x value, one column per series —
+enough to read off who wins, by what factor, and where the curves cross.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def banner(title: str, subtitle: str = "") -> str:
+    """Section header used by every figure driver."""
+    lines = ["=" * 72, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = []
+    for k, row in enumerate(cells):
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if k == 0:
+            out.append("  ".join("-" * w for w in widths))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    unit: str = "",
+) -> str:
+    """A paper-figure-as-table: x column plus one column per series."""
+    headers = [x_label] + [
+        f"{name} ({unit})" if unit else name for name in series
+    ]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)

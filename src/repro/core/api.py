@@ -1,0 +1,79 @@
+"""Top-level solver API and registry.
+
+>>> from repro.core import solve, RetrievalProblem
+>>> schedule = solve(problem)                       # pr-binary (Alg. 6)
+>>> schedule = solve(problem, solver="blackbox-binary")
+>>> schedule = solve(problem, solver="parallel-binary", num_threads=2)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.basic_ff import FordFulkersonBasicSolver
+from repro.core.binary_ff import FordFulkersonBinarySolver
+from repro.core.binary_pr import PushRelabelBinarySolver
+from repro.core.blackbox import BlackBoxBinarySolver
+from repro.core.brute_force import BruteForceSolver
+from repro.core.greedy import GreedyFinishTimeSolver, RoundRobinSolver
+from repro.core.incremental_ff import FordFulkersonIncrementalSolver
+from repro.core.incremental_pr import PushRelabelIncrementalSolver
+from repro.core.parallel import ParallelBinarySolver
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule
+
+__all__ = ["SOLVERS", "get_solver", "solve"]
+
+#: registry name → solver class (see package docstring for the mapping to
+#: the paper's algorithm numbers)
+SOLVERS = {
+    "ff-basic": FordFulkersonBasicSolver,
+    "ff-incremental": FordFulkersonIncrementalSolver,
+    "ff-binary": FordFulkersonBinarySolver,
+    "pr-incremental": PushRelabelIncrementalSolver,
+    "pr-binary": PushRelabelBinarySolver,
+    "blackbox-binary": BlackBoxBinarySolver,
+    "parallel-binary": ParallelBinarySolver,
+    "brute-force": BruteForceSolver,
+    # heuristic baselines (NOT optimal — excluded from cross-checked
+    # benchmark points; see repro.core.greedy)
+    "greedy-finish-time": GreedyFinishTimeSolver,
+    "round-robin": RoundRobinSolver,
+}
+
+
+def get_solver(name: str, **kwargs):
+    """Instantiate a solver by registry name."""
+    try:
+        cls = SOLVERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown solver {name!r}; choose from {sorted(SOLVERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def solve(
+    problem: RetrievalProblem, solver: str = "pr-binary", **solver_kwargs
+) -> RetrievalSchedule:
+    """Compute an optimal-response-time retrieval schedule.
+
+    Parameters
+    ----------
+    problem:
+        The query + system state to schedule.
+    solver:
+        Registry name (default: the paper's integrated Algorithm 6).
+    solver_kwargs:
+        Forwarded to the solver constructor (e.g. ``num_threads=2``).
+
+    Returns
+    -------
+    RetrievalSchedule
+        With ``stats.wall_time_s`` filled in.
+    """
+    instance = get_solver(solver, **solver_kwargs)
+    start = time.perf_counter()
+    schedule = instance.solve(problem)
+    schedule.stats.wall_time_s = time.perf_counter() - start
+    return schedule

@@ -1,0 +1,89 @@
+"""Exhaustive optimal scheduler — the test oracle.
+
+Enumerates every replica choice with branch-and-bound pruning on the
+running maximum finish time.  Exponential (``c^|Q|``); guarded by a
+bucket-count limit so it is only ever used on the tiny instances the
+tests and paper-example checks feed it.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule, SolverStats
+from repro.errors import InfeasibleScheduleError
+
+__all__ = ["brute_force_response_time", "BruteForceSolver"]
+
+#: refuse instances bigger than this (c^|Q| blowup)
+MAX_BUCKETS = 16
+
+
+def _search(problem: RetrievalProblem) -> tuple[float, list[int]]:
+    sys_ = problem.system
+    Q = problem.num_buckets
+    # precompute per-disk finish times for k = 1..Q
+    finish = {
+        d: [0.0] + [sys_.finish_time(d, k) for k in range(1, Q + 1)]
+        for d in problem.replica_disks()
+    }
+    replicas = [sorted(set(r)) for r in problem.replicas]
+    # order buckets by ascending option count: tighter pruning up front
+    order = sorted(range(Q), key=lambda i: len(replicas[i]))
+
+    counts: dict[int, int] = {d: 0 for d in finish}
+    best_time = float("inf")
+    best_choice: list[int] = [-1] * Q
+    choice: list[int] = [-1] * Q
+
+    def recurse(pos: int, current_max: float) -> None:
+        nonlocal best_time, best_choice
+        if current_max >= best_time:
+            return  # bound: cannot improve
+        if pos == Q:
+            best_time = current_max
+            best_choice = choice.copy()
+            return
+        i = order[pos]
+        for d in replicas[i]:
+            k = counts[d] + 1
+            t = finish[d][k]
+            new_max = t if t > current_max else current_max
+            if new_max >= best_time:
+                continue
+            counts[d] = k
+            choice[i] = d
+            recurse(pos + 1, new_max)
+            counts[d] = k - 1
+            choice[i] = -1
+
+    recurse(0, 0.0)
+    return best_time, best_choice
+
+
+def brute_force_response_time(problem: RetrievalProblem) -> float:
+    """Optimal response time by exhaustive search (small instances)."""
+    if problem.num_buckets > MAX_BUCKETS:
+        raise InfeasibleScheduleError(
+            f"brute force capped at {MAX_BUCKETS} buckets "
+            f"(got {problem.num_buckets})"
+        )
+    best_time, _ = _search(problem)
+    return best_time
+
+
+class BruteForceSolver:
+    """Oracle solver; registry name ``brute-force``."""
+
+    name = "brute-force"
+
+    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+        if problem.num_buckets > MAX_BUCKETS:
+            raise InfeasibleScheduleError(
+                f"brute force capped at {MAX_BUCKETS} buckets "
+                f"(got {problem.num_buckets})"
+            )
+        best_time, best_choice = _search(problem)
+        assignment = {i: d for i, d in enumerate(best_choice)}
+        return RetrievalSchedule(
+            problem, assignment, best_time, SolverStats(), solver=self.name
+        )

@@ -1,0 +1,92 @@
+"""Degraded-mode retrieval: scheduling around failed disks and sites.
+
+Replication's second dividend (paper §I: "better fault-tolerance") made
+operational: given failures, restrict every bucket's replica set to the
+survivors and re-solve.  A bucket whose replicas are all gone makes the
+query unanswerable, which is reported precisely rather than as a generic
+solver error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.api import solve
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule
+from repro.errors import InfeasibleScheduleError
+from repro.storage.system import StorageSystem
+
+__all__ = ["FailureImpact", "degrade_problem", "solve_degraded", "failure_impact"]
+
+
+def degrade_problem(
+    problem: RetrievalProblem, failed_disks: Iterable[int]
+) -> RetrievalProblem:
+    """The same query with ``failed_disks`` removed from every replica set.
+
+    Raises :class:`InfeasibleScheduleError` naming the first bucket left
+    without replicas.
+    """
+    failed = set(failed_disks)
+    for d in failed:
+        if not 0 <= d < problem.num_disks:
+            raise InfeasibleScheduleError(f"unknown disk {d} in failure set")
+    new_replicas = []
+    for i, reps in enumerate(problem.replicas):
+        kept = tuple(d for d in reps if d not in failed)
+        if not kept:
+            raise InfeasibleScheduleError(
+                f"bucket {problem.label_of(i)!r} lost all replicas "
+                f"({sorted(set(reps))} all failed): data unavailable"
+            )
+        new_replicas.append(kept)
+    return RetrievalProblem(
+        problem.system, tuple(new_replicas), labels=problem.labels
+    )
+
+
+def failed_site_disks(system: StorageSystem, site_id: int) -> list[int]:
+    """All disk ids of one site — the whole-site-outage failure set."""
+    for site in system.sites:
+        if site.site_id == site_id:
+            return site.disk_ids()
+    raise InfeasibleScheduleError(f"unknown site {site_id}")
+
+
+def solve_degraded(
+    problem: RetrievalProblem,
+    failed_disks: Iterable[int],
+    solver: str = "pr-binary",
+    **kwargs,
+) -> RetrievalSchedule:
+    """Optimal schedule avoiding the failed disks."""
+    return solve(degrade_problem(problem, failed_disks), solver=solver, **kwargs)
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Before/after view of one failure scenario."""
+
+    healthy_ms: float
+    degraded_ms: float
+    failed_disks: tuple[int, ...]
+
+    @property
+    def slowdown(self) -> float:
+        return (
+            self.degraded_ms / self.healthy_ms if self.healthy_ms > 0 else 1.0
+        )
+
+
+def failure_impact(
+    problem: RetrievalProblem,
+    failed_disks: Iterable[int],
+    solver: str = "pr-binary",
+) -> FailureImpact:
+    """Response-time impact of a failure set on one query."""
+    failed = tuple(sorted(set(failed_disks)))
+    healthy = solve(problem, solver=solver).response_time_ms
+    degraded = solve_degraded(problem, failed, solver=solver).response_time_ms
+    return FailureImpact(healthy, degraded, failed)

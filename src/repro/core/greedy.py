@@ -1,0 +1,87 @@
+"""Greedy retrieval heuristics — quality baselines, not from the paper.
+
+The paper takes for granted that optimal scheduling is worth computing;
+these baselines quantify it.  Both run in O(|Q| · c) to O(|Q| log |Q|)
+time — far cheaper than any max-flow — but give up optimality:
+
+* :class:`GreedyFinishTimeSolver` — assign buckets one by one, each to
+  the replica disk whose *finish time after taking it* is smallest
+  (the natural online heuristic a storage array would ship).
+* :class:`RoundRobinSolver` — rotate across each bucket's replicas,
+  ignoring disk parameters entirely (the "no scheduler" strawman).
+
+`benchmarks/bench_greedy_gap.py` measures the response-time gap versus
+the optimum across the paper's workloads, and
+`examples/greedy_vs_optimal.py` walks through where and why greedy loses
+(it cannot *revoke* an earlier assignment — exactly the ability the
+max-flow formulation's residual arcs provide).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule, SolverStats
+
+__all__ = ["GreedyFinishTimeSolver", "RoundRobinSolver"]
+
+
+class GreedyFinishTimeSolver:
+    """Marginal-finish-time greedy assignment.
+
+    Processes buckets in input order by default (the paper's motivating
+    applications stream buckets in storage order);
+    ``order="constrained-first"`` handles the least-flexible buckets
+    first — a common greedy improvement — for comparison.
+    """
+
+    name = "greedy-finish-time"
+
+    def __init__(self, order: str = "input") -> None:
+        if order not in ("input", "constrained-first"):
+            raise ValueError(
+                f"order must be 'input' or 'constrained-first', got {order!r}"
+            )
+        self.order = order
+
+    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+        sys_ = problem.system
+        counts: dict[int, int] = {d: 0 for d in problem.replica_disks()}
+        indices = list(range(problem.num_buckets))
+        if self.order == "constrained-first":
+            indices.sort(key=lambda i: len(set(problem.replicas[i])))
+        assignment: dict[int, int] = {}
+        for i in indices:
+            best_d, best_t = -1, float("inf")
+            for d in sorted(set(problem.replicas[i])):
+                t = sys_.finish_time(d, counts[d] + 1)
+                if t < best_t:
+                    best_d, best_t = d, t
+            assignment[i] = best_d
+            counts[best_d] += 1
+        response = max(
+            sys_.finish_time(d, k) for d, k in counts.items() if k > 0
+        )
+        return RetrievalSchedule(
+            problem, assignment, response, SolverStats(), solver=self.name
+        )
+
+
+class RoundRobinSolver:
+    """Rotate through each bucket's replica list, parameter-blind."""
+
+    name = "round-robin"
+
+    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+        sys_ = problem.system
+        counts: dict[int, int] = {d: 0 for d in problem.replica_disks()}
+        assignment: dict[int, int] = {}
+        for i, reps in enumerate(problem.replicas):
+            choices = sorted(set(reps))
+            assignment[i] = choices[i % len(choices)]
+            counts[assignment[i]] += 1
+        response = max(
+            sys_.finish_time(d, k) for d, k in counts.items() if k > 0
+        )
+        return RetrievalSchedule(
+            problem, assignment, response, SolverStats(), solver=self.name
+        )

@@ -1,0 +1,100 @@
+"""Algorithm 3 — ``IncrementMinCost()``.
+
+When the current disk→sink capacities admit no more flow, the generalized
+algorithms raise exactly the capacities whose *next* bucket would finish
+earliest: for each live edge ``e`` (disk ``j``),
+
+``cost[e] = D_j + X_j + (caps[e] + 1) * C_j``
+
+and every edge achieving the minimum is incremented together (ties are
+incremented simultaneously, "as in the basic problem").  Edges whose disk
+already has capacity for every replica it holds (``in_degree <= caps``)
+are removed from the live set — they can never carry more flow — which
+bounds the total number of increment steps by ``O(c * |Q|)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.network import RetrievalNetwork
+from repro.errors import InfeasibleScheduleError
+
+__all__ = ["MinCostIncrementer"]
+
+#: relative tolerance for "same cost" ties (costs are sums of catalogue
+#: floats; exact equality is what the paper's doubles did, but we guard
+#: against representation noise)
+_TIE_EPS = 1e-9
+
+
+class MinCostIncrementer:
+    """Stateful Algorithm 3 bound to one retrieval network.
+
+    The live edge set ``E`` starts as every disk that stores at least one
+    of the query's buckets (disks with ``in_degree == 0`` can never serve
+    this query and are dropped immediately, matching Algorithm 3's
+    deletion rule on the first call).
+    """
+
+    def __init__(self, network: RetrievalNetwork) -> None:
+        self.network = network
+        self.live_disks: list[int] = [
+            j
+            for j in range(network.problem.num_disks)
+            if network.disk_in_degree[j] > 0
+        ]
+        #: number of increment steps performed
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def sync_live_set(self) -> None:
+        """Drop exhausted edges after an external capacity change.
+
+        Algorithm 6 jumps capacities via binary scaling before the
+        incremental phase; the live set must be re-filtered against the
+        new capacity levels.
+        """
+        g = self.network.graph
+        in_deg = self.network.disk_in_degree
+        arcs = self.network.sink_arcs
+        self.live_disks = [
+            j for j in self.live_disks if in_deg[j] > g.cap[arcs[j]]
+        ]
+
+    def increment(self) -> float:
+        """One ``IncrementMinCost()`` step; returns the minimum cost.
+
+        Raises :class:`InfeasibleScheduleError` if the live set is empty —
+        every replica-holding disk is already at full capacity, so if the
+        flow still falls short the instance itself is broken.
+        """
+        net = self.network
+        g = net.graph
+        sys_ = net.problem.system
+        arcs = net.sink_arcs
+        in_deg = net.disk_in_degree
+
+        min_cost = float("inf")
+        survivors: list[int] = []
+        costs: list[float] = []
+        for j in self.live_disks:
+            cap = g.cap[arcs[j]]
+            if in_deg[j] <= cap:
+                continue  # Algorithm 3 lines 3-5: delete exhausted edge
+            cost = sys_.finish_time(j, int(cap) + 1)
+            survivors.append(j)
+            costs.append(cost)
+            if cost < min_cost:
+                min_cost = cost
+        self.live_disks = survivors
+
+        if not survivors:
+            raise InfeasibleScheduleError(
+                "no capacity left to increment: every replica-holding disk "
+                "is saturated (flow < |Q| implies a corrupt instance)"
+            )
+
+        for j, cost in zip(survivors, costs):
+            if cost <= min_cost + _TIE_EPS:
+                g.cap[arcs[j]] += 1.0
+        self.steps += 1
+        return min_cost

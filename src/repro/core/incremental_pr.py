@@ -1,0 +1,75 @@
+"""Algorithm 5 — ``PushRelabelIncremental()`` (integrated, no scaling).
+
+Starts with all disk→sink capacities at zero and alternates
+``IncrementMinCost()`` with warm-started push–relabel runs until the sink
+excess reaches ``|Q|``.  The crucial property is line "flow values are not
+initialized back to 0": each run's :class:`~repro.maxflow.PushRelabelState`
+re-initialization (clear queue, saturate only the *residual* slack of the
+source arcs, reset heights, zero source excess — lines 3-14) conserves
+every previously routed bucket.
+
+Worst case ``O(c · |Q|⁴)``; Algorithm 6 (:mod:`repro.core.binary_pr`)
+adds binary scaling to bound the increment count by ``N``.
+"""
+
+from __future__ import annotations
+
+from repro.core.network import RetrievalNetwork
+from repro.core.problem import RetrievalProblem
+from repro.core.scaling import Prober, incremental_solve
+from repro.core.schedule import RetrievalSchedule, SolverStats
+from repro.maxflow.push_relabel import PushRelabelState
+
+__all__ = ["SequentialProber", "PushRelabelIncrementalSolver"]
+
+
+class SequentialProber(Prober):
+    """Warm-started sequential push–relabel probes (the integrated case)."""
+
+    conserves_flow = True
+
+    def __init__(
+        self,
+        *,
+        initial_heights: str = "exact",
+        global_relabel_interval: int | None = None,
+        gap_heuristic: bool = True,
+    ) -> None:
+        self.initial_heights = initial_heights
+        self.global_relabel_interval = global_relabel_interval
+        self.gap_heuristic = gap_heuristic
+        self._state: PushRelabelState | None = None
+
+    def attach(self, network: RetrievalNetwork) -> None:
+        self._state = PushRelabelState(
+            network.graph,
+            network.source,
+            network.sink,
+            initial_heights=self.initial_heights,
+            global_relabel_interval=self.global_relabel_interval,
+            gap_heuristic=self.gap_heuristic,
+        )
+
+    def probe(self) -> float:
+        assert self._state is not None, "attach() before probe()"
+        self._state.initialize(preserve_flow=True)
+        return self._state.run()
+
+    def harvest(self, stats: SolverStats) -> None:
+        if self._state is not None:
+            stats.pushes += self._state.pushes
+            stats.relabels += self._state.relabels
+            stats.extra["global_relabels"] = self._state.global_relabels
+
+
+class PushRelabelIncrementalSolver:
+    """Integrated push–relabel without binary scaling (Algorithm 5)."""
+
+    name = "pr-incremental"
+
+    def __init__(self, *, initial_heights: str = "exact") -> None:
+        self.initial_heights = initial_heights
+
+    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+        prober = SequentialProber(initial_heights=self.initial_heights)
+        return incremental_solve(problem, prober, self.name)

@@ -1,0 +1,138 @@
+"""Flow-network representation of a retrieval problem (Figures 3 and 4).
+
+Vertex layout: ``0 = source``, ``1 = sink``, ``2 .. 2+|Q|-1`` bucket
+vertices, ``2+|Q| .. 2+|Q|+N-1`` disk vertices.  Arcs:
+
+* source → bucket, capacity 1 (one retrieval per requested bucket);
+* bucket → disk, capacity 1, one arc per *distinct* replica location;
+* disk → sink — the capacity-scaled edge set the paper calls ``E``.
+
+The disk→sink capacities encode a candidate response time ``t``: disk
+``j`` may serve ``floor((t - D_j - X_j) / C_j)`` buckets by ``t``
+(Algorithm 6 line 15).  Integrated solvers mutate these capacities *in
+place* while conserving flow; black-box solvers additionally call
+:meth:`~repro.graph.FlowNetwork.reset_flow` before each probe.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import RetrievalProblem
+from repro.errors import InfeasibleScheduleError
+from repro.graph.flownetwork import FlowNetwork
+
+__all__ = ["RetrievalNetwork"]
+
+_EPS = 1e-9
+
+
+class RetrievalNetwork:
+    """The mutable max-flow instance for one :class:`RetrievalProblem`."""
+
+    def __init__(self, problem: RetrievalProblem) -> None:
+        self.problem = problem
+        Q = problem.num_buckets
+        N = problem.num_disks
+        g = FlowNetwork(2 + Q + N)
+        self.graph = g
+        self.source = 0
+        self.sink = 1
+
+        #: source→bucket arc ids, indexed by bucket
+        self.source_arcs: list[int] = []
+        #: bucket→disk arc ids per bucket (deduplicated replicas)
+        self.replica_arcs: list[list[int]] = []
+        #: disk→sink arc ids, indexed by disk
+        self.sink_arcs: list[int] = []
+        #: per-disk replica multiplicity within this query (Algorithm 3's
+        #: ``in_degree``)
+        self.disk_in_degree: list[int] = [0] * N
+
+        for i, reps in enumerate(problem.replicas):
+            bv = self.bucket_vertex(i)
+            self.source_arcs.append(g.add_arc(self.source, bv, 1.0))
+            arcs = []
+            for d in sorted(set(reps)):
+                arcs.append(g.add_arc(bv, self.disk_vertex(d), 1.0))
+                self.disk_in_degree[d] += 1
+            self.replica_arcs.append(arcs)
+        for j in range(N):
+            self.sink_arcs.append(g.add_arc(self.disk_vertex(j), self.sink, 0.0))
+
+    # ------------------------------------------------------------------
+    # vertex arithmetic
+    # ------------------------------------------------------------------
+    def bucket_vertex(self, i: int) -> int:
+        return 2 + i
+
+    def disk_vertex(self, j: int) -> int:
+        return 2 + self.problem.num_buckets + j
+
+    def disk_of_vertex(self, v: int) -> int:
+        return v - 2 - self.problem.num_buckets
+
+    # ------------------------------------------------------------------
+    # capacity management
+    # ------------------------------------------------------------------
+    def sink_caps(self) -> list[int]:
+        """Current disk→sink capacities (integral by construction)."""
+        return [int(self.graph.cap[a]) for a in self.sink_arcs]
+
+    def set_uniform_sink_caps(self, cap: int) -> None:
+        """Set every disk→sink capacity to ``cap`` (basic problem)."""
+        for a in self.sink_arcs:
+            self.graph.cap[a] = float(cap)
+
+    def set_deadline_capacities(self, deadline_ms: float) -> None:
+        """Capacities for candidate response time ``deadline_ms``
+        (Algorithm 6 lines 14-15)."""
+        sys_ = self.problem.system
+        for j, a in enumerate(self.sink_arcs):
+            self.graph.cap[a] = float(sys_.capacity_at(j, deadline_ms))
+
+    def increment_all_sink_caps(self) -> None:
+        """Raise every disk→sink capacity by one (Algorithm 1 lines 6-7)."""
+        for a in self.sink_arcs:
+            self.graph.cap[a] += 1.0
+
+    # ------------------------------------------------------------------
+    # flow inspection
+    # ------------------------------------------------------------------
+    def flow_value(self) -> float:
+        """Net flow into the sink."""
+        g = self.graph
+        return -sum(g.flow[a] for a in g.adj[self.sink])
+
+    def counts_per_disk(self) -> list[int]:
+        """Buckets currently routed through each disk."""
+        g = self.graph
+        return [int(round(g.flow[a])) for a in self.sink_arcs]
+
+    def assignment(self) -> dict[int, int]:
+        """Extract bucket → disk from the current (integral) flow.
+
+        Raises if the flow is not a complete retrieval (value < |Q|).
+        """
+        g = self.graph
+        out: dict[int, int] = {}
+        for i, arcs in enumerate(self.replica_arcs):
+            chosen = None
+            for a in arcs:
+                if g.flow[a] > 0.5:
+                    chosen = self.disk_of_vertex(g.head[a])
+                    break
+            if chosen is None:
+                raise InfeasibleScheduleError(
+                    f"bucket {i} unrouted: flow value "
+                    f"{self.flow_value()} < |Q| = {self.problem.num_buckets}"
+                )
+            out[i] = chosen
+        return out
+
+    def response_time(self) -> float:
+        """``max_j (D_j + X_j + k_j C_j)`` of the current complete flow."""
+        sys_ = self.problem.system
+        worst = 0.0
+        for j, k in enumerate(self.counts_per_disk()):
+            if k > 0:
+                worst = max(worst, sys_.finish_time(j, k))
+        return worst

@@ -1,0 +1,157 @@
+"""Binary capacity scaling — the shared skeleton of Algorithm 6 and of
+the black-box baseline from [12].
+
+Both algorithms perform the same search over candidate response times:
+
+1. bracket the optimum in ``[tmin, tmax)`` from the closed-form bounds
+   (Algorithm 6 lines 1-11);
+2. binary-search the bracket down to ``min_speed`` resolution, probing
+   feasibility (max flow == |Q|) at each midpoint (lines 12-37);
+3. finish with min-cost capacity increments from ``tmin``
+   (``PushRelabelIncremental``, lines 38-42).
+
+They differ **only** in what a probe does with previously computed flow:
+the *integrated* prober warm-starts from the conserved flow (with
+Algorithm 6's StoreFlows/RestoreFlows discipline), the *black-box* prober
+zeroes the flow and solves from scratch — which is exactly the paper's
+framing of the two families, so this module expresses the difference as a
+:class:`Prober` strategy object.
+
+Defensive deviation (documented in DESIGN.md): the paper subtracts
+``min_speed`` from the closed-form ``tmin`` to "ensure that there is no
+solution for tmin", but that is a heuristic, not a proof.  We *probe*
+``tmin`` first; in the (rare) case it is already feasible, the bracket is
+re-anchored to ``[0, tmin]`` so the binary search always starts from an
+infeasible lower end and optimality is unconditional.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.increment import MinCostIncrementer
+from repro.core.network import RetrievalNetwork
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule, SolverStats
+
+__all__ = ["Prober", "binary_scaling_solve", "incremental_solve"]
+
+_EPS = 1e-6
+
+
+class Prober(abc.ABC):
+    """Strategy: run max-flow to completion at the current capacities.
+
+    ``conserves_flow`` decides whether the skeleton maintains Algorithm
+    6's StoreFlows/RestoreFlows bookkeeping (pointless when every probe
+    starts from zero anyway).
+    """
+
+    #: integrated (True) vs black-box (False)
+    conserves_flow: bool = True
+
+    @abc.abstractmethod
+    def attach(self, network: RetrievalNetwork) -> None:
+        """Bind to a network before the first probe."""
+
+    @abc.abstractmethod
+    def probe(self) -> float:
+        """Solve max-flow at the current capacities; return flow value."""
+
+    @abc.abstractmethod
+    def harvest(self, stats: SolverStats) -> None:
+        """Deposit accumulated engine counters into ``stats``."""
+
+
+def _probe(prober: Prober, stats: SolverStats) -> float:
+    stats.probes += 1
+    return prober.probe()
+
+
+def binary_scaling_solve(
+    problem: RetrievalProblem, prober: Prober, solver_name: str
+) -> RetrievalSchedule:
+    """Run the full Algorithm 6 skeleton with ``prober``'s flow policy."""
+    net = RetrievalNetwork(problem)
+    g = net.graph
+    stats = SolverStats()
+    prober.attach(net)
+    Q = problem.num_buckets
+
+    # lines 1-11: bracket the optimum
+    tmin = problem.theoretical_min_deadline()
+    tmax = problem.theoretical_max_deadline()
+    min_speed = problem.min_speed()
+
+    # defensive anchor probe at tmin (see module docstring)
+    net.set_deadline_capacities(tmin)
+    flow = _probe(prober, stats)
+    if flow >= Q - _EPS:
+        tmax, tmin = tmin, 0.0
+        g.reset_flow()
+    saved = g.save_flow()
+
+    # lines 12-37: binary search with flow store/restore
+    while tmax - tmin >= min_speed:
+        tmid = tmin + (tmax - tmin) * 0.5
+        net.set_deadline_capacities(tmid)
+        flow = _probe(prober, stats)
+        if flow >= Q - _EPS:
+            # feasible but maybe not optimal: back off to the stored flow
+            if prober.conserves_flow:
+                g.restore_flow(saved)
+            tmax = tmid
+        else:
+            # infeasible: this flow is valid at every larger deadline
+            if prober.conserves_flow:
+                saved = g.save_flow()
+            tmin = tmid
+
+    # lines 38-42: finish from tmin with min-cost increments
+    if prober.conserves_flow:
+        g.restore_flow(saved)
+    net.set_deadline_capacities(tmin)
+    schedule = incremental_solve(
+        problem, prober, solver_name, stats=stats, network=net
+    )
+    return schedule
+
+
+def incremental_solve(
+    problem: RetrievalProblem,
+    prober: Prober,
+    solver_name: str,
+    *,
+    stats: SolverStats | None = None,
+    network: RetrievalNetwork | None = None,
+) -> RetrievalSchedule:
+    """Algorithm 5's outer loop: probe, then increment-min-cost until |Q|.
+
+    Called standalone (capacities start at zero — the pure
+    ``pr-incremental`` solver) or as Algorithm 6's final phase (capacities
+    pre-scaled by the caller).
+    """
+    if network is None:
+        network = RetrievalNetwork(problem)
+        prober.attach(network)
+    if stats is None:
+        stats = SolverStats()
+    Q = problem.num_buckets
+    inc = MinCostIncrementer(network)
+    inc.sync_live_set()
+
+    flow = _probe(prober, stats)
+    while flow < Q - _EPS:
+        inc.increment()
+        stats.increments += 1
+        flow = _probe(prober, stats)
+
+    prober.harvest(stats)
+    assignment = network.assignment()
+    return RetrievalSchedule(
+        problem,
+        assignment,
+        network.response_time(),
+        stats,
+        solver=solver_name,
+    )

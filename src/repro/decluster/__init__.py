@@ -1,0 +1,69 @@
+"""Replicated declustering schemes (paper §II-C, §VI-A).
+
+A *declustering* assigns each bucket of an ``N × N`` grid to one of ``N``
+disks; a *replicated* declustering assigns each bucket to ``c`` disks (one
+per copy).  The paper evaluates three schemes:
+
+* **Random Duplicate Allocation (RDA)** [38] — each bucket goes to randomly
+  chosen disks (:mod:`repro.decluster.rda`).
+* **Orthogonal allocation** [23,39] — across the two copies, every
+  ``(disk of copy 1, disk of copy 2)`` pair appears exactly once
+  (:mod:`repro.decluster.orthogonal`); the first copy uses a
+  threshold-style low-additive-error scheme
+  (:mod:`repro.decluster.threshold`).
+* **Dependent periodic allocation** [11,46] — copy 1 is a periodic (lattice)
+  allocation ``f(i,j) = (a1*i + a2*j) mod N``, copy 2 the shifted
+  ``f(i,j) + m mod N`` (:mod:`repro.decluster.periodic`).
+
+:mod:`repro.decluster.multisite` composes per-copy allocations into the
+two-site placements of the paper's experiments, and
+:mod:`repro.decluster.metrics` provides additive-error measurement.
+"""
+
+from repro.decluster.golden import golden_ratio_allocation, golden_shift_sequence
+from repro.decluster.grid import Allocation, ReplicatedAllocation
+from repro.decluster.metrics import additive_error, load_of_query, max_disk_load
+from repro.decluster.multisite import (
+    ALLOCATION_SCHEMES,
+    MultiSitePlacement,
+    make_placement,
+)
+from repro.decluster.orthogonal import is_orthogonal_pair, orthogonal_pair
+from repro.decluster.periodic import (
+    best_periodic_coefficients,
+    dependent_pair,
+    periodic_allocation,
+    valid_coefficients,
+)
+from repro.decluster.rda import rda_pair, rda_per_site
+from repro.decluster.render import (
+    render_allocation,
+    render_query_overlay,
+    render_replicated,
+)
+from repro.decluster.threshold import threshold_allocation
+
+__all__ = [
+    "Allocation",
+    "ReplicatedAllocation",
+    "golden_ratio_allocation",
+    "golden_shift_sequence",
+    "additive_error",
+    "load_of_query",
+    "max_disk_load",
+    "ALLOCATION_SCHEMES",
+    "MultiSitePlacement",
+    "make_placement",
+    "is_orthogonal_pair",
+    "orthogonal_pair",
+    "best_periodic_coefficients",
+    "dependent_pair",
+    "periodic_allocation",
+    "valid_coefficients",
+    "rda_pair",
+    "rda_per_site",
+    "render_allocation",
+    "render_query_overlay",
+    "render_replicated",
+    "threshold_allocation",
+]

@@ -1,0 +1,52 @@
+"""Golden-ratio declustering (Chen, Bhatia & Sinha [15]).
+
+A single-copy scheme the paper's related work cites: row ``i`` of the
+grid is the base permutation shifted by the ``i``-th element of a
+golden-ratio sequence, whose low-discrepancy spacing keeps any window of
+consecutive rows nearly balanced.  We implement the standard
+construction: ``shift(i) = floor(N * frac(i * φ⁻¹))`` with
+``φ⁻¹ = (√5 − 1)/2``, i.e. ``f(i, j) = (j + shift(i)) mod N``.
+
+Offered as an alternative first copy for :func:`make_placement`-style
+compositions and compared against the lattice schemes in the tests;
+every row is a cyclic permutation, so the allocation is exactly
+balanced by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.decluster.grid import Allocation
+from repro.errors import DeclusteringError
+
+__all__ = ["golden_ratio_allocation", "golden_shift_sequence"]
+
+#: 1/phi — the fractional rotation with the slowest rational approximation
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def golden_shift_sequence(n: int, N: int) -> list[int]:
+    """First ``n`` golden-ratio shifts over ``N`` disks.
+
+    ``shift(i) = floor(N * frac(i / φ))`` — the classic low-discrepancy
+    sequence; consecutive shifts differ by ≈ ``N/φ`` mod ``N``, so runs
+    of rows spread evenly over the disk set.
+    """
+    if n < 0:
+        raise DeclusteringError(f"sequence length must be >= 0, got {n}")
+    if N < 1:
+        raise DeclusteringError(f"N must be >= 1, got {N}")
+    return [int(N * math.modf(i * _INV_PHI)[0]) for i in range(n)]
+
+
+def golden_ratio_allocation(N: int) -> Allocation:
+    """Golden-ratio declustering of an ``N × N`` grid over ``N`` disks."""
+    if N < 1:
+        raise DeclusteringError(f"N must be >= 1, got {N}")
+    shifts = golden_shift_sequence(N, N)
+    j = np.arange(N).reshape(1, -1)
+    s = np.asarray(shifts).reshape(-1, 1)
+    return Allocation((j + s) % N, N)

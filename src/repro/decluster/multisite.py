@@ -1,0 +1,139 @@
+"""Multi-site composition of replicated allocations.
+
+The paper's experiments (Table IV) place copy 1 at site 1 and copy 2 at
+site 2 — "there are 14 disks in the system, disks 0-6 are located at
+site 1 and the disks 7-13 at site 2" (§II-E).  :func:`make_placement`
+builds that layout for any scheme and any number of sites (one copy per
+site), or the single-site basic-problem layout where both copies share one
+pool of ``N`` disks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decluster.grid import Allocation, ReplicatedAllocation
+from repro.decluster.orthogonal import orthogonal_pair
+from repro.decluster.periodic import dependent_pair
+from repro.decluster.rda import rda_pair, rda_per_site
+from repro.errors import DeclusteringError
+
+__all__ = ["MultiSitePlacement", "make_placement", "ALLOCATION_SCHEMES"]
+
+#: scheme registry: names accepted by :func:`make_placement`
+ALLOCATION_SCHEMES = ("rda", "dependent", "orthogonal")
+
+
+@dataclass(frozen=True)
+class MultiSitePlacement:
+    """A replicated allocation plus the site structure over its disk pool.
+
+    Attributes
+    ----------
+    allocation:
+        Replicated allocation with **global** disk ids.
+    disks_per_site:
+        Pool size of each site; site boundaries are contiguous id ranges.
+    scheme:
+        Registry name of the scheme that produced this placement.
+    """
+
+    allocation: ReplicatedAllocation
+    disks_per_site: tuple[int, ...]
+    scheme: str
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.disks_per_site)
+
+    @property
+    def total_disks(self) -> int:
+        return sum(self.disks_per_site)
+
+    def site_of_disk(self, disk: int) -> int:
+        """Site owning global disk id ``disk``."""
+        if not 0 <= disk < self.total_disks:
+            raise DeclusteringError(f"disk {disk} out of range")
+        acc = 0
+        for site, size in enumerate(self.disks_per_site):
+            acc += size
+            if disk < acc:
+                return site
+        raise AssertionError("unreachable")
+
+    def site_disks(self, site: int) -> range:
+        """Global disk ids belonging to ``site``."""
+        if not 0 <= site < self.num_sites:
+            raise DeclusteringError(f"site {site} out of range")
+        start = sum(self.disks_per_site[:site])
+        return range(start, start + self.disks_per_site[site])
+
+
+def _two_copy_scheme(scheme: str, N: int, rng: np.random.Generator, seed: int):
+    if scheme == "rda":
+        return list(rda_pair(N, rng).copies)
+    if scheme == "dependent":
+        return list(dependent_pair(N, seed=seed))
+    if scheme == "orthogonal":
+        return list(orthogonal_pair(N, seed=seed))
+    raise DeclusteringError(
+        f"unknown scheme {scheme!r}; choose from {ALLOCATION_SCHEMES}"
+    )
+
+
+def make_placement(
+    scheme: str,
+    N: int,
+    *,
+    num_sites: int = 2,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+) -> MultiSitePlacement:
+    """Build the paper's placement for ``scheme`` on an ``N × N`` grid.
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`ALLOCATION_SCHEMES`.
+    N:
+        Grid side / disks per site.
+    num_sites:
+        ``1`` → basic-problem layout: two copies share one pool of ``N``
+        disks.  ``k >= 2`` → copy ``i`` lives on site ``i``'s disjoint pool
+        (``k`` copies, ``k*N`` disks) — the generalized layout.
+    rng / seed:
+        Randomness for RDA (and tie-breaking searches).  ``rng`` defaults
+        to ``numpy.random.default_rng(seed)``.
+    """
+    if N < 1:
+        raise DeclusteringError(f"N must be >= 1, got {N}")
+    if num_sites < 1:
+        raise DeclusteringError(f"num_sites must be >= 1, got {num_sites}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    if num_sites == 1:
+        copies = _two_copy_scheme(scheme, N, rng, seed)
+        alloc = ReplicatedAllocation(copies)
+        return MultiSitePlacement(alloc, (N,), scheme)
+
+    # one copy per site: RDA copies are independent uniform draws over each
+    # site's own pool; deterministic schemes use their two-copy pair and,
+    # beyond two sites, shifted variants for the extra copies.
+    if scheme == "rda":
+        return MultiSitePlacement(
+            rda_per_site(N, num_sites, rng), (N,) * num_sites, scheme
+        )
+    copies = _two_copy_scheme(scheme, N, rng, seed)
+    while len(copies) < num_sites:
+        copies.append(copies[-1].shifted(1))
+    copies = copies[:num_sites]
+
+    total = num_sites * N
+    relabeled = [
+        copy.relabeled(k * N, total) for k, copy in enumerate(copies)
+    ]
+    alloc = ReplicatedAllocation(relabeled)
+    return MultiSitePlacement(alloc, (N,) * num_sites, scheme)

@@ -1,0 +1,63 @@
+"""Random Duplicate Allocation (RDA) [38].
+
+RDA "stores a bucket on two disks chosen randomly from the set of disks"
+(paper §VI-A); retrieval cost is at most one above optimal with high
+probability for single-site retrieval.  Two flavours are provided:
+
+* :func:`rda_pair` — the classic single-pool RDA: each bucket draws
+  ``copies`` *distinct* disks from one shared pool.
+* :func:`rda_per_site` — the multi-site composition used by the paper's
+  two-site experiments: copy ``k`` is an independent uniform allocation
+  over site ``k``'s pool, so each site holds one full copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decluster.grid import Allocation, ReplicatedAllocation
+from repro.errors import DeclusteringError
+
+__all__ = ["rda_pair", "rda_per_site"]
+
+
+def rda_pair(
+    N: int,
+    rng: np.random.Generator,
+    *,
+    copies: int = 2,
+    n_rows: int | None = None,
+    n_cols: int | None = None,
+) -> ReplicatedAllocation:
+    """Single-pool RDA: each bucket on ``copies`` distinct random disks."""
+    if copies < 1:
+        raise DeclusteringError(f"copies must be >= 1, got {copies}")
+    if copies > N:
+        raise DeclusteringError(f"cannot place {copies} distinct copies on {N} disks")
+    n_rows = N if n_rows is None else n_rows
+    n_cols = N if n_cols is None else n_cols
+    grids = np.empty((copies, n_rows, n_cols), dtype=np.int64)
+    for i in range(n_rows):
+        for j in range(n_cols):
+            grids[:, i, j] = rng.choice(N, size=copies, replace=False)
+    return ReplicatedAllocation([Allocation(grids[k], N) for k in range(copies)])
+
+
+def rda_per_site(
+    N: int,
+    num_sites: int,
+    rng: np.random.Generator,
+) -> ReplicatedAllocation:
+    """Multi-site RDA: copy ``k`` uniform over site ``k``'s disjoint pool.
+
+    Site ``k`` owns global disk ids ``k*N .. (k+1)*N - 1``; the returned
+    allocation uses the global pool of ``num_sites * N`` disks.
+    """
+    if num_sites < 1:
+        raise DeclusteringError(f"num_sites must be >= 1, got {num_sites}")
+    total = num_sites * N
+    copies = []
+    for k in range(num_sites):
+        local = rng.integers(0, N, size=(N, N))
+        copies.append(Allocation(local + k * N, total))
+    return ReplicatedAllocation(copies)

@@ -1,0 +1,67 @@
+"""ASCII rendering of allocations — the paper's Figure 2, in a terminal.
+
+Purely presentational: used by the CLI's ``show-allocation`` command, the
+examples, and nothing on any hot path.
+"""
+
+from __future__ import annotations
+
+from repro.decluster.grid import Allocation, ReplicatedAllocation
+
+__all__ = ["render_allocation", "render_replicated", "render_query_overlay"]
+
+
+def render_allocation(alloc: Allocation, *, title: str = "") -> str:
+    """One grid, one disk id per cell (Figure 2 style)."""
+    width = max(2, len(str(alloc.num_disks - 1)) + 1)
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(alloc.n_rows):
+        lines.append(
+            "".join(f"{int(alloc.grid[i, j]):>{width}}" for j in range(alloc.n_cols))
+        )
+    return "\n".join(lines)
+
+
+def render_replicated(
+    replicated: ReplicatedAllocation, *, titles: list[str] | None = None
+) -> str:
+    """Copies side by side, like the paper's two 7x7 grids."""
+    blocks = []
+    for k, copy in enumerate(replicated.copies):
+        title = titles[k] if titles else f"copy {k + 1}"
+        blocks.append(render_allocation(copy, title=title).splitlines())
+    height = max(len(b) for b in blocks)
+    widths = [max(len(line) for line in b) for b in blocks]
+    rows = []
+    for r in range(height):
+        cells = []
+        for b, w in zip(blocks, widths):
+            cells.append((b[r] if r < len(b) else "").ljust(w))
+        rows.append("   ".join(cells).rstrip())
+    return "\n".join(rows)
+
+
+def render_query_overlay(
+    alloc: Allocation, buckets: set[tuple[int, int]], *, title: str = ""
+) -> str:
+    """Grid with the query's buckets bracketed, everything else dimmed.
+
+    ``[d]`` marks a requested bucket stored on disk ``d`` — how the paper
+    draws q1 on Figure 2.
+    """
+    width = max(2, len(str(alloc.num_disks - 1)))
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(alloc.n_rows):
+        cells = []
+        for j in range(alloc.n_cols):
+            d = int(alloc.grid[i, j])
+            if (i, j) in buckets:
+                cells.append(f"[{d:>{width}}]")
+            else:
+                cells.append(f" {d:>{width}} ")
+        lines.append("".join(cells))
+    return "\n".join(lines)

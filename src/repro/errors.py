@@ -1,0 +1,57 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidArcError",
+    "InvalidVertexError",
+    "FlowValidationError",
+    "DeclusteringError",
+    "StorageConfigError",
+    "InfeasibleScheduleError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for flow-network structural errors."""
+
+
+class InvalidVertexError(GraphError):
+    """A vertex id is out of range or otherwise unusable."""
+
+
+class InvalidArcError(GraphError):
+    """An arc id is out of range, or an arc operation is illegal."""
+
+
+class FlowValidationError(GraphError):
+    """A flow/preflow assignment violates capacity or conservation."""
+
+
+class DeclusteringError(ReproError):
+    """An allocation scheme was asked for parameters it cannot satisfy."""
+
+
+class StorageConfigError(ReproError):
+    """A storage system description is inconsistent or incomplete."""
+
+
+class InfeasibleScheduleError(ReproError):
+    """No retrieval schedule exists (e.g. a bucket has no replica)."""
+
+
+class WorkloadError(ReproError):
+    """A query/load generator was configured with invalid parameters."""

@@ -1,0 +1,297 @@
+"""A mutable directed flow network with paired residual arcs.
+
+Design
+------
+The structure follows the classic competitive-programming / LEDA layout that
+every serious max-flow implementation converges on:
+
+* Arcs are stored in parallel Python lists (``head``, ``cap``, ``flow``).
+  Arc ``a`` and arc ``a ^ 1`` are *twins*: the twin of a forward arc is its
+  residual (reverse) arc.  Pushing ``delta`` units over arc ``a`` is::
+
+      flow[a]     += delta
+      flow[a ^ 1] -= delta
+
+  and the residual capacity of any arc is ``cap[a] - flow[a]``.
+
+* ``adj[v]`` lists the arc ids leaving vertex ``v`` (forward *and* residual
+  arcs alike — a residual arc leaves the head of its twin).  Engines iterate
+  ``adj[v]`` and skip arcs with zero residual capacity.
+
+Plain Python lists are deliberate: the max-flow hot loops are scalar and
+branchy, where list indexing beats NumPy fancy-indexing by a wide margin
+(see the HPC guide's "profile, don't guess" rule — we did, in
+``benchmarks/bench_ablation_engines.py``).  Bulk operations that *are*
+vector-shaped (capacity re-scaling of the disk→sink arcs in
+:mod:`repro.core.network`) use NumPy on views exported by
+:meth:`FlowNetwork.arrays`.
+
+Capacities are floats throughout; the retrieval problem only ever uses
+integral capacities, which floats represent exactly up to 2**53.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidArcError, InvalidVertexError
+
+__all__ = ["Arc", "FlowNetwork"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """An immutable snapshot of one arc, for inspection and debugging.
+
+    Engines never build these in hot loops; they exist so tests, examples
+    and reporting code can talk about arcs without poking parallel lists.
+    """
+
+    index: int
+    tail: int
+    head: int
+    cap: float
+    flow: float
+
+    @property
+    def residual(self) -> float:
+        """Remaining capacity ``cap - flow`` of this arc."""
+        return self.cap - self.flow
+
+    @property
+    def is_reverse(self) -> bool:
+        """True if this is the residual twin of an original arc."""
+        return self.index % 2 == 1
+
+
+class FlowNetwork:
+    """Directed graph with paired arcs, capacities and a flow assignment.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices, ids ``0 .. n-1``.  More can be added later with
+        :meth:`add_vertex`.
+
+    Notes
+    -----
+    Adding the arc ``(u, v, cap)`` creates *two* entries: the forward arc at
+    an even index and its residual twin ``(v, u, 0)`` at the following odd
+    index.  :meth:`add_arc` returns the forward arc id.
+    """
+
+    __slots__ = ("n", "head", "cap", "flow", "adj", "_tail")
+
+    def __init__(self, n: int = 0) -> None:
+        if n < 0:
+            raise InvalidVertexError(f"vertex count must be >= 0, got {n}")
+        self.n: int = n
+        self.head: list[int] = []
+        self.cap: list[float] = []
+        self.flow: list[float] = []
+        self.adj: list[list[int]] = [[] for _ in range(n)]
+        self._tail: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a new vertex and return its id."""
+        self.adj.append([])
+        self.n += 1
+        return self.n - 1
+
+    def add_vertices(self, count: int) -> list[int]:
+        """Append ``count`` vertices, returning their ids."""
+        if count < 0:
+            raise InvalidVertexError(f"cannot add {count} vertices")
+        return [self.add_vertex() for _ in range(count)]
+
+    def add_arc(self, u: int, v: int, cap: float) -> int:
+        """Add arc ``u -> v`` with capacity ``cap``; return its (even) id.
+
+        The residual twin ``v -> u`` with capacity 0 is created implicitly
+        at id ``add_arc(...) + 1``.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if cap < 0:
+            raise InvalidArcError(f"negative capacity {cap} on arc {u}->{v}")
+        a = len(self.head)
+        self.head.append(v)
+        self.cap.append(float(cap))
+        self.flow.append(0.0)
+        self._tail.append(u)
+        self.adj[u].append(a)
+
+        self.head.append(u)
+        self.cap.append(0.0)
+        self.flow.append(0.0)
+        self._tail.append(v)
+        self.adj[v].append(a + 1)
+        return a
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_arcs(self) -> int:
+        """Number of *original* (forward) arcs."""
+        return len(self.head) // 2
+
+    @property
+    def num_arc_slots(self) -> int:
+        """Number of arc slots including residual twins (= 2 * num_arcs)."""
+        return len(self.head)
+
+    def tail(self, a: int) -> int:
+        """Tail (source vertex) of arc ``a``."""
+        self._check_arc(a)
+        return self._tail[a]
+
+    def residual(self, a: int) -> float:
+        """Residual capacity ``cap[a] - flow[a]`` of arc ``a``."""
+        self._check_arc(a)
+        return self.cap[a] - self.flow[a]
+
+    def arc(self, a: int) -> Arc:
+        """Return an :class:`Arc` snapshot of arc slot ``a``."""
+        self._check_arc(a)
+        return Arc(a, self._tail[a], self.head[a], self.cap[a], self.flow[a])
+
+    def arcs(self, include_reverse: bool = False) -> Iterator[Arc]:
+        """Iterate arc snapshots; original arcs only unless requested."""
+        step = 1 if include_reverse else 2
+        for a in range(0, len(self.head), step):
+            yield self.arc(a)
+
+    def out_arcs(self, v: int) -> Sequence[int]:
+        """Arc ids leaving ``v`` (forward and residual alike)."""
+        self._check_vertex(v)
+        return self.adj[v]
+
+    def forward_out_arcs(self, v: int) -> list[int]:
+        """Only the *original* arcs leaving ``v`` (even ids)."""
+        self._check_vertex(v)
+        return [a for a in self.adj[v] if a % 2 == 0]
+
+    def in_degree(self, v: int) -> int:
+        """Number of original arcs entering ``v``.
+
+        Used by the paper's ``IncrementMinCost`` (Algorithm 3, lines 3-5):
+        a disk vertex whose in-degree is already matched by its sink-arc
+        capacity cannot usefully receive a larger capacity.
+        """
+        self._check_vertex(v)
+        # residual twins leaving v correspond to original arcs entering v
+        return sum(1 for a in self.adj[v] if a % 2 == 1)
+
+    # ------------------------------------------------------------------
+    # flow manipulation
+    # ------------------------------------------------------------------
+    def push(self, a: int, delta: float) -> None:
+        """Push ``delta`` units along arc ``a`` (and pull on its twin).
+
+        Raises if the push would exceed residual capacity (beyond a tiny
+        floating tolerance); engines that have already checked the residual
+        update the lists directly for speed.
+        """
+        self._check_arc(a)
+        if delta > self.cap[a] - self.flow[a] + 1e-9:
+            raise InvalidArcError(
+                f"push of {delta} exceeds residual {self.cap[a] - self.flow[a]}"
+                f" on arc {a}"
+            )
+        self.flow[a] += delta
+        self.flow[a ^ 1] -= delta
+
+    def set_capacity(self, a: int, cap: float) -> None:
+        """Set the capacity of arc ``a`` (forward arcs only)."""
+        self._check_arc(a)
+        if a % 2 == 1:
+            raise InvalidArcError("cannot set capacity of a residual twin")
+        if cap < 0:
+            raise InvalidArcError(f"negative capacity {cap}")
+        self.cap[a] = float(cap)
+
+    def reset_flow(self) -> None:
+        """Zero every flow value — the 'black box starts from scratch' case.
+
+        Mutates in place (never rebinds) so views handed out by
+        :meth:`arrays` stay valid across resets.
+        """
+        flow = self.flow
+        for i in range(len(flow)):
+            flow[i] = 0.0
+
+    def save_flow(self) -> list[float]:
+        """Snapshot the flow assignment (Algorithm 6's ``StoreFlows``)."""
+        return list(self.flow)
+
+    def restore_flow(self, saved: list[float]) -> None:
+        """Restore a snapshot taken by :meth:`save_flow` (``RestoreFlows``).
+
+        Mutates in place (never rebinds) so views handed out by
+        :meth:`arrays` stay valid across restores.
+        """
+        if len(saved) != len(self.flow):
+            raise InvalidArcError(
+                f"snapshot has {len(saved)} slots, network has {len(self.flow)}"
+            )
+        self.flow[:] = saved
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "FlowNetwork":
+        """Deep copy (structure, capacities and flows)."""
+        g = FlowNetwork.__new__(FlowNetwork)
+        g.n = self.n
+        g.head = list(self.head)
+        g.cap = list(self.cap)
+        g.flow = list(self.flow)
+        g._tail = list(self._tail)
+        g.adj = [list(lst) for lst in self.adj]
+        return g
+
+    def vertices(self) -> range:
+        """Range of vertex ids."""
+        return range(self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlowNetwork(n={self.n}, arcs={self.num_arcs})"
+
+    # ------------------------------------------------------------------
+    # internal checks
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise InvalidVertexError(f"vertex {v} out of range [0, {self.n})")
+
+    def _check_arc(self, a: int) -> None:
+        if not 0 <= a < len(self.head):
+            raise InvalidArcError(f"arc {a} out of range [0, {len(self.head)})")
+
+    # ------------------------------------------------------------------
+    # bulk views
+    # ------------------------------------------------------------------
+    def arrays(self) -> tuple[list[int], list[float], list[float], list[list[int]]]:
+        """Expose the raw parallel lists ``(head, cap, flow, adj)``.
+
+        Max-flow engines bind these to locals once per solve; mutating them
+        mutates the network (that is the point).
+        """
+        return self.head, self.cap, self.flow, self.adj
+
+
+def build_network(
+    n: int, arcs: Iterable[tuple[int, int, float]]
+) -> tuple[FlowNetwork, list[int]]:
+    """Convenience builder: create a network and add ``arcs``.
+
+    Returns the network and the list of forward arc ids, in input order.
+    """
+    g = FlowNetwork(n)
+    ids = [g.add_arc(u, v, c) for (u, v, c) in arcs]
+    return g, ids

@@ -1,0 +1,89 @@
+"""Structural statistics and DOT export for flow networks.
+
+Supports debugging ("why is this instance slow?") and the analysis
+package's structure studies.  Nothing here is on a hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.flownetwork import FlowNetwork
+
+__all__ = ["GraphStats", "graph_stats", "to_dot"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Shape summary of one network."""
+
+    num_vertices: int
+    num_arcs: int
+    max_out_degree: int
+    mean_out_degree: float
+    total_capacity: float
+    saturated_arcs: int
+    flow_carrying_arcs: int
+
+    @property
+    def density(self) -> float:
+        """arcs / (V * (V-1)) — 1.0 is a complete digraph."""
+        n = self.num_vertices
+        return self.num_arcs / (n * (n - 1)) if n > 1 else 0.0
+
+
+def graph_stats(g: FlowNetwork) -> GraphStats:
+    """Compute a :class:`GraphStats` snapshot (forward arcs only)."""
+    out_deg = [0] * g.n
+    total_cap = 0.0
+    saturated = carrying = 0
+    for arc in g.arcs():
+        out_deg[arc.tail] += 1
+        total_cap += arc.cap
+        if arc.flow > 1e-9:
+            carrying += 1
+            if arc.residual <= 1e-9:
+                saturated += 1
+    return GraphStats(
+        num_vertices=g.n,
+        num_arcs=g.num_arcs,
+        max_out_degree=max(out_deg, default=0),
+        mean_out_degree=(sum(out_deg) / g.n) if g.n else 0.0,
+        total_capacity=total_cap,
+        saturated_arcs=saturated,
+        flow_carrying_arcs=carrying,
+    )
+
+
+def to_dot(
+    g: FlowNetwork,
+    s: int | None = None,
+    t: int | None = None,
+    *,
+    show_flow: bool = True,
+) -> str:
+    """Graphviz DOT text for the network (forward arcs only).
+
+    Arc labels are ``flow/cap`` (or just ``cap`` with ``show_flow=False``);
+    flow-carrying arcs are drawn bold, source/sink shaded.
+    """
+    lines = ["digraph flownetwork {", "  rankdir=LR;"]
+    for v in g.vertices():
+        attrs = []
+        if v == s:
+            attrs.append('label="s", style=filled, fillcolor=lightgrey')
+        elif v == t:
+            attrs.append('label="t", style=filled, fillcolor=lightgrey')
+        if attrs:
+            lines.append(f"  {v} [{', '.join(attrs)}];")
+    for arc in g.arcs():
+        if show_flow:
+            label = f"{arc.flow:g}/{arc.cap:g}"
+        else:
+            label = f"{arc.cap:g}"
+        style = ", penwidth=2" if (show_flow and arc.flow > 1e-9) else ""
+        lines.append(
+            f'  {arc.tail} -> {arc.head} [label="{label}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Flow and preflow validation.
+
+These checks are the safety net for every engine in :mod:`repro.maxflow`
+and for Algorithm 6's store/restore machinery: after any solve (and in
+property tests, after *every* probe) we can assert that the arrays still
+describe a legal flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FlowValidationError
+from repro.graph.flownetwork import FlowNetwork
+
+__all__ = [
+    "excess_of",
+    "flow_value",
+    "is_valid_flow",
+    "assert_valid_flow",
+    "assert_valid_preflow",
+    "min_cut_reachable",
+]
+
+_EPS = 1e-6
+
+
+def excess_of(g: FlowNetwork, v: int) -> float:
+    """Net flow *into* vertex ``v`` (inflow minus outflow).
+
+    For a valid flow this is zero everywhere except the source (negative)
+    and sink (positive); for a preflow it is non-negative away from the
+    source.
+    """
+    total = 0.0
+    for a in g.out_arcs(v):
+        # flow on an arc leaving v counts against v's excess; residual twins
+        # carry the negated inflow, so summing -flow over out-arcs gives the
+        # net inflow directly.
+        total -= g.flow[a]
+    return total
+
+
+def flow_value(g: FlowNetwork, s: int, t: int) -> float:
+    """Value of the current flow: net flow into the sink ``t``."""
+    del s  # kept for signature symmetry with the max-flow engines
+    return excess_of(g, t)
+
+
+def _capacity_violations(g: FlowNetwork) -> list[str]:
+    bad = []
+    for a in range(g.num_arc_slots):
+        if g.flow[a] > g.cap[a] + _EPS:
+            bad.append(
+                f"arc {a} ({g.tail(a)}->{g.head[a]}): flow {g.flow[a]} > cap {g.cap[a]}"
+            )
+        if g.flow[a] + g.flow[a ^ 1] > _EPS or g.flow[a] + g.flow[a ^ 1] < -_EPS:
+            bad.append(f"arc {a}: antisymmetry broken (f + f_twin != 0)")
+    return bad
+
+
+def is_valid_flow(g: FlowNetwork, s: int, t: int) -> bool:
+    """True iff the current assignment is a feasible s-t flow."""
+    try:
+        assert_valid_flow(g, s, t)
+    except FlowValidationError:
+        return False
+    return True
+
+
+def assert_valid_flow(g: FlowNetwork, s: int, t: int) -> None:
+    """Raise :class:`FlowValidationError` unless the assignment is a flow.
+
+    Checks capacity constraints, antisymmetry of twins, and conservation
+    (Equation 1 of the paper) at every vertex except ``s`` and ``t``.
+    """
+    problems = _capacity_violations(g)
+    for v in g.vertices():
+        if v in (s, t):
+            continue
+        ex = excess_of(g, v)
+        if abs(ex) > _EPS:
+            problems.append(f"vertex {v}: excess {ex} != 0")
+    if problems:
+        raise FlowValidationError("; ".join(problems[:10]))
+
+
+def assert_valid_preflow(g: FlowNetwork, s: int, t: int) -> None:
+    """Raise unless the assignment is a preflow (non-negative excesses).
+
+    Push-relabel works with preflows mid-run; this is the invariant its
+    tests check between phases.
+    """
+    problems = _capacity_violations(g)
+    for v in g.vertices():
+        if v == s:
+            continue
+        ex = excess_of(g, v)
+        if ex < -_EPS:
+            problems.append(f"vertex {v}: negative excess {ex}")
+    if problems:
+        raise FlowValidationError("; ".join(problems[:10]))
+
+
+def min_cut_reachable(g: FlowNetwork, s: int) -> set[int]:
+    """Vertices reachable from ``s`` in the residual graph.
+
+    After a max flow, this is the source side of a minimum cut; it is how
+    tests certify optimality without trusting a second solver.
+    """
+    seen = {s}
+    queue = deque([s])
+    cap, flow, adj, head = g.cap, g.flow, g.adj, g.head
+    while queue:
+        v = queue.popleft()
+        for a in adj[v]:
+            if cap[a] - flow[a] > _EPS:
+                w = head[a]
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+    return seen

@@ -1,0 +1,96 @@
+"""Maximum-flow engines.
+
+Every engine consumes a :class:`repro.graph.FlowNetwork` and drives flow
+from a source to a sink.  The family mirrors the methods the paper surveys
+in §II-B:
+
+* :mod:`repro.maxflow.ford_fulkerson` — DFS augmenting paths (Ford &
+  Fulkerson [24]); the engine inside Algorithms 1 and 2.
+* :mod:`repro.maxflow.edmonds_karp` — BFS shortest augmenting paths;
+  ablation baseline.
+* :mod:`repro.maxflow.dinic` — blocking flows (Dinic [22]); ablation
+  baseline.
+* :mod:`repro.maxflow.push_relabel` — FIFO push–relabel with exact-height
+  (global relabeling) and gap heuristics (Goldberg & Tarjan [29],
+  Cherkassky & Goldberg [19]); the engine inside Algorithms 4–6.
+* :mod:`repro.maxflow.parallel_push_relabel` — asynchronous multithreaded
+  push–relabel in the style of Hong & He [31].
+
+All engines support *warm starts* (continuing from the network's current
+flow), which is the property the paper's "integrated" algorithms exploit.
+"""
+
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+from repro.maxflow.capacity_scaling import CapacityScalingEngine, capacity_scaling_ff
+from repro.maxflow.dinic import DinicEngine, dinic
+from repro.maxflow.edmonds_karp import EdmondsKarpEngine, edmonds_karp
+from repro.maxflow.ford_fulkerson import (
+    FordFulkersonEngine,
+    augment_unit_from,
+    ford_fulkerson,
+)
+from repro.maxflow.highest_label import HighestLabelEngine, highest_label
+from repro.maxflow.mpm import MpmEngine, mpm
+from repro.maxflow.relabel_to_front import RelabelToFrontEngine, relabel_to_front
+from repro.maxflow.parallel_push_relabel import (
+    ParallelPushRelabelEngine,
+    ParallelStats,
+    parallel_push_relabel,
+)
+from repro.maxflow.push_relabel import (
+    PushRelabelEngine,
+    PushRelabelState,
+    push_relabel,
+)
+
+ENGINES = {
+    "ford-fulkerson": FordFulkersonEngine,
+    "edmonds-karp": EdmondsKarpEngine,
+    "capacity-scaling": CapacityScalingEngine,
+    "dinic": DinicEngine,
+    "mpm": MpmEngine,
+    "push-relabel": PushRelabelEngine,
+    "highest-label": HighestLabelEngine,
+    "relabel-to-front": RelabelToFrontEngine,
+    "parallel-push-relabel": ParallelPushRelabelEngine,
+}
+
+
+def get_engine(name: str, **kwargs) -> MaxFlowEngine:
+    """Instantiate an engine by registry name (see :data:`ENGINES`)."""
+    try:
+        cls = ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ENGINES",
+    "get_engine",
+    "MaxFlowEngine",
+    "MaxFlowResult",
+    "FordFulkersonEngine",
+    "ford_fulkerson",
+    "augment_unit_from",
+    "EdmondsKarpEngine",
+    "edmonds_karp",
+    "CapacityScalingEngine",
+    "capacity_scaling_ff",
+    "DinicEngine",
+    "dinic",
+    "MpmEngine",
+    "mpm",
+    "HighestLabelEngine",
+    "highest_label",
+    "RelabelToFrontEngine",
+    "relabel_to_front",
+    "PushRelabelEngine",
+    "PushRelabelState",
+    "push_relabel",
+    "ParallelPushRelabelEngine",
+    "ParallelStats",
+    "parallel_push_relabel",
+]

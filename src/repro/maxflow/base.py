@@ -1,0 +1,75 @@
+"""Common engine interface and result container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.graph.flownetwork import FlowNetwork
+
+__all__ = ["MaxFlowResult", "MaxFlowEngine"]
+
+
+@dataclass
+class MaxFlowResult:
+    """Outcome of one max-flow solve.
+
+    Attributes
+    ----------
+    value:
+        The flow value reached (net inflow to the sink).
+    augmentations:
+        Number of augmenting paths (path-based engines) — 0 for
+        push–relabel engines.
+    pushes, relabels:
+        Push–relabel operation counts — 0 for path-based engines.
+    extra:
+        Engine-specific counters (e.g. global relabel count, per-thread
+        work split for the parallel engine).
+    """
+
+    value: float
+    augmentations: int = 0
+    pushes: int = 0
+    relabels: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """A crude engine-agnostic work measure (ops performed)."""
+        return self.augmentations + self.pushes + self.relabels
+
+
+class MaxFlowEngine(abc.ABC):
+    """Abstract maximum-flow engine.
+
+    Engines are cheap, stateless objects; all state lives in the
+    :class:`~repro.graph.FlowNetwork` so that *integrated* callers can keep
+    flow between solves and *black-box* callers can
+    :meth:`~repro.graph.FlowNetwork.reset_flow` first — the distinction the
+    paper is about.
+    """
+
+    #: registry name, overridden by subclasses
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        """Compute a maximum s-t flow on ``g``.
+
+        Parameters
+        ----------
+        g:
+            The network; its ``flow`` arrays are mutated in place.
+        s, t:
+            Source and sink vertex ids.
+        warm_start:
+            If true, the engine must treat the current flow on ``g`` as a
+            valid starting flow and only add to it.  If false the engine
+            zeroes the flow first (black-box behaviour).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name})>"

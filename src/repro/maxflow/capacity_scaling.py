@@ -1,0 +1,94 @@
+"""Capacity-scaling Ford–Fulkerson (Δ-scaling augmenting paths).
+
+The classic O(E² log U) refinement of Ford–Fulkerson: only augment along
+paths whose bottleneck is at least Δ, halving Δ until 1.  Included as an
+ablation engine — it shares the name "capacity scaling" with the paper's
+*binary capacity scaling* ([12] / Algorithm 6) but scales a different
+quantity (the augmenting bottleneck vs the sink-edge capacities), and the
+engine benchmark keeps that distinction measurable instead of
+terminological.
+"""
+
+from __future__ import annotations
+
+from repro.graph.flownetwork import FlowNetwork
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+
+__all__ = ["capacity_scaling_ff", "CapacityScalingEngine"]
+
+_EPS = 1e-9
+
+
+def _augment_with_threshold(
+    g: FlowNetwork, s: int, t: int, delta: float
+) -> float:
+    """DFS for an augmenting path with residuals >= delta; push bottleneck."""
+    head, cap, flow, adj = g.arrays()
+    visited = bytearray(g.n)
+    visited[s] = 1
+    stack: list[list[int]] = [[s, 0]]
+    path: list[int] = []
+    while stack:
+        frame = stack[-1]
+        v, i = frame
+        arcs = adj[v]
+        advanced = False
+        while i < len(arcs):
+            a = arcs[i]
+            i += 1
+            if cap[a] - flow[a] >= delta - _EPS:
+                w = head[a]
+                if not visited[w]:
+                    frame[1] = i
+                    path.append(a)
+                    if w == t:
+                        push = min(cap[b] - flow[b] for b in path)
+                        for b in path:
+                            flow[b] += push
+                            flow[b ^ 1] -= push
+                        return push
+                    visited[w] = 1
+                    stack.append([w, 0])
+                    advanced = True
+                    break
+        if not advanced:
+            frame[1] = i
+            if i >= len(arcs):
+                stack.pop()
+                if path:
+                    path.pop()
+    return 0.0
+
+
+def capacity_scaling_ff(
+    g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+) -> MaxFlowResult:
+    """Maximum flow via Δ-scaling augmenting paths."""
+    if not warm_start:
+        g.reset_flow()
+    max_cap = max((c for c in g.cap if c > 0), default=0.0)
+    delta = 1.0
+    while delta * 2 <= max_cap:
+        delta *= 2
+    augments = 0
+    phases = 0
+    while delta >= 1.0 - _EPS:
+        phases += 1
+        while _augment_with_threshold(g, s, t, delta) > 0.0:
+            augments += 1
+        delta /= 2
+    value = -sum(g.flow[a] for a in g.adj[t])
+    return MaxFlowResult(
+        value=value, augmentations=augments, extra={"phases": phases}
+    )
+
+
+class CapacityScalingEngine(MaxFlowEngine):
+    """Registry wrapper around :func:`capacity_scaling_ff`."""
+
+    name = "capacity-scaling"
+
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        return capacity_scaling_ff(g, s, t, warm_start=warm_start)

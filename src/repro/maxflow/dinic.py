@@ -1,0 +1,102 @@
+"""Dinic's blocking-flow algorithm.
+
+The paper cites the blocking-flow method (Dinic [22], Karzanov [33]) as one
+of the classic alternatives to push–relabel.  We implement it as a second
+ablation baseline; on the shallow 4-layer retrieval networks
+(source → buckets → disks → sink) Dinic needs at most a handful of phases,
+so it is surprisingly competitive — the ablation bench quantifies this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.flownetwork import FlowNetwork
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+
+__all__ = ["dinic", "DinicEngine"]
+
+_EPS = 1e-9
+
+
+def _build_levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
+    """BFS level graph on residual arcs; None if t unreachable."""
+    head, cap, flow, adj = g.arrays()
+    level = [-1] * g.n
+    level[s] = 0
+    queue = deque([s])
+    while queue:
+        v = queue.popleft()
+        for a in adj[v]:
+            if cap[a] - flow[a] > _EPS:
+                w = head[a]
+                if level[w] < 0:
+                    level[w] = level[v] + 1
+                    queue.append(w)
+    return level if level[t] >= 0 else None
+
+
+def _blocking_flow(
+    g: FlowNetwork, s: int, t: int, level: list[int], it: list[int]
+) -> float:
+    """Send a blocking flow through the level graph (iterative DFS)."""
+    head, cap, flow, adj = g.arrays()
+    total = 0.0
+    while True:
+        # find one augmenting path within the level graph
+        path: list[int] = []
+        v = s
+        while v != t:
+            arcs = adj[v]
+            advanced = False
+            while it[v] < len(arcs):
+                a = arcs[it[v]]
+                if cap[a] - flow[a] > _EPS and level[head[a]] == level[v] + 1:
+                    path.append(a)
+                    v = head[a]
+                    advanced = True
+                    break
+                it[v] += 1
+            if not advanced:
+                # dead end: retreat
+                if v == s:
+                    return total
+                level[v] = -1  # prune
+                v = g.tail(path[-1])
+                path.pop()
+                it[v] += 1
+        delta = min(cap[a] - flow[a] for a in path)
+        for a in path:
+            flow[a] += delta
+            flow[a ^ 1] -= delta
+        total += delta
+        # restart path search from s, reusing iterators
+        # (saturated arcs are skipped automatically)
+
+
+def dinic(g: FlowNetwork, s: int, t: int, *, warm_start: bool = False) -> MaxFlowResult:
+    """Maximum flow via phases of blocking flows, O(V²·E)."""
+    if not warm_start:
+        g.reset_flow()
+    phases = 0
+    while True:
+        level = _build_levels(g, s, t)
+        if level is None:
+            break
+        it = [0] * g.n
+        _blocking_flow(g, s, t, level, it)
+        phases += 1
+    from repro.graph.validation import flow_value
+
+    return MaxFlowResult(value=flow_value(g, s, t), extra={"phases": phases})
+
+
+class DinicEngine(MaxFlowEngine):
+    """Registry wrapper around :func:`dinic`."""
+
+    name = "dinic"
+
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        return dinic(g, s, t, warm_start=warm_start)

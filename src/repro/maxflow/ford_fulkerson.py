@@ -1,0 +1,152 @@
+"""Ford–Fulkerson augmenting-path maximum flow.
+
+The paper's Algorithms 1 and 2 are built on a per-bucket DFS that walks
+bucket → disk → sink, *reversing* bucket→disk edges along the way so a later
+DFS can undo an earlier retrieval decision, and finally calling
+``fixReversedEdges()``.  That edge-reversal dance is exactly a hand-rolled
+residual graph over LEDA's unidirectional edge objects.  On our paired-arc
+:class:`~repro.graph.FlowNetwork` the same search is simply a DFS over arcs
+with positive residual capacity — no reversal or fix-up pass needed, and
+the flow semantics are identical (asserted against the paper's worked
+example in ``tests/core/test_paper_example.py``).
+
+:func:`augment_unit_from` is the primitive the retrieval algorithms use:
+find one unit-augmenting path from an arbitrary start vertex (a bucket) to
+the sink.  :class:`FordFulkersonEngine` wraps it into a standard s-t
+max-flow solver for the generic engine registry.
+"""
+
+from __future__ import annotations
+
+from repro.graph.flownetwork import FlowNetwork
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+
+__all__ = ["augment_unit_from", "ford_fulkerson", "FordFulkersonEngine"]
+
+_EPS = 1e-9
+
+
+def augment_unit_from(g: FlowNetwork, start: int, t: int) -> bool:
+    """Try to push **one unit** of flow from ``start`` to ``t``.
+
+    Performs an iterative DFS on the residual graph; on success, augments
+    every arc of the found path by 1 and returns ``True``.  On failure the
+    network is untouched and ``False`` is returned.
+
+    This is the ``DFS(G, v[i], t, caps, flow, path)`` call of Algorithms 1
+    and 2 (one call per query bucket).
+    """
+    head, cap, flow, adj = g.arrays()
+    if start == t:
+        return True
+    # Iterative DFS keeping the arc path; visited guards against cycles in
+    # the residual graph (which contains reverse arcs by construction).
+    visited = bytearray(g.n)
+    visited[start] = 1
+    # stack entries: (vertex, iterator index into adj[vertex])
+    stack: list[list[int]] = [[start, 0]]
+    path: list[int] = []
+    while stack:
+        frame = stack[-1]
+        v, i = frame
+        arcs = adj[v]
+        advanced = False
+        while i < len(arcs):
+            a = arcs[i]
+            i += 1
+            if cap[a] - flow[a] > _EPS:
+                w = head[a]
+                if not visited[w]:
+                    frame[1] = i
+                    path.append(a)
+                    if w == t:
+                        for b in path:
+                            flow[b] += 1.0
+                            flow[b ^ 1] -= 1.0
+                        return True
+                    visited[w] = 1
+                    stack.append([w, 0])
+                    advanced = True
+                    break
+        if not advanced:
+            frame[1] = i
+            if i >= len(arcs):
+                stack.pop()
+                if path:
+                    path.pop()
+    return False
+
+
+def _augment_max_from(g: FlowNetwork, s: int, t: int) -> float:
+    """Find one augmenting path s→t and push its bottleneck; 0 if none."""
+    head, cap, flow, adj = g.arrays()
+    visited = bytearray(g.n)
+    visited[s] = 1
+    stack: list[list[int]] = [[s, 0]]
+    path: list[int] = []
+    while stack:
+        frame = stack[-1]
+        v, i = frame
+        arcs = adj[v]
+        advanced = False
+        while i < len(arcs):
+            a = arcs[i]
+            i += 1
+            if cap[a] - flow[a] > _EPS:
+                w = head[a]
+                if not visited[w]:
+                    frame[1] = i
+                    path.append(a)
+                    if w == t:
+                        delta = min(cap[b] - flow[b] for b in path)
+                        for b in path:
+                            flow[b] += delta
+                            flow[b ^ 1] -= delta
+                        return delta
+                    visited[w] = 1
+                    stack.append([w, 0])
+                    advanced = True
+                    break
+        if not advanced:
+            frame[1] = i
+            if i >= len(arcs):
+                stack.pop()
+                if path:
+                    path.pop()
+    return 0.0
+
+
+def ford_fulkerson(
+    g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+) -> MaxFlowResult:
+    """Repeatedly augment along DFS paths until none remain.
+
+    With integral capacities this terminates with the maximum flow
+    (Theorem 1 of the paper).  ``warm_start=True`` keeps the current flow
+    and only augments on top of it.
+    """
+    if not warm_start:
+        g.reset_flow()
+    value = 0.0
+    augments = 0
+    while True:
+        delta = _augment_max_from(g, s, t)
+        if delta <= 0.0:
+            break
+        value += delta
+        augments += 1
+    # When warm-starting, the pre-existing flow also counts toward value.
+    from repro.graph.validation import flow_value
+
+    return MaxFlowResult(value=flow_value(g, s, t), augmentations=augments)
+
+
+class FordFulkersonEngine(MaxFlowEngine):
+    """Registry wrapper around :func:`ford_fulkerson`."""
+
+    name = "ford-fulkerson"
+
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        return ford_fulkerson(g, s, t, warm_start=warm_start)

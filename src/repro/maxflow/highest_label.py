@@ -1,0 +1,146 @@
+"""Highest-label push–relabel (HIPR-style selection).
+
+The third classic selection rule after FIFO (Algorithm 4) and
+relabel-to-front: always discharge an active vertex of **maximum
+height**, giving the O(V²·√E) bound and, with the global-relabel + gap
+heuristics, the strongest practical max-flow solver of the
+Cherkassky–Goldberg study [19] (the HIPR code).  Implemented over the
+same paired-arc structure with height-indexed active buckets, as an
+ablation engine: the engine benchmark shows how much selection rule vs
+height heuristics matters on retrieval networks.
+"""
+
+from __future__ import annotations
+
+from repro.graph.flownetwork import FlowNetwork
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+
+__all__ = ["highest_label", "HighestLabelEngine"]
+
+_EPS = 1e-9
+
+
+def highest_label(
+    g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+) -> MaxFlowResult:
+    """Maximum flow via highest-label push–relabel.
+
+    Single-loop two-phase execution (heights ≤ 2n) like the FIFO engine,
+    so the terminal state is a valid maximum flow.
+    """
+    if not warm_start:
+        g.reset_flow()
+    n = g.n
+    head, cap, flow, adj = g.arrays()
+    two_n = 2 * n
+
+    # cancel preserved flow on arcs into the source (residual s->w arcs
+    # break the height-validity invariant; cf. PushRelabelState.initialize)
+    for b in adj[s]:
+        if b % 2 == 1 and flow[b ^ 1] > _EPS:
+            flow[b ^ 1] = 0.0
+            flow[b] = 0.0
+
+    # exact excesses from any preserved assignment, then saturate source
+    excess = [0.0] * n
+    for v in range(n):
+        ev = 0.0
+        for a in adj[v]:
+            ev -= flow[a]
+        excess[v] = ev
+    for a in adj[s]:
+        if a % 2 == 1:
+            continue
+        delta = cap[a] - flow[a]
+        if delta > _EPS:
+            flow[a] += delta
+            flow[a ^ 1] -= delta
+            excess[head[a]] += delta
+    excess[s] = 0.0
+
+    height = [0] * n
+    height[s] = n
+    current = [0] * n
+
+    # height-indexed buckets of active vertices
+    buckets: list[list[int]] = [[] for _ in range(two_n + 1)]
+    in_bucket = bytearray(n)
+    highest = 0
+    for v in range(n):
+        if v != s and v != t and excess[v] > _EPS:
+            buckets[0].append(v)
+            in_bucket[v] = 1
+
+    pushes = relabels = 0
+    while highest >= 0:
+        while highest >= 0 and not buckets[highest]:
+            highest -= 1
+        if highest < 0:
+            break
+        v = buckets[highest].pop()
+        in_bucket[v] = 0
+        if v == s or v == t or excess[v] <= _EPS:
+            continue
+        hv = height[v]
+        if hv != highest:
+            # stale entry (vertex was relabelled since queued): requeue
+            if hv <= two_n and excess[v] > _EPS and not in_bucket[v]:
+                buckets[hv].append(v)
+                in_bucket[v] = 1
+                if hv > highest:
+                    highest = hv
+            continue
+        arcs = adj[v]
+        deg = len(arcs)
+        i = current[v]
+        ev = excess[v]
+        while ev > _EPS:
+            if i < deg:
+                a = arcs[i]
+                if cap[a] - flow[a] > _EPS:
+                    w = head[a]
+                    if hv == height[w] + 1:
+                        delta = ev if ev < cap[a] - flow[a] else cap[a] - flow[a]
+                        flow[a] += delta
+                        flow[a ^ 1] -= delta
+                        ev -= delta
+                        excess[w] += delta
+                        pushes += 1
+                        if w != s and w != t and not in_bucket[w]:
+                            buckets[height[w]].append(w)
+                            in_bucket[w] = 1
+                i += 1
+            else:
+                relabels += 1
+                new_h = two_n
+                for a in arcs:
+                    if cap[a] - flow[a] > _EPS:
+                        hw = height[head[a]]
+                        if hw + 1 < new_h:
+                            new_h = hw + 1
+                height[v] = new_h
+                hv = new_h
+                i = 0
+                if new_h >= two_n:
+                    break  # stranded (impossible for valid preflows)
+        excess[v] = ev
+        current[v] = i if i < deg else 0
+        if ev > _EPS and height[v] < two_n and not in_bucket[v]:
+            buckets[height[v]].append(v)
+            in_bucket[v] = 1
+        if height[v] > highest:
+            highest = min(height[v], two_n)
+
+    value = -sum(flow[a] for a in adj[t])
+    return MaxFlowResult(value=value, pushes=pushes, relabels=relabels)
+
+
+class HighestLabelEngine(MaxFlowEngine):
+    """Registry wrapper around :func:`highest_label`."""
+
+    name = "highest-label"
+
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        return highest_label(g, s, t, warm_start=warm_start)

@@ -1,0 +1,426 @@
+"""FIFO push–relabel maximum flow (Goldberg & Tarjan [29]).
+
+This is the engine inside the paper's Algorithms 4, 5 and 6.  Design notes:
+
+* **FIFO vertex selection** with a **current-arc pointer** per vertex, as in
+  the paper ("we use the FIFO ordering ... suggested by [19]"), giving the
+  O(|V|³) bound the paper quotes for Algorithm 4.
+
+* **Exact-height (global relabeling) heuristic** [19]: heights are
+  periodically recomputed as exact residual-graph distances to the sink
+  (or, for vertices that cannot reach the sink, ``n`` + distance to the
+  source).  The paper's pseudocode (Algorithm 5 lines 11–13) resets heights
+  to zero between incremental runs; both behaviours are supported through
+  ``initial_heights`` and produce identical flows — only operation counts
+  differ (quantified in ``benchmarks/bench_ablation_conservation.py``).
+
+* **Gap heuristic** [14,19]: when a height level in ``(0, n)`` empties, all
+  vertices stranded above it are lifted past ``n`` at once.
+
+* **Single-loop two-phase execution.** Heights may grow up to ``2n`` and
+  *every* active vertex (positive excess, not source/sink) is discharged,
+  so at termination leftover excess has drained back to the source and the
+  arrays hold a genuine maximum *flow*, not just a preflow.  Algorithm 6's
+  ``StoreFlows``/``RestoreFlows`` depends on this: a stored state must be a
+  valid flow for every larger capacity vector (feasibility–capacity
+  monotonicity, see DESIGN.md §5).
+
+* **Warm starts.** :meth:`PushRelabelState.initialize` implements
+  Algorithm 5 lines 3–14: clear the FIFO queue, saturate only the source
+  arcs with positive residual ``delta`` (conserving all previously computed
+  flow), reset heights, zero the source excess.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.flownetwork import FlowNetwork
+from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
+
+__all__ = ["PushRelabelState", "push_relabel", "PushRelabelEngine"]
+
+_EPS = 1e-9
+
+
+class PushRelabelState:
+    """Re-entrant push–relabel machinery bound to one network.
+
+    The retrieval algorithms create one state per query and call
+    :meth:`initialize` + :meth:`run` once per capacity probe, preserving
+    flow in between — that reuse *is* the paper's "integrated" idea.
+
+    Parameters
+    ----------
+    g, s, t:
+        Network, source, sink.
+    initial_heights:
+        ``"exact"`` (global-relabel style BFS distances, default) or
+        ``"zero"`` (the literal Algorithm 5 pseudocode).
+    global_relabel_interval:
+        Re-run the exact-height computation after this many relabels;
+        ``0`` disables the heuristic.  ``None`` (default) disables it when
+        heights already start exact and picks ``max(n, 16)`` otherwise:
+        on the shallow 4-layer retrieval networks, exact initialization
+        plus the gap heuristic leaves mid-run global relabeling strictly
+        counterproductive — re-scanning every current-arc pointer costs
+        8-18x in measured solve time (see
+        ``benchmarks/bench_ablation_conservation.py``).
+    gap_heuristic:
+        Enable the gap heuristic.
+    """
+
+    def __init__(
+        self,
+        g: FlowNetwork,
+        s: int,
+        t: int,
+        *,
+        initial_heights: str = "exact",
+        global_relabel_interval: int | None = None,
+        gap_heuristic: bool = True,
+    ) -> None:
+        if s == t:
+            raise ValueError("source and sink must differ")
+        if initial_heights not in ("exact", "zero"):
+            raise ValueError(f"initial_heights must be 'exact' or 'zero', got {initial_heights!r}")
+        self.g = g
+        self.s = s
+        self.t = t
+        self.initial_heights = initial_heights
+        n = g.n
+        if global_relabel_interval is None:
+            global_relabel_interval = 0 if initial_heights == "exact" else max(n, 16)
+        self.global_relabel_interval = global_relabel_interval
+        self.gap_heuristic = gap_heuristic
+
+        self.excess: list[float] = [0.0] * n
+        self.height: list[int] = [0] * n
+        self.current: list[int] = [0] * n
+        self.queue: deque[int] = deque()
+        self.in_queue: bytearray = bytearray(n)
+        self.height_count: list[int] = [0] * (2 * n + 1)
+
+        # operation counters (reported in MaxFlowResult.extra)
+        self.pushes = 0
+        self.relabels = 0
+        self.global_relabels = 0
+        self.gap_events = 0
+
+    # ------------------------------------------------------------------
+    def initialize(self, *, preserve_flow: bool = True) -> None:
+        """(Re)start the solver — Algorithm 4 lines 1–8 / Algorithm 5 lines 3–14.
+
+        With ``preserve_flow=True`` the current flow is kept and only the
+        source arcs' *residual* slack ``delta = cap - flow`` is injected as
+        new excess.  With ``preserve_flow=False`` the flow is zeroed first
+        (black-box behaviour) and the source arcs are saturated in full.
+        """
+        g, s, t = self.g, self.s, self.t
+        n = g.n
+        if not preserve_flow:
+            g.reset_flow()
+        head, cap, flow, adj = g.arrays()
+
+        self.queue.clear()
+        self.in_queue = bytearray(n)
+
+        # Cancel preserved flow on arcs INTO the source.  Such flow leaves
+        # residual s->w arcs, and no height labeling with height[s] = n can
+        # satisfy the validity invariant across them — phase 1 could then
+        # terminate before the preflow is maximum.  Cancelling converts
+        # that flow into excess at the arcs' tails, a legal preflow
+        # transformation.  (Retrieval networks have no arcs into s; this
+        # matters for the generic engine API.)
+        for b in adj[s]:
+            if b % 2 == 1 and flow[b ^ 1] > _EPS:
+                flow[b ^ 1] = 0.0
+                flow[b] = 0.0
+
+        # Exact excesses from the preserved assignment: net inflow per
+        # vertex.  For a valid starting *flow* this is zero away from s/t
+        # (Algorithm 5's stated precondition); computing it exactly also
+        # makes warm starts from any valid *preflow* safe.  The sink excess
+        # must reflect flow already delivered in earlier probes, otherwise
+        # Algorithm 5's `excess[t] == |Q|` test cannot see it.
+        excess = [0.0] * n
+        for v in range(n):
+            ev = 0.0
+            for a in adj[v]:
+                ev -= flow[a]
+            excess[v] = ev
+        self.excess = excess
+
+        # Algorithm 5 lines 4-10: saturate source arcs that still have slack
+        # (delta = cap - flow), conserving all previously computed flow.
+        for a in adj[s]:
+            if a % 2 == 1:
+                continue
+            if flow[a] > cap[a] + 1e-6:
+                # A caller lowered a source-arc capacity without restoring a
+                # compatible flow; refuse to solve a corrupted instance.
+                raise ValueError(
+                    "flow exceeds capacity on a source arc; restore a "
+                    "compatible flow before re-initializing (see DESIGN.md)"
+                )
+            delta = cap[a] - flow[a]
+            if delta > _EPS:
+                v = head[a]
+                flow[a] += delta
+                flow[a ^ 1] -= delta
+                excess[v] += delta
+
+        # Algorithm 5 line 14: the source's (negative) excess is irrelevant.
+        excess[s] = 0.0
+        for v in range(n):
+            if v != s and v != t and excess[v] > _EPS:
+                self.queue.append(v)
+                self.in_queue[v] = 1
+
+        if self.initial_heights == "zero":
+            self.height = [0] * n
+            self.height[s] = n
+        else:
+            self._global_relabel()
+
+        self.current = [0] * n
+        self._rebuild_height_count()
+
+    # ------------------------------------------------------------------
+    def run(self) -> float:
+        """Discharge until no active vertices remain; return flow value.
+
+        Must be preceded by :meth:`initialize`.
+        """
+        g, s, t = self.g, self.s, self.t
+        n = g.n
+        head, cap, flow, adj = g.arrays()
+        excess, height, current = self.excess, self.height, self.current
+        queue, in_queue = self.queue, self.in_queue
+        height_count = self.height_count
+        gr_interval = self.global_relabel_interval
+        relabels_since_gr = 0
+        two_n = 2 * n
+
+        while queue:
+            v = queue.popleft()
+            in_queue[v] = 0
+            if v == s or v == t:
+                continue
+            ev = excess[v]
+            if ev <= _EPS:
+                continue
+            arcs = adj[v]
+            deg = len(arcs)
+            hv = height[v]
+            i = current[v]
+            while ev > _EPS:
+                if i < deg:
+                    a = arcs[i]
+                    residual = cap[a] - flow[a]
+                    if residual > _EPS:
+                        w = head[a]
+                        if hv == height[w] + 1:
+                            delta = ev if ev < residual else residual
+                            flow[a] += delta
+                            flow[a ^ 1] -= delta
+                            ev -= delta
+                            excess[w] += delta
+                            self.pushes += 1
+                            if w != s and w != t and not in_queue[w]:
+                                queue.append(w)
+                                in_queue[w] = 1
+                    i += 1
+                else:
+                    # relabel: lift v to 1 + min height over residual arcs
+                    self.relabels += 1
+                    relabels_since_gr += 1
+                    old_h = hv
+                    new_h = two_n
+                    for a in arcs:
+                        if cap[a] - flow[a] > _EPS:
+                            hw = height[head[a]]
+                            if hw + 1 < new_h:
+                                new_h = hw + 1
+                    if new_h >= two_n + 1:
+                        new_h = two_n  # clamp; vertex is effectively stranded
+                    height[v] = new_h
+                    hv = new_h
+                    height_count[old_h] -= 1
+                    height_count[new_h] += 1
+                    i = 0
+                    # gap heuristic: old level emptied below n
+                    if (
+                        self.gap_heuristic
+                        and 0 < old_h < n
+                        and height_count[old_h] == 0
+                    ):
+                        self._apply_gap(old_h)
+                        hv = height[v]
+                    if gr_interval and relabels_since_gr >= gr_interval:
+                        excess[v] = ev
+                        current[v] = 0
+                        self._global_relabel()
+                        relabels_since_gr = 0
+                        self._rebuild_height_count()
+                        # heights changed globally: requeue v and restart
+                        if ev > _EPS and not in_queue[v]:
+                            queue.append(v)
+                            in_queue[v] = 1
+                        break
+                    if new_h >= two_n:
+                        # cannot route anywhere; drop remaining excess search
+                        break
+            else:
+                excess[v] = ev
+                current[v] = i
+                continue
+            # reached via break paths above
+            excess[v] = ev
+            current[v] = i if i < deg else 0
+            if ev > _EPS and height[v] < two_n and not in_queue[v]:
+                queue.append(v)
+                in_queue[v] = 1
+
+        return self.excess[t]
+
+    # ------------------------------------------------------------------
+    def _apply_gap(self, gap_h: int) -> None:
+        """Lift every vertex with height in (gap_h, n) to n + 1."""
+        g = self.g
+        n = g.n
+        self.gap_events += 1
+        height, height_count = self.height, self.height_count
+        for v in range(n):
+            if v == self.s:
+                continue
+            h = height[v]
+            if gap_h < h < n:
+                height_count[h] -= 1
+                height[v] = n + 1
+                height_count[n + 1] += 1
+                self.current[v] = 0
+
+    def _global_relabel(self) -> None:
+        """Exact-height computation: BFS distances in the residual graph.
+
+        ``height[v] = dist(v, t)`` when the sink is residually reachable
+        from ``v``; otherwise ``n + dist(v, s)``, which routes stranded
+        excess back toward the source (phase 2).
+        """
+        g, s, t = self.g, self.s, self.t
+        n = g.n
+        head, cap, flow, adj = g.arrays()
+        self.global_relabels += 1
+        INF = 2 * n
+        height = [INF] * n
+
+        # backward BFS from t: follow arcs *into* v with residual capacity,
+        # i.e. out-arcs a of v whose twin has residual (cap[a^1] - flow[a^1]).
+        height[t] = 0
+        dq = deque([t])
+        while dq:
+            v = dq.popleft()
+            hv1 = height[v] + 1
+            for a in adj[v]:
+                # arc a: v -> w; its twin w -> v is the arc whose residual
+                # capacity lets flow travel w -> v toward the sink.
+                if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+                    w = head[a]
+                    if height[w] > hv1:
+                        height[w] = hv1
+                        dq.append(w)
+
+        height[s] = n
+        # backward BFS from s, but only when some vertex cannot reach t
+        # (the common feasible-probe case has none — skip the second pass)
+        if any(h >= INF for h in height):
+            dist_s = [INF] * n
+            dist_s[s] = 0
+            dq = deque([s])
+            while dq:
+                v = dq.popleft()
+                dv1 = dist_s[v] + 1
+                for a in adj[v]:
+                    if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+                        w = head[a]
+                        if dist_s[w] > dv1:
+                            dist_s[w] = dv1
+                            dq.append(w)
+            for v in range(n):
+                if v != s and height[v] >= INF:
+                    height[v] = min(n + dist_s[v], 2 * n)
+        self.height = height
+        self.current = [0] * n
+
+    def _rebuild_height_count(self) -> None:
+        self.height_count = [0] * (2 * self.g.n + 1)
+        for h in self.height:
+            self.height_count[min(h, 2 * self.g.n)] += 1
+
+    # ------------------------------------------------------------------
+    def result(self) -> MaxFlowResult:
+        """Package counters into a :class:`MaxFlowResult`."""
+        return MaxFlowResult(
+            value=self.excess[self.t],
+            pushes=self.pushes,
+            relabels=self.relabels,
+            extra={
+                "global_relabels": self.global_relabels,
+                "gap_events": self.gap_events,
+            },
+        )
+
+
+def push_relabel(
+    g: FlowNetwork,
+    s: int,
+    t: int,
+    *,
+    warm_start: bool = False,
+    initial_heights: str = "exact",
+    global_relabel_interval: int | None = None,
+    gap_heuristic: bool = True,
+) -> MaxFlowResult:
+    """One-shot FIFO push–relabel solve (the paper's Algorithm 4)."""
+    state = PushRelabelState(
+        g,
+        s,
+        t,
+        initial_heights=initial_heights,
+        global_relabel_interval=global_relabel_interval,
+        gap_heuristic=gap_heuristic,
+    )
+    state.initialize(preserve_flow=warm_start)
+    state.run()
+    return state.result()
+
+
+class PushRelabelEngine(MaxFlowEngine):
+    """Registry wrapper around :func:`push_relabel`."""
+
+    name = "push-relabel"
+
+    def __init__(
+        self,
+        *,
+        initial_heights: str = "exact",
+        global_relabel_interval: int | None = None,
+        gap_heuristic: bool = True,
+    ) -> None:
+        self.initial_heights = initial_heights
+        self.global_relabel_interval = global_relabel_interval
+        self.gap_heuristic = gap_heuristic
+
+    def solve(
+        self, g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
+    ) -> MaxFlowResult:
+        return push_relabel(
+            g,
+            s,
+            t,
+            warm_start=warm_start,
+            initial_heights=self.initial_heights,
+            global_relabel_interval=self.global_relabel_interval,
+            gap_heuristic=self.gap_heuristic,
+        )

@@ -1,0 +1,211 @@
+"""A stateful retrieval-scheduler service.
+
+Everything a storage frontend needs behind one object: hold the system
+and placement, accept queries (thread-safely), keep per-disk busy
+horizons up to date (Table I's ``X_j``), route around failed disks, and
+expose running statistics.  This is the "adoptable" packaging of the
+paper's algorithm — the piece a downstream array firmware or volume
+manager would embed.
+
+>>> svc = SchedulerService(system, placement)
+>>> record = svc.submit([(0, 0), (0, 1)])       # coords on the grid
+>>> svc.mark_failed([3])                         # disk 3 died
+>>> record = svc.submit([(2, 2)])                # schedules around it
+>>> svc.stats().mean_response_ms
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.api import solve
+from repro.core.degraded import degrade_problem
+from repro.core.problem import RetrievalProblem
+from repro.decluster.multisite import MultiSitePlacement
+from repro.errors import InfeasibleScheduleError, StorageConfigError
+from repro.storage.system import StorageSystem
+
+__all__ = ["ServiceRecord", "ServiceStats", "SchedulerService"]
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """Outcome of one submitted query."""
+
+    arrival_ms: float
+    num_buckets: int
+    response_time_ms: float
+    assignment: dict
+    degraded: bool
+    decision_time_ms: float
+
+
+@dataclass
+class ServiceStats:
+    """Aggregates over the service's lifetime."""
+
+    queries: int = 0
+    buckets: int = 0
+    total_response_ms: float = 0.0
+    max_response_ms: float = 0.0
+    total_decision_ms: float = 0.0
+    degraded_queries: int = 0
+    per_disk_buckets: list[int] = field(default_factory=list)
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.total_response_ms / self.queries if self.queries else 0.0
+
+    @property
+    def mean_decision_ms(self) -> float:
+        return self.total_decision_ms / self.queries if self.queries else 0.0
+
+
+class SchedulerService:
+    """Thread-safe optimal-response-time scheduler over one deployment.
+
+    Parameters
+    ----------
+    system, placement:
+        The hardware and the replicated allocation it hosts.
+    solver:
+        Registry solver for each query (default: integrated Algorithm 6).
+    time_fn:
+        Injectable clock returning milliseconds (tests pass a fake);
+        defaults to ``time.perf_counter() * 1000``.
+    """
+
+    def __init__(
+        self,
+        system: StorageSystem,
+        placement: MultiSitePlacement,
+        *,
+        solver: str = "pr-binary",
+        time_fn: Callable[[], float] | None = None,
+        **solver_kwargs,
+    ) -> None:
+        if placement.total_disks != system.num_disks:
+            raise StorageConfigError(
+                f"placement has {placement.total_disks} disks, system "
+                f"{system.num_disks}"
+            )
+        self.system = system
+        self.placement = placement
+        self.solver = solver
+        self.solver_kwargs = solver_kwargs
+        if time_fn is None:
+            import time as _time
+
+            time_fn = lambda: _time.perf_counter() * 1000.0  # noqa: E731
+        self._now = time_fn
+        self._lock = threading.Lock()
+        self._busy_until = [0.0] * system.num_disks
+        self._failed: set[int] = set()
+        self._last_arrival = 0.0
+        self._stats = ServiceStats(per_disk_buckets=[0] * system.num_disks)
+        self.history: list[ServiceRecord] = []
+
+    # ------------------------------------------------------------------
+    # failure management
+    # ------------------------------------------------------------------
+    def mark_failed(self, disks: Sequence[int]) -> None:
+        """Take disks out of scheduling (e.g. SMART pre-fail, dead path)."""
+        with self._lock:
+            for d in disks:
+                self.system.disk(d)  # validates the id
+                self._failed.add(d)
+
+    def mark_repaired(self, disks: Sequence[int]) -> None:
+        """Return repaired disks to service (their backlog restarts at 0)."""
+        with self._lock:
+            for d in disks:
+                self._failed.discard(d)
+                self._busy_until[d] = 0.0
+
+    @property
+    def failed_disks(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        bucket_coords: Sequence[tuple[int, int]],
+        arrival_ms: float | None = None,
+    ) -> ServiceRecord:
+        """Schedule one query; updates loads; returns the decision.
+
+        ``arrival_ms`` defaults to the injected clock and must be
+        non-decreasing across calls.
+        """
+        with self._lock:
+            now = self._now() if arrival_ms is None else float(arrival_ms)
+            if now < self._last_arrival:
+                raise StorageConfigError(
+                    f"arrivals must be non-decreasing "
+                    f"({now} < {self._last_arrival})"
+                )
+            self._last_arrival = now
+
+            # refresh X_j from the busy horizons
+            loads = [max(0.0, u - now) for u in self._busy_until]
+            self.system.set_loads(loads)
+
+            problem = RetrievalProblem.from_query(
+                self.system, self.placement, list(bucket_coords)
+            )
+            degraded = False
+            if self._failed:
+                try:
+                    problem = degrade_problem(problem, self._failed)
+                    degraded = True
+                except InfeasibleScheduleError:
+                    raise  # unanswerable: propagate with the bucket named
+
+            schedule = solve(problem, solver=self.solver, **self.solver_kwargs)
+
+            # advance busy horizons of the chosen disks
+            counts = schedule.counts_per_disk()
+            for j, k in enumerate(counts):
+                if k:
+                    disk = self.system.disk(j)
+                    self._busy_until[j] = (
+                        now + loads[j] + k * disk.block_time_ms
+                    )
+                    self._stats.per_disk_buckets[j] += k
+
+            record = ServiceRecord(
+                arrival_ms=now,
+                num_buckets=problem.num_buckets,
+                response_time_ms=schedule.response_time_ms,
+                assignment=schedule.as_bucket_map(),
+                degraded=degraded,
+                decision_time_ms=schedule.stats.wall_time_s * 1000.0,
+            )
+            self.history.append(record)
+            st = self._stats
+            st.queries += 1
+            st.buckets += record.num_buckets
+            st.total_response_ms += record.response_time_ms
+            st.max_response_ms = max(st.max_response_ms, record.response_time_ms)
+            st.total_decision_ms += record.decision_time_ms
+            if degraded:
+                st.degraded_queries += 1
+            return record
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A snapshot of the running aggregates."""
+        with self._lock:
+            return ServiceStats(
+                queries=self._stats.queries,
+                buckets=self._stats.buckets,
+                total_response_ms=self._stats.total_response_ms,
+                max_response_ms=self._stats.max_response_ms,
+                total_decision_ms=self._stats.total_decision_ms,
+                degraded_queries=self._stats.degraded_queries,
+                per_disk_buckets=list(self._stats.per_disk_buckets),
+            )

@@ -1,0 +1,126 @@
+"""Component-level disk access-time model.
+
+Table III defines the scheduler's ``C_j`` as the *average access time to
+read a block*: "the summation of spin-up time, seek time, rotational
+latency and transfer time for HDDs; just transfer time for SSDs."  This
+module implements that decomposition so users can model disks that are
+not in the catalogue (the paper's motivating deployments keep buying new
+arrays), and so tests can sanity-check the catalogue numbers against
+physics.
+
+The model (standard first-order disk arithmetic):
+
+* rotational latency  = half a revolution = ``30000 / rpm`` ms;
+* seek time           = supplied average seek (track-to-track weighted);
+* transfer time       = ``block_kb / sequential_mb_s`` scaled to ms;
+* spin-up amortized   = optional per-access share for drives that park.
+
+``fit_block_time`` inverts the model: given a measured block time (e.g. a
+Table III row) and the mechanical parameters, it returns the implied
+average seek — a consistency check used in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageConfigError
+from repro.storage.disk import DiskSpec
+
+__all__ = ["HddModel", "SsdModel", "fit_seek_time"]
+
+
+@dataclass(frozen=True)
+class HddModel:
+    """Mechanical disk parameters → average block access time."""
+
+    rpm: int
+    avg_seek_ms: float
+    sequential_mb_s: float
+    block_kb: float = 64.0
+    spinup_share_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rpm <= 0:
+            raise StorageConfigError(f"rpm must be positive, got {self.rpm}")
+        if self.avg_seek_ms < 0:
+            raise StorageConfigError("seek time must be >= 0")
+        if self.sequential_mb_s <= 0:
+            raise StorageConfigError("transfer rate must be positive")
+        if self.block_kb <= 0:
+            raise StorageConfigError("block size must be positive")
+
+    @property
+    def rotational_latency_ms(self) -> float:
+        """Half a revolution: ``(60_000 / rpm) / 2``."""
+        return 30000.0 / self.rpm
+
+    @property
+    def transfer_ms(self) -> float:
+        return self.block_kb / 1024.0 / self.sequential_mb_s * 1000.0
+
+    @property
+    def block_time_ms(self) -> float:
+        """Table III's "Time (ms)": spin-up + seek + rotation + transfer."""
+        return (
+            self.spinup_share_ms
+            + self.avg_seek_ms
+            + self.rotational_latency_ms
+            + self.transfer_ms
+        )
+
+    def to_spec(self, name: str, producer: str = "custom", model: str = "custom") -> DiskSpec:
+        """Materialize a catalogue entry from the model."""
+        return DiskSpec(name, producer, model, "HDD", self.rpm, round(self.block_time_ms, 3))
+
+
+@dataclass(frozen=True)
+class SsdModel:
+    """Flash parameters → average block access time (transfer only)."""
+
+    sequential_mb_s: float
+    block_kb: float = 64.0
+    controller_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sequential_mb_s <= 0:
+            raise StorageConfigError("transfer rate must be positive")
+        if self.block_kb <= 0:
+            raise StorageConfigError("block size must be positive")
+        if self.controller_overhead_ms < 0:
+            raise StorageConfigError("controller overhead must be >= 0")
+
+    @property
+    def block_time_ms(self) -> float:
+        """Table III's SSD rule: "just transfer time"."""
+        return (
+            self.controller_overhead_ms
+            + self.block_kb / 1024.0 / self.sequential_mb_s * 1000.0
+        )
+
+    def to_spec(self, name: str, producer: str = "custom", model: str = "custom") -> DiskSpec:
+        return DiskSpec(name, producer, model, "SSD", None, round(self.block_time_ms, 3))
+
+
+def fit_seek_time(
+    measured_block_ms: float,
+    rpm: int,
+    sequential_mb_s: float,
+    *,
+    block_kb: float = 64.0,
+    spinup_share_ms: float = 0.0,
+) -> float:
+    """The average seek implied by a measured block time.
+
+    Inverts :class:`HddModel`; raises if the measurement is below the
+    mechanical floor (rotation + transfer), which would mean the rpm or
+    transfer-rate assumptions are wrong.
+    """
+    probe = HddModel(rpm, 0.0, sequential_mb_s, block_kb, spinup_share_ms)
+    floor = probe.block_time_ms
+    if measured_block_ms < floor - 1e-9:
+        raise StorageConfigError(
+            f"measured {measured_block_ms} ms below mechanical floor "
+            f"{floor:.3f} ms (rotation + transfer at {rpm} rpm)"
+        )
+    return measured_block_ms - floor

@@ -1,0 +1,73 @@
+"""Random parameter generators — the paper's ``R(lo, hi, step)`` notation.
+
+Table IV writes delays and initial loads as ``R(2,10,2)``: "a number among
+the set 2, 4, 6, 8, and 10 is chosen randomly" (§VI-E).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageConfigError
+
+__all__ = ["RandomStepDistribution", "parse_r_notation"]
+
+
+@dataclass(frozen=True)
+class RandomStepDistribution:
+    """Uniform choice from ``{lo, lo+step, ..., hi}``."""
+
+    lo: float
+    hi: float
+    step: float
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise StorageConfigError(f"step must be positive, got {self.step}")
+        if self.hi < self.lo:
+            raise StorageConfigError(f"hi {self.hi} < lo {self.lo}")
+
+    @property
+    def support(self) -> np.ndarray:
+        """The value set, inclusive of both ends."""
+        count = int(round((self.hi - self.lo) / self.step)) + 1
+        return self.lo + self.step * np.arange(count)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw one value (``size=None``) or an array of ``size`` values."""
+        values = self.support
+        idx = rng.integers(0, len(values), size=size)
+        return values[idx]
+
+    def __str__(self) -> str:
+        def fmt(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else str(x)
+
+        if self.lo == self.hi:
+            return fmt(self.lo)  # Table IV prints constants bare ("0")
+        return f"R({fmt(self.lo)},{fmt(self.hi)},{fmt(self.step)})"
+
+
+_R_PATTERN = re.compile(
+    r"^\s*R\(\s*([0-9.]+)\s*,\s*([0-9.]+)\s*,\s*([0-9.]+)\s*\)\s*$"
+)
+
+
+def parse_r_notation(text: str) -> RandomStepDistribution:
+    """Parse ``"R(2,10,2)"`` into a :class:`RandomStepDistribution`.
+
+    A bare number parses as the degenerate distribution at that value, so
+    Table IV's ``0`` entries go through the same code path.
+    """
+    m = _R_PATTERN.match(text)
+    if m:
+        lo, hi, step = (float(g) for g in m.groups())
+        return RandomStepDistribution(lo, hi, step)
+    try:
+        value = float(text)
+    except ValueError:
+        raise StorageConfigError(f"cannot parse R-notation {text!r}") from None
+    return RandomStepDistribution(value, value, 1.0)

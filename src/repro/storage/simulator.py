@@ -1,0 +1,98 @@
+"""Event-driven retrieval simulator.
+
+The retrieval core *predicts* a query's response time analytically as
+``max_j (D_j + X_j + k_j * C_j)``.  This module re-derives it by actually
+playing the schedule out: each disk receives its requests after the site's
+network delay, drains its pre-existing backlog (``X_j``), then serves its
+assigned buckets back to back at ``C_j`` per bucket.  Tests assert the
+simulated response time equals the analytic one bucket-for-bucket — the
+model-validation loop the paper's authors get implicitly from measuring
+real arrays.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from repro.errors import InfeasibleScheduleError
+from repro.storage.system import StorageSystem
+
+__all__ = ["DiskEvent", "SimulationResult", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class DiskEvent:
+    """One bucket retrieval on one disk."""
+
+    disk_id: int
+    bucket: Hashable
+    start_ms: float
+    end_ms: float
+
+    @property
+    def service_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class SimulationResult:
+    """Timeline produced by :func:`simulate_schedule`."""
+
+    response_time_ms: float
+    events: list[DiskEvent] = field(default_factory=list)
+    finish_by_disk: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def buckets_by_disk(self) -> dict[int, int]:
+        counts: dict[int, int] = defaultdict(int)
+        for ev in self.events:
+            counts[ev.disk_id] += 1
+        return dict(counts)
+
+    def bottleneck_disk(self) -> int | None:
+        """Disk whose finish time determines the response time."""
+        if not self.finish_by_disk:
+            return None
+        return max(self.finish_by_disk, key=self.finish_by_disk.__getitem__)
+
+    def utilization(self, disk_id: int) -> float:
+        """Fraction of the response window the disk spent serving buckets."""
+        if self.response_time_ms <= 0:
+            return 0.0
+        busy = sum(ev.service_ms for ev in self.events if ev.disk_id == disk_id)
+        return busy / self.response_time_ms
+
+
+def simulate_schedule(
+    system: StorageSystem, assignment: Mapping[Hashable, int]
+) -> SimulationResult:
+    """Play out ``assignment`` (bucket → disk id) on ``system``.
+
+    Per disk: the request batch lands after the site delay ``D_j``, queues
+    behind the initial load ``X_j``, then buckets are served sequentially
+    at ``C_j`` each.  Response time is the latest finishing disk.
+    """
+    by_disk: dict[int, list[Hashable]] = defaultdict(list)
+    for bucket, disk_id in assignment.items():
+        if not 0 <= disk_id < system.num_disks:
+            raise InfeasibleScheduleError(
+                f"bucket {bucket!r} assigned to unknown disk {disk_id}"
+            )
+        by_disk[disk_id].append(bucket)
+
+    events: list[DiskEvent] = []
+    finish_by_disk: dict[int, float] = {}
+    for disk_id, buckets in sorted(by_disk.items()):
+        disk = system.disk(disk_id)
+        site = system.site_of(disk_id)
+        clock = site.delay_ms + disk.initial_load_ms
+        for bucket in buckets:
+            start = clock
+            clock += disk.block_time_ms
+            events.append(DiskEvent(disk_id, bucket, start, clock))
+        finish_by_disk[disk_id] = clock
+
+    response = max(finish_by_disk.values(), default=0.0)
+    return SimulationResult(response, events, finish_by_disk)

@@ -1,0 +1,194 @@
+"""The storage system: sites + disks, exposing the scheduler's (C, D, X).
+
+:class:`StorageSystem` is the single object the retrieval core consumes.
+It validates that global disk ids are dense and unique, and exposes the
+three per-disk parameter vectors of Table I as NumPy arrays:
+
+* ``costs()``   → ``C_j``: average per-bucket retrieval cost,
+* ``delays()``  → ``D_j``: network delay of the disk's site,
+* ``loads()``   → ``X_j``: time until the disk is idle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import StorageConfigError
+from repro.storage.disk import DISK_CATALOG, Disk, DiskSpec, pick_disks
+from repro.storage.site import Site
+
+__all__ = ["StorageSystem"]
+
+
+class StorageSystem:
+    """A multi-site collection of disks with scheduling parameters.
+
+    Parameters
+    ----------
+    sites:
+        Sites whose disks, concatenated, carry global ids ``0..N_total-1``
+        in site order.  (The paper's "disks 0-6 at site 1, 7-13 at
+        site 2" convention.)
+    """
+
+    def __init__(self, sites: Sequence[Site]) -> None:
+        if not sites:
+            raise StorageConfigError("a storage system needs at least one site")
+        self.sites = list(sites)
+        self._disks: list[Disk] = []
+        self._site_of: list[int] = []
+        expected = 0
+        for site in self.sites:
+            for disk in site.disks:
+                if disk.disk_id != expected:
+                    raise StorageConfigError(
+                        f"disk ids must be dense in site order: expected "
+                        f"{expected}, got {disk.disk_id} at site {site.site_id}"
+                    )
+                self._disks.append(disk)
+                self._site_of.append(site.site_id)
+                expected += 1
+        if expected == 0:
+            raise StorageConfigError("a storage system needs at least one disk")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_disks: int,
+        spec: DiskSpec | str = "cheetah",
+        *,
+        num_sites: int = 1,
+        delay_ms: float | Sequence[float] = 0.0,
+    ) -> "StorageSystem":
+        """Identical disks split evenly across ``num_sites`` sites."""
+        if isinstance(spec, str):
+            spec = DISK_CATALOG[spec]
+        if num_disks % max(num_sites, 1) != 0:
+            raise StorageConfigError(
+                f"{num_disks} disks do not split evenly over {num_sites} sites"
+            )
+        per_site = num_disks // num_sites
+        delays = (
+            [float(delay_ms)] * num_sites
+            if isinstance(delay_ms, (int, float))
+            else [float(d) for d in delay_ms]
+        )
+        if len(delays) != num_sites:
+            raise StorageConfigError(
+                f"need {num_sites} delays, got {len(delays)}"
+            )
+        sites = []
+        next_id = 0
+        for k in range(num_sites):
+            disks = [Disk(next_id + i, spec) for i in range(per_site)]
+            next_id += per_site
+            sites.append(Site(k, delays[k], disks))
+        return cls(sites)
+
+    @classmethod
+    def from_groups(
+        cls,
+        site_groups: Sequence[str],
+        disks_per_site: int,
+        *,
+        delays_ms: Sequence[float] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "StorageSystem":
+        """Build a system from Table IV disk-group names, one per site."""
+        delays = list(delays_ms) if delays_ms is not None else [0.0] * len(site_groups)
+        if len(delays) != len(site_groups):
+            raise StorageConfigError("one delay per site required")
+        sites = []
+        next_id = 0
+        for k, group in enumerate(site_groups):
+            specs = pick_disks(group, disks_per_site, rng)
+            disks = [Disk(next_id + i, specs[i]) for i in range(disks_per_site)]
+            next_id += disks_per_site
+            sites.append(Site(k, delays[k], disks))
+        return cls(sites)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_disks(self) -> int:
+        return len(self._disks)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def disks(self) -> list[Disk]:
+        return self._disks
+
+    def disk(self, disk_id: int) -> Disk:
+        if not 0 <= disk_id < len(self._disks):
+            raise StorageConfigError(
+                f"disk {disk_id} out of range [0, {self.num_disks})"
+            )
+        return self._disks[disk_id]
+
+    def site_of(self, disk_id: int) -> Site:
+        """The site owning ``disk_id``."""
+        self.disk(disk_id)
+        return self.sites[self._site_of[disk_id]]
+
+    def costs(self) -> np.ndarray:
+        """``C_j`` vector (ms per bucket)."""
+        return np.array([d.block_time_ms for d in self._disks], dtype=float)
+
+    def delays(self) -> np.ndarray:
+        """``D_j`` vector (ms), one entry per disk (its site's delay)."""
+        return np.array(
+            [self.sites[self._site_of[i]].delay_ms for i in range(self.num_disks)],
+            dtype=float,
+        )
+
+    def loads(self) -> np.ndarray:
+        """``X_j`` vector (ms)."""
+        return np.array([d.initial_load_ms for d in self._disks], dtype=float)
+
+    def set_loads(self, loads: Iterable[float]) -> None:
+        """Overwrite every disk's ``X_j`` (validated non-negative)."""
+        values = [float(x) for x in loads]
+        if len(values) != self.num_disks:
+            raise StorageConfigError(
+                f"need {self.num_disks} loads, got {len(values)}"
+            )
+        for disk, x in zip(self._disks, values):
+            if x < 0:
+                raise StorageConfigError(f"negative load {x} for disk {disk.disk_id}")
+            disk.initial_load_ms = x
+
+    def finish_time(self, disk_id: int, buckets: int) -> float:
+        """``D_j + X_j + k * C_j`` — when disk ``j`` finishes ``k`` buckets."""
+        if buckets < 0:
+            raise StorageConfigError(f"bucket count must be >= 0, got {buckets}")
+        if buckets == 0:
+            return 0.0
+        d = self.disk(disk_id)
+        site = self.sites[self._site_of[disk_id]]
+        return site.delay_ms + d.initial_load_ms + buckets * d.block_time_ms
+
+    def capacity_at(self, disk_id: int, deadline_ms: float) -> int:
+        """Buckets disk ``j`` can serve by ``deadline``:
+        ``floor((t - D_j - X_j) / C_j)``, clamped at 0 (Algorithm 6 line 15).
+        """
+        d = self.disk(disk_id)
+        site = self.sites[self._site_of[disk_id]]
+        budget = deadline_ms - site.delay_ms - d.initial_load_ms
+        if budget <= 0:
+            return 0
+        # guard float-epsilon: a deadline exactly k*C must admit k buckets
+        return int((budget + 1e-9) // d.block_time_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StorageSystem({self.num_sites} sites, {self.num_disks} disks)"
+        )

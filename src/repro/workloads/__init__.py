@@ -1,0 +1,47 @@
+"""Workloads: query types, query loads, and the paper's experiments.
+
+* :mod:`repro.workloads.queries` — range and arbitrary queries on the
+  wraparound ``N × N`` grid (§VI-B).
+* :mod:`repro.workloads.loads` — the three query-size distributions
+  (§VI-C).
+* :mod:`repro.workloads.experiments` — Table IV's five experiment
+  configurations and instance builders.
+"""
+
+from repro.workloads.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    build_problem,
+    build_system,
+)
+from repro.workloads.loads import (
+    QUERY_LOADS,
+    QueryLoad,
+    sample_bucket_count,
+)
+from repro.workloads.queries import (
+    ArbitraryQuery,
+    RangeQuery,
+    count_range_queries,
+    sample_arbitrary_query,
+    sample_arbitrary_query_of_size,
+    sample_range_query,
+    sample_range_query_of_size,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "build_problem",
+    "build_system",
+    "QUERY_LOADS",
+    "QueryLoad",
+    "sample_bucket_count",
+    "ArbitraryQuery",
+    "RangeQuery",
+    "count_range_queries",
+    "sample_arbitrary_query",
+    "sample_arbitrary_query_of_size",
+    "sample_range_query",
+    "sample_range_query_of_size",
+]

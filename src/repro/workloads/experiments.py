@@ -1,0 +1,121 @@
+"""Table IV — the paper's five experiment configurations.
+
+====  =====  ======  =========  ==========  =======  =========  ==========  =======
+Exp   Sites  Props   S1 disks   S1 delays   S1 lds   S2 disks   S2 delays   S2 lds
+====  =====  ======  =========  ==========  =======  =========  ==========  =======
+1     2      hom.    cheetah    0           0        cheetah    0           0
+2     2      het.    ssd        0           0        hdd        0           0
+3     2      het.    hdd        0           0        ssd        0           0
+4     2      het.    ssd+hdd    0           0        ssd+hdd    0           0
+5     2      het.    ssd+hdd    R(2,10,2)   R(...)   ssd+hdd    R(2,10,2)   R(...)
+====  =====  ======  =========  ==========  =======  =========  ==========  =======
+
+Heterogeneous groups draw each disk uniformly from the group; delays are
+drawn once per site, initial loads once per disk (§VI-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import RetrievalProblem
+from repro.decluster.multisite import MultiSitePlacement, make_placement
+from repro.errors import WorkloadError
+from repro.storage.loadgen import RandomStepDistribution, parse_r_notation
+from repro.storage.system import StorageSystem
+from repro.workloads.loads import sample_query
+
+__all__ = ["ExperimentConfig", "EXPERIMENTS", "build_system", "build_problem"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One row of Table IV."""
+
+    number: int
+    homogeneous: bool
+    site_groups: tuple[str, str]
+    delay_dist: RandomStepDistribution
+    load_dist: RandomStepDistribution
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.site_groups)
+
+    def describe(self) -> str:
+        kind = "hom." if self.homogeneous else "het."
+        return (
+            f"Experiment {self.number}: {self.num_sites} sites, {kind}, "
+            f"disks {'/'.join(self.site_groups)}, delays {self.delay_dist}, "
+            f"loads {self.load_dist}"
+        )
+
+
+_ZERO = parse_r_notation("0")
+_R2_10_2 = parse_r_notation("R(2,10,2)")
+
+#: Table IV, keyed by experiment number.
+EXPERIMENTS: dict[int, ExperimentConfig] = {
+    1: ExperimentConfig(1, True, ("cheetah", "cheetah"), _ZERO, _ZERO),
+    2: ExperimentConfig(2, False, ("ssd", "hdd"), _ZERO, _ZERO),
+    3: ExperimentConfig(3, False, ("hdd", "ssd"), _ZERO, _ZERO),
+    4: ExperimentConfig(4, False, ("ssd+hdd", "ssd+hdd"), _ZERO, _ZERO),
+    5: ExperimentConfig(5, False, ("ssd+hdd", "ssd+hdd"), _R2_10_2, _R2_10_2),
+}
+
+
+def build_system(
+    experiment: int | ExperimentConfig, N: int, rng: np.random.Generator
+) -> StorageSystem:
+    """Instantiate the experiment's 2-site system with ``N`` disks/site."""
+    cfg = _config(experiment)
+    delays = [float(cfg.delay_dist.sample(rng)) for _ in cfg.site_groups]
+    system = StorageSystem.from_groups(
+        list(cfg.site_groups), N, delays_ms=delays, rng=rng
+    )
+    system.set_loads(cfg.load_dist.sample(rng, size=system.num_disks))
+    return system
+
+
+def build_problem(
+    experiment: int | ExperimentConfig,
+    scheme: str,
+    N: int,
+    qtype: str,
+    load: int,
+    rng: np.random.Generator,
+    *,
+    placement: MultiSitePlacement | None = None,
+    system: StorageSystem | None = None,
+) -> RetrievalProblem:
+    """One random retrieval instance of the experiment.
+
+    ``placement`` and ``system`` may be passed in to amortize their
+    construction over many queries (the bench harness does); when omitted
+    they are built from ``rng``.
+    """
+    cfg = _config(experiment)
+    if placement is None:
+        placement = make_placement(scheme, N, num_sites=cfg.num_sites, rng=rng)
+    if system is None:
+        system = build_system(cfg, N, rng)
+    if system.num_disks != placement.total_disks:
+        raise WorkloadError(
+            f"system has {system.num_disks} disks, placement "
+            f"{placement.total_disks}"
+        )
+    query = sample_query(load, qtype, N, rng)
+    return RetrievalProblem.from_query(system, placement, query.buckets())
+
+
+def _config(experiment: int | ExperimentConfig) -> ExperimentConfig:
+    if isinstance(experiment, ExperimentConfig):
+        return experiment
+    try:
+        return EXPERIMENTS[experiment]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown experiment {experiment}; Table IV defines 1-5"
+        ) from None

@@ -1,0 +1,139 @@
+"""Query loads — the three query-size distributions of §VI-C.
+
+``p^i_k`` denotes the probability that a load-``i`` query can be
+retrieved in ``k`` disk accesses optimally; given ``k``, the bucket count
+is uniform in ``[(k-1)N + 1, kN]``.
+
+* **Load 1** — "the distribution of queries is similar to the
+  distribution of queries for the particular query type": range queries
+  are drawn uniformly over (corner, shape), arbitrary queries uniformly
+  over subsets.  Expected sizes ``N²/4 + O(1/N)`` and ``N²/2 + O(1/N)``.
+* **Load 2** — uniform: ``p²_k = 1/N``.  Expected size ``N²/2``.
+* **Load 3** — much smaller queries: ``p³_k = 2N / ((2N-1) · 2^k)``, i.e.
+  ``p³_k = p³_{k-1}/2`` (renormalized over ``k = 1..N``).  Expected size
+  ``≈ 3N/2``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.queries import (
+    sample_arbitrary_query,
+    sample_arbitrary_query_of_size,
+    sample_range_query,
+    sample_range_query_of_size,
+)
+
+__all__ = ["QueryLoad", "QUERY_LOADS", "sample_bucket_count", "sample_query"]
+
+QUERY_TYPES = ("range", "arbitrary")
+
+
+class QueryLoad(abc.ABC):
+    """One of the paper's query-size distributions."""
+
+    #: load index as used in the figures (1, 2, 3)
+    number: int
+
+    @abc.abstractmethod
+    def k_probabilities(self, N: int) -> np.ndarray:
+        """``p_k`` for ``k = 1..N`` (index 0 ↔ k=1); sums to 1.
+
+        Load 1 has no explicit ``k`` distribution (it samples query shapes
+        directly) and raises.
+        """
+
+    def sample_size(self, N: int, rng: np.random.Generator) -> int:
+        """Draw a bucket count: pick ``k`` by ``p_k``, then uniform in
+        ``[(k-1)N + 1, kN]``."""
+        probs = self.k_probabilities(N)
+        k = 1 + int(rng.choice(N, p=probs))
+        return int(rng.integers((k - 1) * N + 1, k * N + 1))
+
+    def sample_query(self, qtype: str, N: int, rng: np.random.Generator):
+        """Draw a query of the given type under this load."""
+        if qtype not in QUERY_TYPES:
+            raise WorkloadError(
+                f"unknown query type {qtype!r}; choose from {QUERY_TYPES}"
+            )
+        size = self.sample_size(N, rng)
+        lo, hi = _band_of(size, N)
+        if qtype == "range":
+            return sample_range_query_of_size(N, lo, hi, rng)
+        return sample_arbitrary_query_of_size(N, size, rng)
+
+
+def _band_of(size: int, N: int) -> tuple[int, int]:
+    """The ``[(k-1)N+1, kN]`` band containing ``size``."""
+    k = -(-size // N)
+    return (k - 1) * N + 1, k * N
+
+
+class Load1(QueryLoad):
+    """Type-native distribution (no k mixture)."""
+
+    number = 1
+
+    def k_probabilities(self, N: int) -> np.ndarray:
+        raise WorkloadError("load 1 samples query shapes directly")
+
+    def sample_size(self, N: int, rng: np.random.Generator) -> int:
+        raise WorkloadError("load 1 samples query shapes directly")
+
+    def sample_query(self, qtype: str, N: int, rng: np.random.Generator):
+        if qtype == "range":
+            return sample_range_query(N, rng)
+        if qtype == "arbitrary":
+            return sample_arbitrary_query(N, rng)
+        raise WorkloadError(
+            f"unknown query type {qtype!r}; choose from {QUERY_TYPES}"
+        )
+
+
+class Load2(QueryLoad):
+    """Uniform ``p_k = 1/N``."""
+
+    number = 2
+
+    def k_probabilities(self, N: int) -> np.ndarray:
+        if N < 1:
+            raise WorkloadError(f"N must be >= 1, got {N}")
+        return np.full(N, 1.0 / N)
+
+
+class Load3(QueryLoad):
+    """Halving tail ``p_k ∝ 2^{-k}`` — much smaller queries."""
+
+    number = 3
+
+    def k_probabilities(self, N: int) -> np.ndarray:
+        if N < 1:
+            raise WorkloadError(f"N must be >= 1, got {N}")
+        raw = 0.5 ** np.arange(1, N + 1)
+        return raw / raw.sum()
+
+
+#: load index → singleton instance
+QUERY_LOADS: dict[int, QueryLoad] = {1: Load1(), 2: Load2(), 3: Load3()}
+
+
+def sample_bucket_count(load: int, N: int, rng: np.random.Generator) -> int:
+    """Bucket count under load 2 or 3 (load 1 is shape-native)."""
+    try:
+        dist = QUERY_LOADS[load]
+    except KeyError:
+        raise WorkloadError(f"unknown load {load}; choose 1, 2 or 3") from None
+    return dist.sample_size(N, rng)
+
+
+def sample_query(load: int, qtype: str, N: int, rng: np.random.Generator):
+    """Draw one query under ``(load, qtype)`` on an ``N × N`` grid."""
+    try:
+        dist = QUERY_LOADS[load]
+    except KeyError:
+        raise WorkloadError(f"unknown load {load}; choose 1, 2 or 3") from None
+    return dist.sample_query(qtype, N, rng)

@@ -1,0 +1,95 @@
+"""Mixed workloads: weighted blends of query types and loads.
+
+Real frontends are never one pure distribution — a mapping UI mixes
+viewport range queries (load 3) with occasional analytical sweeps
+(arbitrary, load 2).  :class:`WorkloadMix` samples from a weighted blend
+of the paper's (load, qtype) components and emits replay-ready streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.loads import QUERY_TYPES, sample_query
+
+__all__ = ["MixComponent", "WorkloadMix"]
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One ingredient of a mix."""
+
+    weight: float
+    load: int
+    qtype: str
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise WorkloadError(f"weight must be positive, got {self.weight}")
+        if self.load not in (1, 2, 3):
+            raise WorkloadError(f"unknown load {self.load}")
+        if self.qtype not in QUERY_TYPES:
+            raise WorkloadError(f"unknown query type {self.qtype!r}")
+
+
+class WorkloadMix:
+    """A weighted mixture of (load, query-type) components.
+
+    >>> mix = WorkloadMix([
+    ...     MixComponent(0.8, 3, "range"),      # interactive viewports
+    ...     MixComponent(0.2, 2, "arbitrary"),  # analytical sweeps
+    ... ])
+    >>> q = mix.sample(8, rng)
+    """
+
+    def __init__(self, components: list[MixComponent]) -> None:
+        if not components:
+            raise WorkloadError("a mix needs at least one component")
+        self.components = list(components)
+        total = sum(c.weight for c in components)
+        self._probs = np.array([c.weight / total for c in components])
+
+    def sample(self, N: int, rng: np.random.Generator):
+        """Draw one query from the blend."""
+        k = int(rng.choice(len(self.components), p=self._probs))
+        c = self.components[k]
+        return sample_query(c.load, c.qtype, N, rng)
+
+    def sample_component(self, rng: np.random.Generator) -> MixComponent:
+        """Draw which component fires (for labeling/accounting)."""
+        k = int(rng.choice(len(self.components), p=self._probs))
+        return self.components[k]
+
+    def stream(
+        self,
+        N: int,
+        n_queries: int,
+        mean_interarrival_ms: float,
+        rng: np.random.Generator,
+    ):
+        """A Poisson-arrival trace of blended queries (TraceEvents)."""
+        from repro.storage.trace import TraceEvent
+
+        if mean_interarrival_ms <= 0:
+            raise WorkloadError("mean interarrival must be positive")
+        clock = 0.0
+        events = []
+        for _ in range(n_queries):
+            clock += float(rng.exponential(mean_interarrival_ms))
+            q = self.sample(N, rng)
+            events.append(TraceEvent(clock, tuple(q.buckets())))
+        return events
+
+    def expected_size(self, N: int) -> float:
+        """Blend of the components' closed-form E[|Q|]."""
+        from repro.workloads.stats import expected_bucket_count
+
+        return float(
+            sum(
+                p * expected_bucket_count(c.load, c.qtype, N)
+                for p, c in zip(self._probs, self.components)
+            )
+        )

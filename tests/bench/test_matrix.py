@@ -1,0 +1,78 @@
+"""Tests for the experiment-matrix runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.matrix import MatrixCell, run_matrix
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix(
+        experiments=(1, 5),
+        schemes=("rda", "dependent"),
+        qtypes=("range",),
+        loads=(3,),
+        ns=(4,),
+        n_queries=2,
+        seed=1,
+    )
+
+
+class TestRunMatrix:
+    def test_grid_size(self, small_matrix):
+        assert len(small_matrix.cells) == 2 * 2 * 1 * 1 * 1
+
+    def test_cells_carry_both_solvers(self, small_matrix):
+        for cell in small_matrix.cells:
+            assert set(cell.mean_ms) == {"pr-binary", "blackbox-binary"}
+            assert all(v > 0 for v in cell.mean_ms.values())
+            assert cell.mean_response_ms > 0
+
+    def test_filter(self, small_matrix):
+        exp5 = small_matrix.filter(experiment=5)
+        assert len(exp5) == 2
+        assert all(c.experiment == 5 for c in exp5)
+        rda5 = small_matrix.filter(experiment=5, scheme="rda")
+        assert len(rda5) == 1
+
+    def test_table_renders(self, small_matrix):
+        text = small_matrix.to_table(["pr-binary", "blackbox-binary"])
+        assert "exp" in text
+        assert text.count("\n") >= 5
+
+    def test_worst_ratio(self, small_matrix):
+        worst = small_matrix.worst_ratio("blackbox-binary", "pr-binary")
+        assert worst is not None
+        assert worst.ratio("blackbox-binary", "pr-binary") >= max(
+            c.ratio("blackbox-binary", "pr-binary")
+            for c in small_matrix.cells
+        ) - 1e-12
+
+    def test_empty_matrix(self):
+        from repro.bench.matrix import MatrixResult
+
+        empty = MatrixResult()
+        assert empty.worst_ratio("a", "b") is None
+        assert empty.filter(experiment=1) == []
+
+
+class TestCell:
+    def test_ratio(self):
+        cell = MatrixCell(1, "rda", "range", 1, 4,
+                          {"a": 2.0, "b": 1.0}, 10.0)
+        assert cell.ratio("a", "b") == 2.0
+        zero = MatrixCell(1, "rda", "range", 1, 4, {"a": 2.0, "b": 0.0}, 10.0)
+        assert zero.ratio("a", "b") == 0.0
+
+
+class TestCliMatrix:
+    def test_matrix_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["matrix", "--experiments", "1", "--schemes", "rda",
+                     "--qtypes", "range", "--loads", "3", "--ns", "4",
+                     "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "largest black-box/integrated ratio" in out

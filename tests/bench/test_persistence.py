@@ -1,0 +1,91 @@
+"""Tests for JSON persistence of figure results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.figures import FigureResult, Panel, table3
+from repro.bench.harness import BenchScale
+from repro.bench.persistence import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+)
+from repro.errors import ReproError
+
+
+def sample_figure() -> FigureResult:
+    return FigureResult(
+        "Figure X",
+        "test figure",
+        panels=[
+            Panel("(a) panel", "N", [1, 2, 3],
+                  {"s1": [0.1, 0.2, 0.3], "s2": [1.0, 2.0, 3.0]},
+                  unit="ms", notes="note"),
+        ],
+        scale=BenchScale(ns=(1, 2, 3), queries_per_point=4, full=False),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        fig = sample_figure()
+        restored = figure_from_dict(figure_to_dict(fig))
+        assert restored.figure_id == fig.figure_id
+        assert restored.title == fig.title
+        assert restored.scale == fig.scale
+        assert restored.panels[0].series == fig.panels[0].series
+        assert restored.panels[0].notes == "note"
+
+    def test_file_roundtrip(self, tmp_path):
+        fig = sample_figure()
+        path = save_figure(fig, tmp_path / "fig.json")
+        assert path.exists()
+        restored = load_figure(path)
+        assert restored.render() == fig.render()
+
+    def test_real_figure_roundtrips(self, tmp_path):
+        fig = table3()
+        restored = load_figure(save_figure(fig, tmp_path / "t3.json"))
+        assert len(restored.panels) == len(fig.panels)
+        assert restored.scale is None
+
+    def test_json_is_plain_and_versioned(self, tmp_path):
+        path = save_figure(sample_figure(), tmp_path / "fig.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["panels"][0]["xs"] == [1, 2, 3]
+
+
+class TestErrors:
+    def test_wrong_schema_rejected(self):
+        data = figure_to_dict(sample_figure())
+        data["schema"] = 99
+        with pytest.raises(ReproError, match="schema"):
+            figure_from_dict(data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot load"):
+            load_figure(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="cannot load"):
+            load_figure(path)
+
+
+class TestCliIntegration:
+    def test_figure_output_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_NS", "3")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "1")
+        out_file = tmp_path / "out.json"
+        assert main(["figure", "fig07", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        restored = load_figure(out_file)
+        assert restored.figure_id == "Figure 7"

@@ -1,0 +1,40 @@
+"""Tests for the profiling helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profiling import ProfileReport, profile_solver
+
+
+class TestProfileSolver:
+    def test_basic_report(self):
+        report = profile_solver(
+            "pr-binary", experiment=1, N=4, load=3, qtype="range",
+            n_queries=2, seed=1, top=5,
+        )
+        assert isinstance(report, ProfileReport)
+        assert report.solver == "pr-binary"
+        assert report.n_queries == 2
+        assert report.total_seconds >= 0
+        assert "binary_scaling_solve" in report.table
+
+    def test_render(self):
+        report = profile_solver(
+            "greedy-finish-time", experiment=1, N=4, load=3, qtype="range",
+            n_queries=2, seed=1,
+        )
+        text = report.render()
+        assert text.startswith("profile: greedy-finish-time")
+        assert "cumulative" in text
+
+    def test_sort_key_forwarded(self):
+        report = profile_solver(
+            "pr-binary", experiment=1, N=4, load=3, qtype="range",
+            n_queries=2, seed=1, sort="tottime",
+        )
+        assert "tottime" in report.table or "internal time" in report.table
+
+    def test_unknown_solver_propagates(self):
+        with pytest.raises(KeyError):
+            profile_solver("simplex", N=4, n_queries=1)

@@ -1,0 +1,76 @@
+"""Tests for benchmark regression diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FigureResult, Panel
+from repro.bench.regression import SeriesDelta, compare_figures, format_deltas
+from repro.errors import ReproError
+
+
+def fig(values, fid="Figure X", xs=(1, 2)):
+    return FigureResult(
+        fid,
+        "t",
+        panels=[Panel("(a)", "N", list(xs), {"s": list(values)}, unit="ms")],
+    )
+
+
+class TestCompare:
+    def test_identical_runs_no_flags(self):
+        deltas = compare_figures(fig([1.0, 2.0]), fig([1.0, 2.0]))
+        assert len(deltas) == 2
+        assert not any(d.exceeds(0.05) for d in deltas)
+
+    def test_regression_flagged(self):
+        deltas = compare_figures(fig([1.0, 2.0]), fig([1.0, 3.0]))
+        flagged = [d for d in deltas if d.exceeds(0.25)]
+        assert len(flagged) == 1
+        assert flagged[0].x == 2
+        assert flagged[0].ratio == pytest.approx(1.5)
+
+    def test_improvement_also_flagged(self):
+        deltas = compare_figures(fig([2.0]), fig([1.0]), )
+        assert deltas[0].exceeds(0.25)
+        assert deltas[0].ratio == pytest.approx(0.5)
+
+    def test_different_figures_rejected(self):
+        with pytest.raises(ReproError, match="different figures"):
+            compare_figures(fig([1.0]), fig([1.0], fid="Figure Y"))
+
+    def test_mismatched_x_grid_rejected(self):
+        with pytest.raises(ReproError, match="x grids"):
+            compare_figures(fig([1.0, 2.0]), fig([1.0, 2.0], xs=(1, 3)))
+
+    def test_missing_panel_or_series_skipped(self):
+        a = fig([1.0, 2.0])
+        b = FigureResult("Figure X", "t", panels=[
+            Panel("(b)", "N", [1, 2], {"s": [1.0, 2.0]}),
+        ])
+        assert compare_figures(a, b) == []
+
+    def test_zero_before(self):
+        d = SeriesDelta("p", "s", 1, 0.0, 1.0)
+        assert d.ratio == float("inf")
+        d0 = SeriesDelta("p", "s", 1, 0.0, 0.0)
+        assert d0.ratio == 1.0
+
+
+class TestFormat:
+    def test_clean_report(self):
+        deltas = compare_figures(fig([1.0, 2.0]), fig([1.02, 2.01]))
+        text = format_deltas(deltas)
+        assert "within 25%" in text
+        assert "mean after/before" in text
+
+    def test_flagged_report_sorted(self):
+        deltas = compare_figures(fig([1.0, 2.0]), fig([1.3, 8.0]))
+        text = format_deltas(deltas)
+        assert "2/2 points moved" in text
+        # the worst regression (4x) is listed first
+        lines = [l for l in text.splitlines() if "->" in l]
+        assert "4.00x" in lines[0]
+
+    def test_empty(self):
+        assert "all 0 comparable points" in format_deltas([])

@@ -1,0 +1,157 @@
+"""Tests for batch scheduling and degraded-mode retrieval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RetrievalProblem,
+    degrade_problem,
+    failure_impact,
+    isolation_penalty,
+    merge_problems,
+    solve,
+    solve_batch,
+    solve_degraded,
+)
+from repro.core.degraded import failed_site_disks
+from repro.errors import InfeasibleScheduleError
+from repro.storage import StorageSystem
+
+
+def mk_batch(seed=0, n_queries=3, n_disks=6):
+    rng = np.random.default_rng(seed)
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], n_disks // 2,
+        delays_ms=[1, 2], rng=rng,
+    )
+    problems = []
+    for _ in range(n_queries):
+        reps = tuple(
+            tuple(sorted(rng.choice(n_disks, size=2, replace=False).tolist()))
+            for _ in range(int(rng.integers(2, 6)))
+        )
+        problems.append(RetrievalProblem(sys_, reps))
+    return problems
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        problems = mk_batch()
+        merged, owner = merge_problems(problems)
+        assert merged.num_buckets == sum(p.num_buckets for p in problems)
+        assert len(owner) == merged.num_buckets
+        assert set(owner) == {0, 1, 2}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(InfeasibleScheduleError, match="empty"):
+            merge_problems([])
+
+    def test_mixed_systems_rejected(self):
+        a = mk_batch(seed=1)[0]
+        b = mk_batch(seed=2)[0]
+        with pytest.raises(InfeasibleScheduleError, match="different storage"):
+            merge_problems([a, b])
+
+
+class TestSolveBatch:
+    def test_makespan_optimal_vs_brute_force(self):
+        from repro.core import brute_force_response_time
+
+        problems = mk_batch(seed=3, n_queries=2)
+        merged, _ = merge_problems(problems)
+        if merged.num_buckets <= 12:
+            batch = solve_batch(problems)
+            assert batch.makespan_ms == pytest.approx(
+                brute_force_response_time(merged)
+            )
+
+    def test_per_query_split_partitions_assignment(self):
+        problems = mk_batch(seed=4)
+        batch = solve_batch(problems)
+        splits = batch.per_query_assignments()
+        assert len(splits) == 3
+        for p, split in zip(problems, splits):
+            assert len(split) == p.num_buckets
+            for i, d in split.items():
+                assert d in p.replicas[i]
+
+    def test_per_query_finish_bounded_by_makespan(self):
+        problems = mk_batch(seed=5)
+        batch = solve_batch(problems)
+        finishes = batch.per_query_finish_ms()
+        assert len(finishes) == 3
+        assert max(finishes) == pytest.approx(batch.makespan_ms)
+        assert all(f > 0 for f in finishes)
+
+    def test_joint_never_worse_than_isolated(self):
+        for seed in range(6):
+            problems = mk_batch(seed=seed, n_queries=3)
+            joint, isolated = isolation_penalty(problems)
+            assert joint <= isolated + 1e-9
+
+    def test_isolation_penalty_strict_sometimes(self):
+        hits = 0
+        for seed in range(12):
+            problems = mk_batch(seed=100 + seed, n_queries=4)
+            joint, isolated = isolation_penalty(problems)
+            if joint < isolated - 1e-9:
+                hits += 1
+        assert hits >= 3  # batch-awareness genuinely helps
+
+
+class TestDegraded:
+    def problem(self):
+        sys_ = StorageSystem.homogeneous(6, "cheetah", num_sites=2, delay_ms=[0, 2])
+        reps = ((0, 3), (1, 4), (2, 5), (0, 4))
+        return RetrievalProblem(sys_, reps)
+
+    def test_degrade_removes_failed(self):
+        p = degrade_problem(self.problem(), [0])
+        assert p.replicas[0] == (3,)
+        assert p.replicas[3] == (4,)
+        assert p.replicas[1] == (1, 4)
+
+    def test_all_replicas_lost_reported(self):
+        with pytest.raises(InfeasibleScheduleError, match="lost all replicas"):
+            degrade_problem(self.problem(), [0, 3])
+
+    def test_unknown_disk_rejected(self):
+        with pytest.raises(InfeasibleScheduleError, match="unknown disk"):
+            degrade_problem(self.problem(), [99])
+
+    def test_solve_degraded_avoids_failures(self):
+        sched = solve_degraded(self.problem(), [0, 1])
+        assert sched.counts_per_disk()[0] == 0
+        assert sched.counts_per_disk()[1] == 0
+
+    def test_degraded_never_faster(self):
+        p = self.problem()
+        healthy = solve(p).response_time_ms
+        degraded = solve_degraded(p, [0]).response_time_ms
+        assert degraded >= healthy - 1e-9
+
+    def test_failure_impact(self):
+        impact = failure_impact(self.problem(), [0, 1, 2])
+        assert impact.failed_disks == (0, 1, 2)
+        assert impact.slowdown >= 1.0
+        assert impact.degraded_ms >= impact.healthy_ms - 1e-9
+
+    def test_failed_site_disks(self):
+        sys_ = StorageSystem.homogeneous(6, "cheetah", num_sites=2)
+        assert failed_site_disks(sys_, 0) == [0, 1, 2]
+        assert failed_site_disks(sys_, 1) == [3, 4, 5]
+        with pytest.raises(InfeasibleScheduleError):
+            failed_site_disks(sys_, 7)
+
+    def test_whole_site_outage_survivable_with_two_sites(self):
+        """Two-site replication: losing one site leaves the other copy."""
+        from repro.decluster import make_placement
+
+        placement = make_placement("orthogonal", 4, num_sites=2, seed=0)
+        sys_ = StorageSystem.homogeneous(8, "cheetah", num_sites=2)
+        coords = [(i, j) for i in range(2) for j in range(3)]
+        p = RetrievalProblem.from_query(sys_, placement, coords)
+        sched = solve_degraded(p, failed_site_disks(sys_, 0))
+        assert all(d >= 4 for d in sched.assignment.values())

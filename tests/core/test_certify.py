@@ -1,0 +1,112 @@
+"""Tests for schedule verification and optimality certification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RetrievalProblem,
+    RetrievalSchedule,
+    SolverStats,
+    certify_optimal,
+    solve,
+    verify_schedule,
+)
+from repro.errors import InfeasibleScheduleError
+from repro.storage import StorageSystem
+
+
+def random_problem(seed, n_buckets=7):
+    rng = np.random.default_rng(seed)
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], 3,
+        delays_ms=rng.integers(0, 4, size=2).tolist(), rng=rng,
+    )
+    sys_.set_loads(rng.integers(0, 4, size=6).astype(float))
+    reps = tuple(
+        tuple(sorted(rng.choice(6, size=2, replace=False).tolist()))
+        for _ in range(n_buckets)
+    )
+    return RetrievalProblem(sys_, reps)
+
+
+class TestVerify:
+    def test_valid_schedule_passes(self):
+        p = random_problem(1)
+        verify_schedule(p, solve(p))
+
+    def test_wrong_response_time_detected(self):
+        p = random_problem(2)
+        good = solve(p)
+        lied = RetrievalSchedule(
+            p, good.assignment, good.response_time_ms / 2, SolverStats(),
+            solver="liar",
+        )
+        with pytest.raises(InfeasibleScheduleError, match="cost model"):
+            verify_schedule(p, lied)
+
+    def test_schedule_for_other_problem_detected(self):
+        p1, p2 = random_problem(3), random_problem(4)
+        sched = solve(p1)
+        with pytest.raises(InfeasibleScheduleError, match="different problem"):
+            verify_schedule(p2, sched)
+
+
+class TestCertify:
+    @pytest.mark.parametrize("solver", ["pr-binary", "ff-incremental",
+                                        "blackbox-binary", "parallel-binary"])
+    def test_every_optimal_solver_certifies(self, solver):
+        for seed in range(4):
+            p = random_problem(seed)
+            cert = certify_optimal(p, solve(p, solver=solver))
+            assert cert.feasible and cert.optimal, cert.reason
+            assert bool(cert)
+
+    def test_greedy_sometimes_fails_certification(self):
+        failures = 0
+        for seed in range(25):
+            p = random_problem(100 + seed)
+            sched = solve(p, solver="greedy-finish-time")
+            cert = certify_optimal(p, sched)
+            assert cert.feasible
+            if not cert.optimal:
+                failures += 1
+                assert "faster schedule exists" in cert.reason
+                assert cert.next_lower_candidate_ms is not None
+                assert cert.next_lower_candidate_ms < sched.response_time_ms
+        assert failures >= 3
+
+    def test_trivial_single_option(self):
+        sys_ = StorageSystem.homogeneous(1, "cheetah")
+        p = RetrievalProblem(sys_, ((0,),))
+        cert = certify_optimal(p, solve(p))
+        assert cert.optimal
+        assert cert.next_lower_candidate_ms is None
+        assert "trivially optimal" in cert.reason
+
+    def test_infeasible_schedule_reported_not_raised(self):
+        p = random_problem(5)
+        good = solve(p)
+        lied = RetrievalSchedule(
+            p, good.assignment, good.response_time_ms * 3, SolverStats(),
+            solver="liar",
+        )
+        cert = certify_optimal(p, lied)
+        assert not cert.feasible and not cert.optimal
+        assert "infeasible" in cert.reason
+        assert not bool(cert)
+
+    def test_certificate_never_consults_other_solvers(self):
+        """The certificate is a max-flow witness, so it must also agree
+        with brute force — closing the loop without circularity."""
+        from repro.core import brute_force_response_time
+
+        for seed in range(4):
+            p = random_problem(50 + seed, n_buckets=6)
+            sched = solve(p)
+            cert = certify_optimal(p, sched)
+            assert cert.optimal
+            assert sched.response_time_ms == pytest.approx(
+                brute_force_response_time(p)
+            )

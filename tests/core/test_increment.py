@@ -1,0 +1,106 @@
+"""Tests for Algorithm 3 (IncrementMinCost)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MinCostIncrementer, RetrievalNetwork, RetrievalProblem
+from repro.errors import InfeasibleScheduleError
+from repro.storage import StorageSystem
+
+
+def heterogeneous_net():
+    """Disk 0 fast (x25e 0.2), disk 1 slow (barracuda 13.2)."""
+    sys_ = StorageSystem.from_groups(["x25e"], 1, rng=None)
+    # build manually: two sites, one fast + one slow disk
+    from repro.storage import Disk, Site
+    from repro.storage.disk import DISK_CATALOG
+
+    sys_ = StorageSystem(
+        [
+            Site(0, 0.0, [Disk(0, DISK_CATALOG["x25e"])]),
+            Site(1, 0.0, [Disk(1, DISK_CATALOG["barracuda"])]),
+        ]
+    )
+    p = RetrievalProblem(sys_, ((0, 1), (0, 1), (0, 1)))
+    return RetrievalNetwork(p)
+
+
+class TestIncrement:
+    def test_first_increment_picks_cheapest_disk(self):
+        net = heterogeneous_net()
+        inc = MinCostIncrementer(net)
+        cost = inc.increment()
+        assert cost == pytest.approx(0.2)  # x25e one block
+        assert net.sink_caps() == [1, 0]
+
+    def test_costs_ascend_monotonically(self):
+        net = heterogeneous_net()
+        inc = MinCostIncrementer(net)
+        costs = [inc.increment() for _ in range(4)]
+        assert costs == sorted(costs)
+        # fast disk gets raised thrice (0.2, 0.4, 0.6) before slow (13.2)
+        assert costs[:3] == pytest.approx([0.2, 0.4, 0.6])
+
+    def test_exhausted_edges_removed(self):
+        net = heterogeneous_net()  # in_degree 3 on both disks
+        inc = MinCostIncrementer(net)
+        for _ in range(3):
+            inc.increment()
+        assert net.sink_caps() == [3, 0]
+        # fast disk now at in_degree: next increment must hit the slow one
+        assert inc.increment() == pytest.approx(13.2)
+        assert net.sink_caps() == [3, 1]
+        assert inc.live_disks == [1]
+
+    def test_zero_in_degree_disks_never_live(self):
+        sys_ = StorageSystem.homogeneous(4, "cheetah")
+        p = RetrievalProblem(sys_, ((0, 1),))
+        inc = MinCostIncrementer(RetrievalNetwork(p))
+        assert set(inc.live_disks) == {0, 1}
+
+    def test_ties_increment_together(self):
+        sys_ = StorageSystem.homogeneous(3, "cheetah")
+        p = RetrievalProblem(sys_, ((0, 1), (1, 2), (0, 2)))
+        net = RetrievalNetwork(p)
+        inc = MinCostIncrementer(net)
+        inc.increment()
+        assert net.sink_caps() == [1, 1, 1]
+        assert inc.steps == 1
+
+    def test_exhaustion_raises(self):
+        sys_ = StorageSystem.homogeneous(2, "cheetah")
+        p = RetrievalProblem(sys_, ((0,),))
+        inc = MinCostIncrementer(RetrievalNetwork(p))
+        inc.increment()  # disk 0 reaches in_degree 1
+        with pytest.raises(InfeasibleScheduleError, match="saturated"):
+            inc.increment()
+
+    def test_sync_live_set_after_external_scaling(self):
+        net = heterogeneous_net()
+        net.set_deadline_capacities(1.0)  # fast disk cap 5 > in_degree 3
+        inc = MinCostIncrementer(net)
+        inc.sync_live_set()
+        assert inc.live_disks == [1]  # fast disk exhausted by scaling
+
+    def test_increment_count_bound(self):
+        """Total steps bounded by c * |Q| (paper's complexity argument)."""
+        rng = np.random.default_rng(5)
+        sys_ = StorageSystem.from_groups(
+            ["ssd+hdd", "ssd+hdd"], 4, delays_ms=[1, 2], rng=rng
+        )
+        reps = tuple(
+            tuple(sorted(rng.choice(8, size=2, replace=False).tolist()))
+            for _ in range(10)
+        )
+        p = RetrievalProblem(sys_, reps)
+        inc = MinCostIncrementer(RetrievalNetwork(p))
+        steps = 0
+        try:
+            while True:
+                inc.increment()
+                steps += 1
+        except InfeasibleScheduleError:
+            pass
+        assert steps <= 2 * 10  # c * |Q|

@@ -1,0 +1,111 @@
+"""Tests for the retrieval flow-network construction (Figures 3/4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RetrievalProblem, RetrievalNetwork
+from repro.errors import InfeasibleScheduleError
+from repro.maxflow import push_relabel
+from repro.storage import StorageSystem
+
+
+def problem(n_disks=4, reps=((0, 1), (1, 2), (2, 3))):
+    return RetrievalProblem(StorageSystem.homogeneous(n_disks, "cheetah"), reps)
+
+
+class TestConstruction:
+    def test_vertex_layout(self):
+        net = RetrievalNetwork(problem())
+        assert net.source == 0 and net.sink == 1
+        assert net.bucket_vertex(0) == 2
+        assert net.disk_vertex(0) == 2 + 3
+        assert net.graph.n == 2 + 3 + 4
+
+    def test_arc_counts(self):
+        net = RetrievalNetwork(problem())
+        # 3 source arcs + 6 replica arcs + 4 sink arcs
+        assert net.graph.num_arcs == 3 + 6 + 4
+
+    def test_duplicate_replicas_deduped(self):
+        net = RetrievalNetwork(problem(reps=((1, 1),)))
+        assert len(net.replica_arcs[0]) == 1
+        assert net.disk_in_degree == [0, 1, 0, 0]
+
+    def test_in_degree_matches_problem(self):
+        p = problem(reps=((0, 1), (1, 2), (1, 3)))
+        net = RetrievalNetwork(p)
+        assert net.disk_in_degree == [p.in_degree(j) for j in range(4)]
+
+    def test_source_arcs_capacity_one(self):
+        net = RetrievalNetwork(problem())
+        for a in net.source_arcs:
+            assert net.graph.cap[a] == 1.0
+
+    def test_sink_caps_start_zero(self):
+        net = RetrievalNetwork(problem())
+        assert net.sink_caps() == [0, 0, 0, 0]
+
+
+class TestCapacities:
+    def test_uniform_caps(self):
+        net = RetrievalNetwork(problem())
+        net.set_uniform_sink_caps(2)
+        assert net.sink_caps() == [2, 2, 2, 2]
+
+    def test_increment_all(self):
+        net = RetrievalNetwork(problem())
+        net.set_uniform_sink_caps(1)
+        net.increment_all_sink_caps()
+        assert net.sink_caps() == [2, 2, 2, 2]
+
+    def test_deadline_capacities(self):
+        """floor((t - D - X) / C) per disk, clamped at zero."""
+        sys_ = StorageSystem.homogeneous(2, "cheetah", num_sites=2, delay_ms=[0, 10])
+        sys_.set_loads([1.0, 0.0])
+        net = RetrievalNetwork(RetrievalProblem(sys_, ((0, 1),)))
+        net.set_deadline_capacities(13.2)
+        # disk 0: (13.2 - 0 - 1) / 6.1 -> 2 ; disk 1: (13.2 - 10)/6.1 -> 0
+        assert net.sink_caps() == [2, 0]
+
+    def test_deadline_capacities_exact_boundary(self):
+        sys_ = StorageSystem.homogeneous(1, "cheetah")
+        net = RetrievalNetwork(RetrievalProblem(sys_, ((0,),)))
+        net.set_deadline_capacities(6.1)  # exactly one block time
+        assert net.sink_caps() == [1]
+
+
+class TestFlowInspection:
+    def solved(self):
+        net = RetrievalNetwork(problem())
+        net.set_uniform_sink_caps(1)
+        push_relabel(net.graph, net.source, net.sink)
+        return net
+
+    def test_flow_value(self):
+        net = self.solved()
+        assert net.flow_value() == pytest.approx(3)
+
+    def test_counts_per_disk_sum_to_flow(self):
+        net = self.solved()
+        assert sum(net.counts_per_disk()) == 3
+
+    def test_assignment_respects_replicas(self):
+        net = self.solved()
+        for i, d in net.assignment().items():
+            assert d in net.problem.replicas[i]
+
+    def test_assignment_incomplete_flow_raises(self):
+        net = RetrievalNetwork(problem())  # caps 0 -> no flow
+        with pytest.raises(InfeasibleScheduleError, match="unrouted"):
+            net.assignment()
+
+    def test_response_time_of_complete_flow(self):
+        net = self.solved()
+        counts = net.counts_per_disk()
+        expect = max(
+            net.problem.system.finish_time(j, k)
+            for j, k in enumerate(counts)
+            if k > 0
+        )
+        assert net.response_time() == pytest.approx(expect)

@@ -1,0 +1,58 @@
+"""Medium-scale cross-checks (marked slow) — guard scale-dependent bugs.
+
+The quick suite exercises N <= 8; these instances are an order of
+magnitude bigger, where different code paths dominate (many binary
+probes, big increments, deep discharge chains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import certify_optimal, solve
+from repro.workloads.experiments import build_problem, build_system
+from repro.decluster import make_placement
+
+pytestmark = pytest.mark.slow
+
+
+def medium_problems(N=24, n=3, seed=77):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng, seed=seed)
+    system = build_system(5, N, rng)
+    return [
+        build_problem(5, "orthogonal", N, "arbitrary", 1, rng,
+                      placement=placement, system=system)
+        for _ in range(n)
+    ]
+
+
+class TestMediumScale:
+    def test_all_solvers_agree_at_n24(self):
+        for p in medium_problems():
+            values = {
+                name: solve(p, solver=name).response_time_ms
+                for name in ("ff-incremental", "ff-binary", "pr-incremental",
+                             "pr-binary", "blackbox-binary", "parallel-binary")
+            }
+            assert len({round(v, 6) for v in values.values()}) == 1, values
+
+    def test_certificates_hold_at_n24(self):
+        for p in medium_problems(seed=78):
+            sched = solve(p)
+            cert = certify_optimal(p, sched)
+            assert bool(cert), cert.reason
+
+    def test_large_query_instance(self):
+        """One big instance: N=32, |Q| in the thousands region scaled down."""
+        rng = np.random.default_rng(5)
+        N = 32
+        placement = make_placement("rda", N, num_sites=2, rng=rng, seed=5)
+        system = build_system(5, N, rng)
+        p = build_problem(5, "rda", N, "arbitrary", 2, rng,
+                          placement=placement, system=system)
+        a = solve(p, solver="pr-binary")
+        b = solve(p, solver="blackbox-binary")
+        assert a.response_time_ms == pytest.approx(b.response_time_ms)
+        assert a.stats.pushes < b.stats.pushes  # conservation at scale

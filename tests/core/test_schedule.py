@@ -1,0 +1,80 @@
+"""Tests for RetrievalSchedule and SolverStats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RetrievalProblem, RetrievalSchedule, SolverStats
+from repro.errors import InfeasibleScheduleError
+from repro.maxflow.base import MaxFlowResult
+from repro.storage import StorageSystem
+
+
+def make(assignment, reps=((0, 1), (1, 2)), response=None):
+    sys_ = StorageSystem.homogeneous(3, "cheetah")
+    p = RetrievalProblem(sys_, reps)
+    if response is None:
+        counts = [0, 0, 0]
+        for d in assignment.values():
+            counts[d] += 1
+        response = max(
+            (sys_.finish_time(j, k) for j, k in enumerate(counts) if k), default=0.0
+        )
+    return RetrievalSchedule(p, assignment, response, SolverStats(), solver="test")
+
+
+class TestValidation:
+    def test_valid_schedule(self):
+        s = make({0: 0, 1: 2})
+        assert s.response_time_ms == pytest.approx(6.1)
+
+    def test_missing_bucket_rejected(self):
+        with pytest.raises(InfeasibleScheduleError, match="unassigned"):
+            make({0: 0})
+
+    def test_non_replica_disk_rejected(self):
+        with pytest.raises(InfeasibleScheduleError, match="replicas"):
+            make({0: 2, 1: 1})
+
+    def test_unknown_bucket_rejected(self):
+        with pytest.raises(InfeasibleScheduleError):
+            make({0: 0, 1: 1, 7: 0})
+
+
+class TestDerivedViews:
+    def test_counts_per_disk(self):
+        s = make({0: 1, 1: 1})
+        assert s.counts_per_disk() == [0, 2, 0]
+
+    def test_recompute_matches_reported(self):
+        s = make({0: 1, 1: 1})
+        assert s.recompute_response_time() == pytest.approx(s.response_time_ms)
+
+    def test_bottleneck_disk(self):
+        s = make({0: 1, 1: 1})
+        assert s.bottleneck_disk() == 1
+
+    def test_as_bucket_map_uses_labels(self):
+        sys_ = StorageSystem.homogeneous(3, "cheetah")
+        p = RetrievalProblem(sys_, ((0, 1), (1, 2)), labels=("a", "b"))
+        s = RetrievalSchedule(p, {0: 0, 1: 2}, 6.1, SolverStats(), solver="x")
+        assert s.as_bucket_map() == {"a": 0, "b": 2}
+
+    def test_summary_mentions_key_facts(self):
+        s = make({0: 0, 1: 2})
+        text = s.summary()
+        assert "2 buckets" in text
+        assert "test" in text
+
+
+class TestStats:
+    def test_absorb_accumulates(self):
+        stats = SolverStats()
+        stats.absorb(MaxFlowResult(value=1, pushes=3, relabels=2))
+        stats.absorb(MaxFlowResult(value=1, augmentations=5))
+        assert (stats.pushes, stats.relabels, stats.augmentations) == (3, 2, 5)
+
+    def test_defaults(self):
+        stats = SolverStats()
+        assert stats.probes == 0 and stats.wall_time_s == 0.0
+        assert stats.extra == {}

@@ -1,0 +1,143 @@
+"""Tests for work-minimizing tie-breaking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RetrievalProblem,
+    solve,
+    solve_min_work,
+    total_work_ms,
+)
+from repro.storage import Disk, Site, StorageSystem
+from repro.storage.disk import DISK_CATALOG
+
+
+def mixed_system() -> StorageSystem:
+    """Two fast SSDs and two slow HDDs, one site, no delays."""
+    return StorageSystem(
+        [
+            Site(
+                0,
+                0.0,
+                [
+                    Disk(0, DISK_CATALOG["x25e"]),
+                    Disk(1, DISK_CATALOG["x25e"]),
+                    Disk(2, DISK_CATALOG["barracuda"]),
+                    Disk(3, DISK_CATALOG["barracuda"]),
+                ],
+            )
+        ]
+    )
+
+
+class TestSolveMinWork:
+    def test_keeps_optimal_response_time(self):
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            sys_ = mixed_system()
+            reps = tuple(
+                tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+                for _ in range(int(rng.integers(2, 9)))
+            )
+            p = RetrievalProblem(sys_, reps)
+            baseline = solve(p)
+            result = solve_min_work(p)
+            assert result.schedule.response_time_ms == pytest.approx(
+                baseline.response_time_ms
+            )
+            result.schedule.validate()
+
+    def test_never_more_work_than_baseline(self):
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            sys_ = mixed_system()
+            reps = tuple(
+                tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+                for _ in range(6)
+            )
+            p = RetrievalProblem(sys_, reps)
+            result = solve_min_work(p)
+            assert result.optimal_work_ms <= result.baseline_work_ms + 1e-9
+            assert 0 <= result.savings_fraction <= 1
+
+    def test_avoids_slow_disk_when_free(self):
+        """A bucket on {ssd, hdd} with slack must be read from the SSD."""
+        sys_ = mixed_system()
+        # single bucket: optimum 0.2ms via SSD; any schedule via HDD costs
+        # 13.2ms response — so response already forces the SSD here; make
+        # ambiguity: two buckets, each on one SSD + one HDD; T* = 0.2 only
+        # if both SSDs used; but put both buckets' SSD copies on THE SAME
+        # ssd: T* = 0.4 (two on one SSD) vs 13.2 via HDD; both-on-ssd is
+        # optimal AND less work; a max flow could still pick the HDD when
+        # caps at T*=0.4 allow... caps(0.4): hdd floor(0.4/13.2)=0. Not
+        # ambiguous. Build real ambiguity with raptor vs cheetah:
+        sys2 = StorageSystem(
+            [
+                Site(0, 0.0, [
+                    Disk(0, DISK_CATALOG["cheetah"]),   # 6.1
+                    Disk(1, DISK_CATALOG["raptor"]),    # 8.3
+                    Disk(2, DISK_CATALOG["cheetah"]),
+                ])
+            ]
+        )
+        # bucket A on {0,1}, bucket B on {0,2}: optimum = 6.1+? Assign A->1
+        # (8.3) B->0: T=8.3; or A->0,B->2: T=6.1 both cheetahs. T*=6.1.
+        p = RetrievalProblem(sys2, ((0, 1), (0, 2)))
+        result = solve_min_work(p)
+        assert result.schedule.response_time_ms == pytest.approx(6.1)
+        assert result.schedule.assignment == {0: 0, 1: 2}
+        assert result.optimal_work_ms == pytest.approx(12.2)
+
+    def test_work_minimal_among_all_optimal_schedules(self):
+        """Exact check: enumerate every assignment, keep those achieving
+        the optimal response time, and confirm min-work matches the true
+        minimum total work among them."""
+        import itertools
+
+        rng = np.random.default_rng(2)
+        for trial in range(10):
+            sys_ = StorageSystem(
+                [
+                    Site(0, 0.0, [
+                        Disk(0, DISK_CATALOG["cheetah"]),
+                        Disk(1, DISK_CATALOG["raptor"]),
+                        Disk(2, DISK_CATALOG["barracuda"]),
+                        Disk(3, DISK_CATALOG["x25e"]),
+                    ])
+                ]
+            )
+            reps = tuple(
+                tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+                for _ in range(int(rng.integers(2, 7)))
+            )
+            p = RetrievalProblem(sys_, reps)
+            result = solve_min_work(p)
+            T = result.schedule.response_time_ms
+
+            best_work = float("inf")
+            for combo in itertools.product(*[sorted(set(r)) for r in reps]):
+                counts: dict[int, int] = {}
+                for d in combo:
+                    counts[d] = counts.get(d, 0) + 1
+                resp = max(sys_.finish_time(d, k) for d, k in counts.items())
+                if resp <= T + 1e-9:
+                    work = sum(
+                        sys_.disk(d).block_time_ms for d in combo
+                    )
+                    best_work = min(best_work, work)
+            assert result.optimal_work_ms == pytest.approx(best_work)
+
+    def test_total_work_formula(self):
+        sys_ = mixed_system()
+        p = RetrievalProblem(sys_, ((0,), (2,)))
+        sched = solve(p)
+        assert total_work_ms(sched) == pytest.approx(0.2 + 13.2)
+
+    def test_solver_name_tagged(self):
+        p = RetrievalProblem(mixed_system(), ((0, 1),))
+        result = solve_min_work(p)
+        assert result.schedule.solver == "pr-binary+min-work"
+        assert "mincost_total" in result.schedule.stats.extra

@@ -1,0 +1,85 @@
+"""Tests for multi-site placement composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decluster import ALLOCATION_SCHEMES, make_placement
+from repro.errors import DeclusteringError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestMakePlacement:
+    @pytest.mark.parametrize("scheme", ALLOCATION_SCHEMES)
+    def test_two_site_layout(self, scheme, rng):
+        p = make_placement(scheme, 5, num_sites=2, rng=rng)
+        assert p.num_sites == 2
+        assert p.total_disks == 10
+        assert p.disks_per_site == (5, 5)
+        for _, reps in p.allocation.iter_buckets():
+            assert 0 <= reps[0] < 5  # copy 1 at site 1
+            assert 5 <= reps[1] < 10  # copy 2 at site 2
+
+    @pytest.mark.parametrize("scheme", ALLOCATION_SCHEMES)
+    def test_single_site_layout(self, scheme, rng):
+        p = make_placement(scheme, 5, num_sites=1, rng=rng)
+        assert p.total_disks == 5
+        assert p.allocation.num_copies == 2
+        for _, reps in p.allocation.iter_buckets():
+            assert all(0 <= d < 5 for d in reps)
+
+    @pytest.mark.parametrize("scheme", ALLOCATION_SCHEMES)
+    def test_three_site_layout(self, scheme, rng):
+        p = make_placement(scheme, 4, num_sites=3, rng=rng)
+        assert p.total_disks == 12
+        assert p.allocation.num_copies == 3
+        for _, reps in p.allocation.iter_buckets():
+            for k, d in enumerate(reps):
+                assert k * 4 <= d < (k + 1) * 4
+
+    def test_site_of_disk(self, rng):
+        p = make_placement("dependent", 5, num_sites=2, rng=rng)
+        assert p.site_of_disk(0) == 0
+        assert p.site_of_disk(4) == 0
+        assert p.site_of_disk(5) == 1
+        assert p.site_of_disk(9) == 1
+        with pytest.raises(DeclusteringError):
+            p.site_of_disk(10)
+
+    def test_site_disks_ranges(self, rng):
+        p = make_placement("orthogonal", 4, num_sites=2, rng=rng)
+        assert list(p.site_disks(0)) == [0, 1, 2, 3]
+        assert list(p.site_disks(1)) == [4, 5, 6, 7]
+        with pytest.raises(DeclusteringError):
+            p.site_disks(2)
+
+    def test_unknown_scheme(self, rng):
+        with pytest.raises(DeclusteringError, match="unknown scheme"):
+            make_placement("latin-square", 5, rng=rng)
+
+    def test_bad_parameters(self, rng):
+        with pytest.raises(DeclusteringError):
+            make_placement("rda", 0, rng=rng)
+        with pytest.raises(DeclusteringError):
+            make_placement("rda", 5, num_sites=0, rng=rng)
+
+    def test_default_rng_from_seed(self):
+        p1 = make_placement("rda", 5, seed=9)
+        p2 = make_placement("rda", 5, seed=9)
+        for (_, r1), (_, r2) in zip(
+            p1.allocation.iter_buckets(), p2.allocation.iter_buckets()
+        ):
+            assert r1 == r2
+
+    def test_deterministic_schemes_ignore_rng_draws(self, rng):
+        p1 = make_placement("dependent", 6, num_sites=2, rng=np.random.default_rng(1))
+        p2 = make_placement("dependent", 6, num_sites=2, rng=np.random.default_rng(2))
+        for (_, r1), (_, r2) in zip(
+            p1.allocation.iter_buckets(), p2.allocation.iter_buckets()
+        ):
+            assert r1 == r2

@@ -1,0 +1,81 @@
+"""Tests for ASCII allocation rendering."""
+
+from __future__ import annotations
+
+from repro.decluster import (
+    Allocation,
+    ReplicatedAllocation,
+    render_allocation,
+    render_query_overlay,
+    render_replicated,
+)
+
+
+def small():
+    return Allocation([[0, 1], [1, 0]], 2)
+
+
+class TestRenderAllocation:
+    def test_grid_shape(self):
+        text = render_allocation(small())
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].split() == ["0", "1"]
+        assert lines[1].split() == ["1", "0"]
+
+    def test_title(self):
+        text = render_allocation(small(), title="copy 1")
+        assert text.splitlines()[0] == "copy 1"
+
+    def test_wide_ids_aligned(self):
+        alloc = Allocation([[0, 10], [11, 5]], 12)
+        lines = render_allocation(alloc).splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestRenderReplicated:
+    def test_side_by_side(self):
+        rep = ReplicatedAllocation([small(), small().shifted(1)])
+        text = render_replicated(rep)
+        lines = text.splitlines()
+        assert "copy 1" in lines[0] and "copy 2" in lines[0]
+        assert len(lines) == 3  # title row + 2 grid rows
+
+    def test_custom_titles(self):
+        rep = ReplicatedAllocation([small(), small()])
+        text = render_replicated(rep, titles=["site A", "site B"])
+        assert "site A" in text and "site B" in text
+
+
+class TestQueryOverlay:
+    def test_brackets_requested_cells(self):
+        text = render_query_overlay(small(), {(0, 0)})
+        first = text.splitlines()[0]
+        assert first.startswith("[")
+        assert "]" in first
+        second = text.splitlines()[1]
+        assert "[" not in second
+
+    def test_full_query(self):
+        text = render_query_overlay(small(), {(0, 0), (0, 1), (1, 0), (1, 1)})
+        assert text.count("[") == 4
+
+    def test_cli_show_allocation(self, capsys):
+        from repro.cli import main
+
+        assert main(["show-allocation", "--n", "4", "--scheme", "dependent"]) == 0
+        out = capsys.readouterr().out
+        assert "copy 1" in out and "copy 2" in out
+
+    def test_cli_show_allocation_with_query(self, capsys):
+        from repro.cli import main
+
+        assert main(["show-allocation", "--n", "4", "--query", "0,0,2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 buckets" in out
+
+    def test_cli_show_allocation_bad_query(self, capsys):
+        from repro.cli import main
+
+        assert main(["show-allocation", "--n", "4", "--query", "oops"]) == 2
+        assert "i,j,r,c" in capsys.readouterr().err

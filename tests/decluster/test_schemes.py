@@ -1,0 +1,176 @@
+"""Tests for RDA, periodic/dependent, threshold and orthogonal schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.decluster import (
+    additive_error,
+    best_periodic_coefficients,
+    dependent_pair,
+    is_orthogonal_pair,
+    orthogonal_pair,
+    periodic_allocation,
+    rda_pair,
+    rda_per_site,
+    threshold_allocation,
+    valid_coefficients,
+)
+from repro.errors import DeclusteringError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPeriodic:
+    def test_valid_coefficients_coprime(self):
+        assert valid_coefficients(6) == [1, 5]
+        assert valid_coefficients(7) == [1, 2, 3, 4, 5, 6]
+
+    def test_valid_coefficients_bad_n(self):
+        with pytest.raises(DeclusteringError):
+            valid_coefficients(0)
+
+    def test_periodic_allocation_formula(self):
+        a = periodic_allocation(5, 1, 2)
+        for i in range(5):
+            for j in range(5):
+                assert a.disk_of(i, j) == (i + 2 * j) % 5
+
+    def test_periodic_allocation_is_balanced(self):
+        a = periodic_allocation(7, 1, 3)
+        assert a.disk_counts().tolist() == [7] * 7
+
+    def test_invalid_coefficient_rejected(self):
+        with pytest.raises(DeclusteringError, match="invalid"):
+            periodic_allocation(6, 1, 2)  # gcd(2, 6) != 1
+        with pytest.raises(DeclusteringError, match="invalid"):
+            periodic_allocation(5, 1, 0)
+
+    def test_best_coefficients_fix_a1(self):
+        a1, a2 = best_periodic_coefficients(7)
+        assert a1 == 1
+        assert math.gcd(a2, 7) == 1
+
+    def test_best_coefficients_beat_naive_diagonal(self):
+        # (1, 1) puts diagonals on one disk: bad for square queries
+        N = 8
+        best = periodic_allocation(N, *best_periodic_coefficients(N))
+        naive = periodic_allocation(N, 1, 1)
+        assert additive_error(best) <= additive_error(naive)
+
+    def test_dependent_pair_is_shift(self):
+        f, g = dependent_pair(7, m=3)
+        assert np.array_equal(g.grid, (f.grid + 3) % 7)
+
+    def test_dependent_pair_default_shift(self):
+        f, g = dependent_pair(6)
+        diff = (g.grid - f.grid) % 6
+        assert len(np.unique(diff)) == 1
+        assert 1 <= int(diff[0, 0]) <= 5
+
+    def test_dependent_pair_rejects_bad_shift(self):
+        with pytest.raises(DeclusteringError):
+            dependent_pair(7, m=0)
+        with pytest.raises(DeclusteringError):
+            dependent_pair(7, m=7)
+        with pytest.raises(DeclusteringError):
+            dependent_pair(1)
+
+
+class TestThreshold:
+    @pytest.mark.parametrize("N", [2, 3, 5, 7, 8, 11])
+    def test_balanced_and_low_error(self, N):
+        a = threshold_allocation(N)
+        assert a.disk_counts().tolist() == [N] * N
+        # a good first copy keeps additive error tiny at these sizes
+        assert additive_error(a) <= 2
+
+    def test_degenerate_single_disk(self):
+        a = threshold_allocation(1)
+        assert a.num_disks == 1
+
+
+class TestOrthogonal:
+    @pytest.mark.parametrize("N", [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12])
+    def test_every_pair_exactly_once(self, N):
+        f, g = orthogonal_pair(N)
+        assert is_orthogonal_pair(f, g)
+
+    def test_first_copy_is_threshold_quality(self):
+        f, _ = orthogonal_pair(7)
+        assert additive_error(f) <= 1
+
+    def test_copies_balanced(self):
+        f, g = orthogonal_pair(6)
+        assert f.disk_counts().tolist() == [6] * 6
+        assert g.disk_counts().tolist() == [6] * 6
+
+    def test_dependent_is_not_orthogonal(self):
+        f, g = dependent_pair(7)
+        assert not is_orthogonal_pair(f, g)
+
+    def test_mismatched_shapes_rejected(self):
+        f, _ = orthogonal_pair(3)
+        g, _ = orthogonal_pair(4)
+        with pytest.raises(DeclusteringError):
+            is_orthogonal_pair(f, g)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(DeclusteringError):
+            orthogonal_pair(0)
+
+
+class TestRDA:
+    def test_pair_distinct_disks_per_bucket(self, rng):
+        r = rda_pair(7, rng)
+        for _, reps in r.iter_buckets():
+            assert len(set(reps)) == 2
+
+    def test_pair_custom_copy_count(self, rng):
+        r = rda_pair(7, rng, copies=3)
+        assert r.num_copies == 3
+        for _, reps in r.iter_buckets():
+            assert len(set(reps)) == 3
+
+    def test_pair_rejects_too_many_copies(self, rng):
+        with pytest.raises(DeclusteringError, match="distinct"):
+            rda_pair(2, rng, copies=3)
+
+    def test_pair_rejects_zero_copies(self, rng):
+        with pytest.raises(DeclusteringError):
+            rda_pair(4, rng, copies=0)
+
+    def test_pair_custom_grid_shape(self, rng):
+        r = rda_pair(5, rng, n_rows=3, n_cols=4)
+        assert (r.n_rows, r.n_cols) == (3, 4)
+
+    def test_per_site_pools_disjoint(self, rng):
+        r = rda_per_site(5, 3, rng)
+        assert r.num_copies == 3
+        for _, reps in r.iter_buckets():
+            for k, d in enumerate(reps):
+                assert k * 5 <= d < (k + 1) * 5
+
+    def test_per_site_rejects_zero_sites(self, rng):
+        with pytest.raises(DeclusteringError):
+            rda_per_site(5, 0, rng)
+
+    def test_reproducible_with_seed(self):
+        a = rda_pair(6, np.random.default_rng(1))
+        b = rda_pair(6, np.random.default_rng(1))
+        for (k1, r1), (k2, r2) in zip(a.iter_buckets(), b.iter_buckets()):
+            assert r1 == r2
+
+    def test_rda_spreads_load(self, rng):
+        """Each disk should hold roughly 2*N buckets over both copies."""
+        N = 10
+        r = rda_pair(N, rng)
+        totals = sum(c.disk_counts() for c in r.copies)
+        assert totals.sum() == 2 * N * N
+        assert totals.min() > 0  # astronomically unlikely to miss a disk

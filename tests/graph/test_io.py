@@ -1,0 +1,81 @@
+"""Tests for DIMACS round-trips and the networkx bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import FlowNetwork, from_dimacs, to_dimacs, to_networkx
+
+
+def sample() -> tuple[FlowNetwork, int, int]:
+    g = FlowNetwork(4)
+    g.add_arc(0, 1, 2)
+    g.add_arc(0, 2, 3)
+    g.add_arc(1, 3, 4)
+    g.add_arc(2, 3, 1)
+    return g, 0, 3
+
+
+class TestDimacs:
+    def test_roundtrip_preserves_structure(self):
+        g, s, t = sample()
+        g2, s2, t2 = from_dimacs(to_dimacs(g, s, t))
+        assert (s2, t2) == (s, t)
+        assert g2.n == g.n and g2.num_arcs == g.num_arcs
+        assert [(a.tail, a.head, a.cap) for a in g2.arcs()] == [
+            (a.tail, a.head, a.cap) for a in g.arcs()
+        ]
+
+    def test_output_contains_header_and_designators(self):
+        g, s, t = sample()
+        text = to_dimacs(g, s, t)
+        assert "p max 4 4" in text
+        assert "n 1 s" in text and "n 4 t" in text
+
+    def test_parse_accepts_comments_and_blank_lines(self):
+        text = "c hello\n\np max 2 1\nn 1 s\nn 2 t\na 1 2 7\n"
+        g, s, t = from_dimacs(text)
+        assert g.num_arcs == 1 and g.arc(0).cap == 7.0
+
+    def test_parse_accepts_iterable_of_lines(self):
+        lines = ["p max 2 1", "n 1 s", "n 2 t", "a 1 2 7"]
+        g, s, t = from_dimacs(lines)
+        assert (s, t) == (0, 1)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a 1 2 3\n",  # arc before problem line
+            "p max 2 1\nn 1 s\nn 2 t\na 1 2\n",  # short arc line
+            "p min 2 1\n",  # wrong problem type
+            "p max 2 1\nn 1 q\n",  # bad designator
+            "p max 2 1\nzzz\n",  # unknown line kind
+            "p max 2 1\nn 1 s\n",  # missing sink
+            "",  # no problem line
+        ],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(GraphError):
+            from_dimacs(bad)
+
+
+class TestNetworkxBridge:
+    def test_capacities_transfer(self):
+        g, s, t = sample()
+        h = to_networkx(g)
+        assert h[0][1]["capacity"] == 2
+        assert h.number_of_edges() == 4
+
+    def test_parallel_arcs_merge_capacities(self):
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, 2)
+        g.add_arc(0, 1, 5)
+        h = to_networkx(g)
+        assert h[0][1]["capacity"] == 7
+
+    def test_isolated_vertices_kept(self):
+        g = FlowNetwork(3)
+        g.add_arc(0, 1, 1)
+        h = to_networkx(g)
+        assert h.number_of_nodes() == 3

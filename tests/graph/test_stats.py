@@ -1,0 +1,81 @@
+"""Tests for graph statistics and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import FlowNetwork, graph_stats, to_dot
+from repro.maxflow import push_relabel
+
+
+def solved_diamond():
+    g = FlowNetwork(4)
+    g.add_arc(0, 1, 2)
+    g.add_arc(0, 2, 3)
+    g.add_arc(1, 3, 4)
+    g.add_arc(2, 3, 1)
+    push_relabel(g, 0, 3)
+    return g
+
+
+class TestGraphStats:
+    def test_shape_counts(self):
+        g = solved_diamond()
+        st = graph_stats(g)
+        assert st.num_vertices == 4
+        assert st.num_arcs == 4
+        assert st.max_out_degree == 2
+        assert st.mean_out_degree == pytest.approx(1.0)
+        assert st.total_capacity == pytest.approx(10)
+
+    def test_flow_counters(self):
+        g = solved_diamond()
+        st = graph_stats(g)
+        # max flow 3: arcs 0->1 (2), 0->2 (1), 1->3 (2), 2->3 (1) carry
+        assert st.flow_carrying_arcs == 4
+        assert st.saturated_arcs >= 2  # 0->1 and 2->3 at least
+
+    def test_density(self):
+        g = FlowNetwork(3)
+        g.add_arc(0, 1, 1)
+        st = graph_stats(g)
+        assert st.density == pytest.approx(1 / 6)
+        empty = graph_stats(FlowNetwork(1))
+        assert empty.density == 0.0
+
+    def test_empty_network(self):
+        st = graph_stats(FlowNetwork(0))
+        assert st.num_vertices == 0
+        assert st.mean_out_degree == 0.0
+
+
+class TestDot:
+    def test_contains_arcs_and_labels(self):
+        g = solved_diamond()
+        dot = to_dot(g, 0, 3)
+        assert dot.startswith("digraph")
+        assert "0 -> 1" in dot and "2 -> 3" in dot
+        assert 'label="s"' in dot and 'label="t"' in dot
+        assert "/" in dot  # flow/cap labels
+
+    def test_flow_carrying_arcs_bold(self):
+        g = solved_diamond()
+        dot = to_dot(g, 0, 3)
+        assert "penwidth=2" in dot
+
+    def test_capacity_only_mode(self):
+        g = solved_diamond()
+        dot = to_dot(g, show_flow=False)
+        assert "penwidth" not in dot
+        assert 'label="2"' in dot
+
+    def test_valid_for_retrieval_networks(self):
+        from repro.core import RetrievalNetwork, RetrievalProblem
+        from repro.storage import StorageSystem
+
+        p = RetrievalProblem(
+            StorageSystem.homogeneous(3, "cheetah"), ((0, 1), (1, 2))
+        )
+        net = RetrievalNetwork(p)
+        dot = to_dot(net.graph, net.source, net.sink)
+        assert dot.count("->") == net.graph.num_arcs

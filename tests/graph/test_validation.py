@@ -1,0 +1,109 @@
+"""Tests for flow/preflow validation and min-cut certification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FlowValidationError
+from repro.graph import (
+    FlowNetwork,
+    assert_valid_flow,
+    assert_valid_preflow,
+    excess_of,
+    flow_value,
+    is_valid_flow,
+    min_cut_reachable,
+)
+from repro.maxflow import push_relabel
+
+
+def diamond() -> tuple[FlowNetwork, int, int, list[int]]:
+    """s->a, s->b, a->t, b->t diamond with capacities 2/3/4/1."""
+    g = FlowNetwork(4)
+    ids = [
+        g.add_arc(0, 1, 2),
+        g.add_arc(0, 2, 3),
+        g.add_arc(1, 3, 4),
+        g.add_arc(2, 3, 1),
+    ]
+    return g, 0, 3, ids
+
+
+class TestExcess:
+    def test_zero_flow_zero_excess(self):
+        g, s, t, _ = diamond()
+        assert all(excess_of(g, v) == 0 for v in g.vertices())
+
+    def test_excess_after_partial_push(self):
+        g, s, t, ids = diamond()
+        g.push(ids[0], 2)
+        assert excess_of(g, 1) == 2
+        assert excess_of(g, s) == -2
+        assert excess_of(g, t) == 0
+
+    def test_flow_value_counts_sink_inflow(self):
+        g, s, t, ids = diamond()
+        g.push(ids[0], 2)
+        g.push(ids[2], 2)
+        assert flow_value(g, s, t) == 2
+
+
+class TestValidation:
+    def test_valid_flow_passes(self):
+        g, s, t, ids = diamond()
+        g.push(ids[0], 1)
+        g.push(ids[2], 1)
+        assert_valid_flow(g, s, t)
+        assert is_valid_flow(g, s, t)
+
+    def test_conservation_violation_detected(self):
+        g, s, t, ids = diamond()
+        g.push(ids[0], 1)  # excess stuck at vertex 1
+        with pytest.raises(FlowValidationError, match="excess"):
+            assert_valid_flow(g, s, t)
+        assert not is_valid_flow(g, s, t)
+
+    def test_preflow_accepts_positive_excess(self):
+        g, s, t, ids = diamond()
+        g.push(ids[0], 1)
+        assert_valid_preflow(g, s, t)  # must not raise
+
+    def test_preflow_rejects_negative_excess(self):
+        g, s, t, ids = diamond()
+        # force negative excess at vertex 1 by pushing out more than in
+        g.flow[ids[2]] = 1.0
+        g.flow[ids[2] ^ 1] = -1.0
+        with pytest.raises(FlowValidationError, match="negative excess"):
+            assert_valid_preflow(g, s, t)
+
+    def test_capacity_violation_detected(self):
+        g, s, t, ids = diamond()
+        g.flow[ids[0]] = 5.0
+        g.flow[ids[0] ^ 1] = -5.0
+        with pytest.raises(FlowValidationError, match="cap"):
+            assert_valid_flow(g, s, t)
+
+    def test_antisymmetry_violation_detected(self):
+        g, s, t, ids = diamond()
+        g.flow[ids[0]] = 1.0  # twin left at 0: antisymmetry broken
+        with pytest.raises(FlowValidationError, match="antisymmetry"):
+            assert_valid_flow(g, s, t)
+
+
+class TestMinCut:
+    def test_cut_certifies_max_flow(self):
+        g, s, t, _ = diamond()
+        result = push_relabel(g, s, t)
+        reachable = min_cut_reachable(g, s)
+        assert s in reachable and t not in reachable
+        # cut capacity == flow value certifies optimality
+        cut_cap = sum(
+            arc.cap
+            for arc in g.arcs()
+            if arc.tail in reachable and arc.head not in reachable
+        )
+        assert cut_cap == pytest.approx(result.value) == pytest.approx(3.0)
+
+    def test_reachable_is_everything_without_flow(self):
+        g, s, t, _ = diamond()
+        assert min_cut_reachable(g, s) == {0, 1, 2, 3}

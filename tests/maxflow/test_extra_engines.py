@@ -1,0 +1,102 @@
+"""Tests for the ablation engines: relabel-to-front and capacity scaling."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import FlowNetwork, assert_valid_flow, to_networkx
+from repro.maxflow import (
+    CapacityScalingEngine,
+    RelabelToFrontEngine,
+    capacity_scaling_ff,
+    get_engine,
+    relabel_to_front,
+)
+from tests.conftest import bipartite_retrieval_like, random_network
+
+ENGINES = [RelabelToFrontEngine(), CapacityScalingEngine()]
+IDS = ["rtf", "capscale"]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=IDS)
+class TestAgainstReference:
+    def test_random_graphs(self, rng, engine):
+        for _ in range(25):
+            g, s, t = random_network(rng)
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            r = engine.solve(g, s, t)
+            assert r.value == pytest.approx(expect)
+            assert_valid_flow(g, s, t)
+
+    def test_retrieval_shaped_networks(self, rng, engine):
+        for _ in range(10):
+            g, s, t = bipartite_retrieval_like(
+                rng, rng.randint(1, 20), rng.randint(1, 6), 2, rng.randint(1, 4)
+            )
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            assert engine.solve(g, s, t).value == pytest.approx(expect)
+
+    def test_warm_start_after_capacity_increase(self, rng, engine):
+        g = FlowNetwork(4)
+        a1 = g.add_arc(0, 1, 2)
+        g.add_arc(1, 2, 10)
+        a3 = g.add_arc(2, 3, 2)
+        assert engine.solve(g, 0, 3).value == pytest.approx(2)
+        g.set_capacity(a1, 6)
+        g.set_capacity(a3, 6)
+        r = engine.solve(g, 0, 3, warm_start=True)
+        assert r.value == pytest.approx(6)
+        assert_valid_flow(g, 0, 3)
+
+
+class TestSpecifics:
+    def test_rtf_counts_ops(self, rng):
+        g, s, t = bipartite_retrieval_like(rng, 12, 4, 2, 3)
+        r = relabel_to_front(g, s, t)
+        assert r.pushes >= 1
+
+    def test_capacity_scaling_phases(self):
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, 1024)
+        r = capacity_scaling_ff(g, 0, 1)
+        assert r.value == pytest.approx(1024)
+        assert r.extra["phases"] >= 10  # log2(1024) + 1 deltas
+
+    def test_capacity_scaling_fewer_augments_than_plain_ff(self, rng):
+        """The point of Δ-scaling: big arcs get drained in few paths."""
+        g = FlowNetwork(3)
+        for _ in range(4):
+            g.add_arc(0, 1, 512)
+            g.add_arc(1, 2, 512)
+        r = capacity_scaling_ff(g, 0, 2)
+        assert r.value == pytest.approx(4 * 512)
+        assert r.augmentations <= 16
+
+    def test_zero_capacity_graph(self):
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, 0)
+        assert capacity_scaling_ff(g, 0, 1).value == 0
+        assert relabel_to_front(g, 0, 1).value == 0
+
+    def test_registry_names(self):
+        assert get_engine("relabel-to-front").name == "relabel-to-front"
+        assert get_engine("capacity-scaling").name == "capacity-scaling"
+
+    def test_blackbox_solver_accepts_new_engines(self):
+        import numpy as np
+
+        from repro.core import RetrievalProblem, solve
+        from repro.storage import StorageSystem
+
+        rng = np.random.default_rng(0)
+        sys_ = StorageSystem.homogeneous(4, "cheetah")
+        reps = tuple(
+            tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+            for _ in range(6)
+        )
+        p = RetrievalProblem(sys_, reps)
+        ref = solve(p, solver="pr-binary").response_time_ms
+        for engine in ("relabel-to-front", "capacity-scaling"):
+            got = solve(p, solver="blackbox-binary", engine=engine)
+            assert got.response_time_ms == pytest.approx(ref)

@@ -1,0 +1,79 @@
+"""Tests for the highest-label push-relabel engine."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import FlowNetwork, assert_valid_flow, to_networkx
+from repro.maxflow import HighestLabelEngine, get_engine, highest_label
+from tests.conftest import bipartite_retrieval_like, random_network
+
+
+class TestCorrectness:
+    def test_random_graphs(self, rng):
+        for _ in range(30):
+            g, s, t = random_network(rng)
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            r = highest_label(g, s, t)
+            assert r.value == pytest.approx(expect)
+            assert_valid_flow(g, s, t)
+
+    def test_retrieval_networks(self, rng):
+        for _ in range(10):
+            g, s, t = bipartite_retrieval_like(
+                rng, rng.randint(1, 25), rng.randint(1, 7), 2, rng.randint(1, 4)
+            )
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            assert highest_label(g, s, t).value == pytest.approx(expect)
+
+    def test_warm_start_monotone_capacities(self, rng):
+        for _ in range(10):
+            g, s, t = random_network(rng)
+            highest_label(g, s, t)
+            for arc in list(g.arcs()):
+                g.set_capacity(arc.index, arc.cap + 1)
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            assert highest_label(g, s, t, warm_start=True).value == (
+                pytest.approx(expect)
+            )
+            assert_valid_flow(g, s, t)
+
+
+class TestMechanics:
+    def test_counts_ops(self):
+        g = FlowNetwork(4)
+        g.add_arc(0, 1, 2)
+        g.add_arc(1, 2, 1)
+        g.add_arc(2, 3, 2)
+        r = highest_label(g, 0, 3)
+        assert r.value == pytest.approx(1)
+        assert r.pushes >= 1
+        assert r.relabels >= 1  # excess must drain back to s
+
+    def test_registry(self):
+        assert get_engine("highest-label").name == "highest-label"
+        assert isinstance(get_engine("highest-label"), HighestLabelEngine)
+
+    def test_blackbox_solver_integration(self):
+        import numpy as np
+
+        from repro.core import RetrievalProblem, solve
+        from repro.storage import StorageSystem
+
+        rng = np.random.default_rng(0)
+        sys_ = StorageSystem.homogeneous(4, "cheetah")
+        reps = tuple(
+            tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+            for _ in range(6)
+        )
+        p = RetrievalProblem(sys_, reps)
+        ref = solve(p, solver="pr-binary").response_time_ms
+        got = solve(p, solver="blackbox-binary", engine="highest-label")
+        assert got.response_time_ms == pytest.approx(ref)
+
+    def test_empty_and_trivial(self):
+        g = FlowNetwork(2)
+        assert highest_label(g, 0, 1).value == 0
+        g.add_arc(0, 1, 9)
+        assert highest_label(g, 0, 1).value == pytest.approx(9)

@@ -1,0 +1,76 @@
+"""Tests for the MPM blocking-flow engine."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import FlowNetwork, assert_valid_flow, to_networkx
+from repro.maxflow import MpmEngine, get_engine, mpm
+from tests.conftest import bipartite_retrieval_like, random_network
+
+
+class TestCorrectness:
+    def test_random_graphs(self, rng):
+        for _ in range(30):
+            g, s, t = random_network(rng)
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            r = mpm(g, s, t)
+            assert r.value == pytest.approx(expect)
+            assert_valid_flow(g, s, t)
+
+    def test_retrieval_networks(self, rng):
+        for _ in range(10):
+            g, s, t = bipartite_retrieval_like(
+                rng, rng.randint(1, 25), rng.randint(1, 7), 2, rng.randint(1, 4)
+            )
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            assert mpm(g, s, t).value == pytest.approx(expect)
+
+    def test_warm_start(self, rng):
+        for _ in range(8):
+            g, s, t = random_network(rng)
+            mpm(g, s, t)
+            for arc in list(g.arcs()):
+                g.set_capacity(arc.index, arc.cap + 1)
+            expect = nx.maximum_flow_value(to_networkx(g), s, t)
+            assert mpm(g, s, t, warm_start=True).value == pytest.approx(expect)
+            assert_valid_flow(g, s, t)
+
+
+class TestMechanics:
+    def test_phase_count_reported(self):
+        g = FlowNetwork(4)
+        g.add_arc(0, 1, 1)
+        g.add_arc(1, 2, 1)
+        g.add_arc(2, 3, 1)
+        r = mpm(g, 0, 3)
+        assert r.value == pytest.approx(1)
+        assert r.extra["phases"] >= 1
+
+    def test_registry(self):
+        assert get_engine("mpm").name == "mpm"
+        assert isinstance(get_engine("mpm"), MpmEngine)
+
+    def test_shallow_retrieval_few_phases(self, rng):
+        """Retrieval networks are 4 layers deep: <= ~3 phases expected."""
+        g, s, t = bipartite_retrieval_like(rng, 20, 5, 2, 4)
+        r = mpm(g, s, t)
+        assert r.extra["phases"] <= 4
+
+    def test_blackbox_solver_accepts_mpm(self):
+        import numpy as np
+
+        from repro.core import RetrievalProblem, solve
+        from repro.storage import StorageSystem
+
+        rng = np.random.default_rng(0)
+        sys_ = StorageSystem.homogeneous(4, "cheetah")
+        reps = tuple(
+            tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+            for _ in range(6)
+        )
+        p = RetrievalProblem(sys_, reps)
+        ref = solve(p, solver="pr-binary").response_time_ms
+        got = solve(p, solver="blackbox-binary", engine="mpm")
+        assert got.response_time_ms == pytest.approx(ref)

@@ -1,0 +1,154 @@
+"""Property-based tests for the retrieval core.
+
+Invariants:
+
+* every solver returns the brute-force optimum on arbitrary instances;
+* the optimum is always one of the achievable finish times;
+* feasibility is monotone in the deadline (the invariant binary scaling
+  and StoreFlows/RestoreFlows rest on);
+* schedules always respect replica sets (enforced by construction, but
+  re-checked through the public validator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RetrievalNetwork,
+    RetrievalProblem,
+    brute_force_response_time,
+    solve,
+)
+from repro.maxflow import push_relabel
+from repro.storage import Disk, Site, StorageSystem
+from repro.storage.disk import DISK_CATALOG
+
+SPECS = list(DISK_CATALOG.values())
+
+
+@st.composite
+def instances(draw):
+    """Small generalized retrieval instances with arbitrary parameters."""
+    n_disks = draw(st.integers(1, 6))
+    disks = []
+    for j in range(n_disks):
+        spec = SPECS[draw(st.integers(0, len(SPECS) - 1))]
+        load = draw(st.integers(0, 8))
+        disks.append(Disk(j, spec, initial_load_ms=float(load)))
+    # split into 1-2 sites with integer delays
+    split = draw(st.integers(0, n_disks))
+    delay1 = draw(st.integers(0, 6))
+    delay2 = draw(st.integers(0, 6))
+    if split in (0, n_disks):
+        sites = [Site(0, float(delay1), disks)]
+    else:
+        sites = [
+            Site(0, float(delay1), disks[:split]),
+            Site(1, float(delay2), disks[split:]),
+        ]
+    system = StorageSystem(sites)
+    n_buckets = draw(st.integers(1, 7))
+    replicas = []
+    for _ in range(n_buckets):
+        c = draw(st.integers(1, min(2, n_disks)))
+        reps = draw(
+            st.lists(
+                st.integers(0, n_disks - 1), min_size=c, max_size=c, unique=True
+            )
+        )
+        replicas.append(tuple(reps))
+    return RetrievalProblem(system, tuple(replicas))
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_integrated_binary_is_optimal(problem):
+    oracle = brute_force_response_time(problem)
+    sched = solve(problem, solver="pr-binary")
+    assert abs(sched.response_time_ms - oracle) < 1e-6
+    sched.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_ff_incremental_is_optimal(problem):
+    oracle = brute_force_response_time(problem)
+    sched = solve(problem, solver="ff-incremental")
+    assert abs(sched.response_time_ms - oracle) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_blackbox_agrees_with_integrated(problem):
+    a = solve(problem, solver="blackbox-binary").response_time_ms
+    b = solve(problem, solver="pr-binary").response_time_ms
+    assert abs(a - b) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances())
+def test_parallel_agrees_with_sequential(problem):
+    a = solve(problem, solver="parallel-binary").response_time_ms
+    b = solve(problem, solver="pr-binary").response_time_ms
+    assert abs(a - b) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_optimum_is_a_finish_time(problem):
+    sched = solve(problem)
+    finish_times = {
+        round(problem.system.finish_time(j, k), 9)
+        for j in problem.replica_disks()
+        for k in range(1, problem.num_buckets + 1)
+    }
+    assert round(sched.response_time_ms, 9) in finish_times
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.floats(0.0, 100.0))
+def test_feasibility_monotone_in_deadline(problem, deadline):
+    """If deadline t admits |Q| flow, so does every t' > t."""
+    Q = problem.num_buckets
+    net = RetrievalNetwork(problem)
+    net.set_deadline_capacities(deadline)
+    feasible = push_relabel(net.graph, 0, 1).value >= Q - 1e-9
+
+    net2 = RetrievalNetwork(problem)
+    net2.set_deadline_capacities(deadline + 13.7)
+    feasible_later = push_relabel(net2.graph, 0, 1).value >= Q - 1e-9
+    if feasible:
+        assert feasible_later
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_optimum_deadline_capacity_certificate(problem):
+    """caps(opt) admit full flow; caps(opt - min_speed) do not."""
+    opt = solve(problem).response_time_ms
+    Q = problem.num_buckets
+    net = RetrievalNetwork(problem)
+    net.set_deadline_capacities(opt)
+    assert push_relabel(net.graph, 0, 1).value >= Q - 1e-9
+
+    below = opt - problem.min_speed()
+    net2 = RetrievalNetwork(problem)
+    net2.set_deadline_capacities(below)
+    assert push_relabel(net2.graph, 0, 1).value < Q - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_adding_a_replica_never_hurts(problem):
+    """More choice can only lower (or keep) the optimal response time."""
+    base = solve(problem).response_time_ms
+    # give bucket 0 an extra replica on the globally fastest disk
+    sys_ = problem.system
+    fastest = int(np.argmin(sys_.costs() + sys_.delays() + sys_.loads()))
+    replicas = list(problem.replicas)
+    replicas[0] = tuple(sorted(set(replicas[0]) | {fastest}))
+    richer = RetrievalProblem(sys_, tuple(replicas))
+    assert solve(richer).response_time_ms <= base + 1e-9

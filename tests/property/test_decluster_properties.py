@@ -1,0 +1,96 @@
+"""Property-based tests for declustering schemes.
+
+Invariants:
+
+* periodic allocations are perfectly balanced (N buckets per disk) and
+  row/column-latin when coefficients are units;
+* the orthogonal construction yields every replica pair exactly once for
+  every N, and both copies stay balanced;
+* RDA replica sets are valid (distinct disks, in range);
+* additive error is non-negative, zero-capped by construction, and
+  invariant under disk relabeling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decluster import (
+    Allocation,
+    additive_error,
+    dependent_pair,
+    is_orthogonal_pair,
+    orthogonal_pair,
+    periodic_allocation,
+    rda_pair,
+    valid_coefficients,
+)
+
+small_n = st.integers(2, 10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_n, st.data())
+def test_periodic_allocation_is_balanced_and_latin(N, data):
+    coeffs = valid_coefficients(N)
+    a1 = data.draw(st.sampled_from(coeffs))
+    a2 = data.draw(st.sampled_from(coeffs))
+    alloc = periodic_allocation(N, a1, a2)
+    assert alloc.disk_counts().tolist() == [N] * N
+    # unit coefficients make every row and every column a permutation
+    for i in range(N):
+        assert len(set(alloc.grid[i, :])) == N
+        assert len(set(alloc.grid[:, i])) == N
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(1, 12))
+def test_orthogonal_pair_property_holds_for_all_n(N):
+    f, g = orthogonal_pair(N)
+    assert is_orthogonal_pair(f, g)
+    assert f.disk_counts().tolist() == [N] * N
+    assert g.disk_counts().tolist() == [N] * N
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 12), st.data())
+def test_dependent_pair_offsets_are_constant(N, data):
+    m = data.draw(st.integers(1, N - 1))
+    f, g = dependent_pair(N, m=m)
+    assert np.all((g.grid - f.grid) % N == m)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+def test_rda_replicas_distinct_and_in_range(N, seed):
+    rng = np.random.default_rng(seed)
+    r = rda_pair(N, rng)
+    for _, reps in r.iter_buckets():
+        assert len(set(reps)) == 2
+        assert all(0 <= d < N for d in reps)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 7), st.integers(0, 2**31 - 1))
+def test_additive_error_nonnegative_and_relabel_invariant(N, seed):
+    rng = np.random.default_rng(seed)
+    grid = rng.integers(0, N, size=(N, N))
+    alloc = Allocation(grid, N)
+    err = additive_error(alloc)
+    assert err >= 0
+    # relabel disks by a random permutation: loads permute, error unchanged
+    perm = rng.permutation(N)
+    relabeled = Allocation(perm[grid], N)
+    assert additive_error(relabeled) == err
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 7))
+def test_single_disk_degenerate_error_is_query_size_bound(N):
+    """All buckets on one disk: error of an r x c query is rc - ceil(rc/N),
+    maximized by the full grid."""
+    alloc = Allocation(np.zeros((N, N), dtype=np.int64), N)
+    expect = N * N - -(-N * N // N)
+    assert additive_error(alloc) == expect

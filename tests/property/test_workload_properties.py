@@ -1,0 +1,97 @@
+"""Property-based tests for query and load generators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import QUERY_LOADS, sample_bucket_count
+from repro.workloads.loads import sample_query
+from repro.workloads.queries import (
+    RangeQuery,
+    sample_arbitrary_query_of_size,
+    sample_range_query_of_size,
+)
+
+grid_sizes = st.integers(2, 15)
+seeds = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid_sizes, st.integers(2, 3))
+def test_load_probabilities_sum_to_one(N, load):
+    probs = QUERY_LOADS[load].k_probabilities(N)
+    assert len(probs) == N
+    assert abs(float(probs.sum()) - 1.0) < 1e-12
+    assert (probs >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid_sizes, st.integers(2, 3), seeds)
+def test_sampled_sizes_within_grid(N, load, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        m = sample_bucket_count(load, N, rng)
+        assert 1 <= m <= N * N
+
+
+@settings(max_examples=30, deadline=None)
+@given(grid_sizes, st.integers(1, 3),
+       st.sampled_from(["range", "arbitrary"]), seeds)
+def test_sampled_queries_are_valid(N, load, qtype, seed):
+    rng = np.random.default_rng(seed)
+    q = sample_query(load, qtype, N, rng)
+    buckets = q.buckets()
+    assert 1 <= len(buckets) <= N * N
+    assert len(set(buckets)) == len(buckets)
+    for (i, j) in buckets:
+        assert 0 <= i < N and 0 <= j < N
+
+
+@settings(max_examples=30, deadline=None)
+@given(grid_sizes, st.data())
+def test_range_of_size_hits_requested_band(N, data):
+    k = data.draw(st.integers(1, N))
+    lo, hi = (k - 1) * N + 1, k * N
+    rng = np.random.default_rng(data.draw(seeds))
+    q = sample_range_query_of_size(N, lo, hi, rng)
+    assert lo <= q.num_buckets <= hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(grid_sizes, st.data())
+def test_range_of_size_fallback_always_lands(N, data):
+    """Even with zero rejection tries the deterministic fallback works
+    for every load band."""
+    k = data.draw(st.integers(1, N))
+    lo, hi = (k - 1) * N + 1, k * N
+    rng = np.random.default_rng(data.draw(seeds))
+    q = sample_range_query_of_size(N, lo, hi, rng, max_tries=0)
+    assert lo <= q.num_buckets <= hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(grid_sizes, st.data())
+def test_arbitrary_of_size_exact(N, data):
+    size = data.draw(st.integers(1, N * N))
+    rng = np.random.default_rng(data.draw(seeds))
+    q = sample_arbitrary_query_of_size(N, size, rng)
+    assert q.num_buckets == size
+
+
+@settings(max_examples=30, deadline=None)
+@given(grid_sizes, st.data())
+def test_range_query_buckets_contiguous_mod_n(N, data):
+    i = data.draw(st.integers(0, N - 1))
+    j = data.draw(st.integers(0, N - 1))
+    r = data.draw(st.integers(1, N))
+    c = data.draw(st.integers(1, N))
+    q = RangeQuery(i, j, r, c, N)
+    buckets = set(q.buckets())
+    assert len(buckets) == r * c
+    # every covered row contains exactly c cells, wrapped
+    rows = {bi for bi, _ in buckets}
+    assert rows == {(i + d) % N for d in range(r)}
+    for bi in rows:
+        assert sum(1 for x, _ in buckets if x == bi) == c

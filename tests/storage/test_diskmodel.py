@@ -1,0 +1,101 @@
+"""Tests for the component-level disk access-time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.storage.diskmodel import HddModel, SsdModel, fit_seek_time
+
+
+class TestHddModel:
+    def test_rotational_latency_formula(self):
+        assert HddModel(7200, 8.0, 100).rotational_latency_ms == pytest.approx(
+            30000 / 7200
+        )
+        assert HddModel(15000, 3.0, 150).rotational_latency_ms == pytest.approx(2.0)
+
+    def test_block_time_composition(self):
+        m = HddModel(10000, 4.5, 128, block_kb=64, spinup_share_ms=0.1)
+        assert m.block_time_ms == pytest.approx(
+            0.1 + 4.5 + 3.0 + 64 / 1024 / 128 * 1000
+        )
+
+    def test_faster_rpm_faster_access(self):
+        slow = HddModel(7200, 8.0, 100)
+        fast = HddModel(15000, 8.0, 100)
+        assert fast.block_time_ms < slow.block_time_ms
+
+    def test_to_spec(self):
+        spec = HddModel(15000, 3.5, 150).to_spec("myhdd")
+        assert spec.kind == "HDD"
+        assert spec.rpm == 15000
+        assert spec.block_time_ms == pytest.approx(
+            HddModel(15000, 3.5, 150).block_time_ms, abs=1e-3
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rpm=0, avg_seek_ms=1, sequential_mb_s=100),
+            dict(rpm=7200, avg_seek_ms=-1, sequential_mb_s=100),
+            dict(rpm=7200, avg_seek_ms=1, sequential_mb_s=0),
+            dict(rpm=7200, avg_seek_ms=1, sequential_mb_s=100, block_kb=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(StorageConfigError):
+            HddModel(**kwargs)
+
+    def test_catalogue_consistency_cheetah(self):
+        """A 15K-rpm Cheetah at 6.1 ms implies a plausible seek (~2-5 ms)."""
+        seek = fit_seek_time(6.1, 15000, 120)
+        assert 1.0 < seek < 5.0
+
+    def test_catalogue_consistency_barracuda(self):
+        """A 7.2K-rpm Barracuda at 13.2 ms implies a seek around 8-9 ms."""
+        seek = fit_seek_time(13.2, 7200, 100)
+        assert 7.0 < seek < 10.0
+
+
+class TestSsdModel:
+    def test_transfer_only(self):
+        m = SsdModel(250, block_kb=64)
+        assert m.block_time_ms == pytest.approx(64 / 1024 / 250 * 1000)
+
+    def test_vertex_class_rates(self):
+        """Table III's Vertex (0.5 ms) matches ~125 MB/s at 64 KiB."""
+        assert SsdModel(125).block_time_ms == pytest.approx(0.5)
+
+    def test_x25e_class_rates(self):
+        """Table III's X25-E (0.2 ms) matches ~312 MB/s at 64 KiB."""
+        assert SsdModel(312.5).block_time_ms == pytest.approx(0.2)
+
+    def test_controller_overhead(self):
+        base = SsdModel(250).block_time_ms
+        assert SsdModel(250, controller_overhead_ms=0.05).block_time_ms == (
+            pytest.approx(base + 0.05)
+        )
+
+    def test_to_spec(self):
+        spec = SsdModel(250).to_spec("myssd")
+        assert spec.kind == "SSD" and spec.rpm is None
+
+    def test_validation(self):
+        with pytest.raises(StorageConfigError):
+            SsdModel(0)
+        with pytest.raises(StorageConfigError):
+            SsdModel(100, block_kb=0)
+        with pytest.raises(StorageConfigError):
+            SsdModel(100, controller_overhead_ms=-1)
+
+
+class TestFitSeekTime:
+    def test_roundtrip(self):
+        m = HddModel(10000, 4.2, 128)
+        fitted = fit_seek_time(m.block_time_ms, 10000, 128)
+        assert fitted == pytest.approx(4.2)
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(StorageConfigError, match="mechanical floor"):
+            fit_seek_time(0.5, 7200, 100)

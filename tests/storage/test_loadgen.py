@@ -1,0 +1,62 @@
+"""Tests for the R(lo,hi,step) distribution and parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.storage import RandomStepDistribution, parse_r_notation
+
+
+class TestDistribution:
+    def test_support_r_2_10_2(self):
+        """The paper's R(2,10,2) = {2, 4, 6, 8, 10}."""
+        r = RandomStepDistribution(2, 10, 2)
+        assert r.support.tolist() == [2, 4, 6, 8, 10]
+
+    def test_degenerate_support(self):
+        r = RandomStepDistribution(3, 3, 1)
+        assert r.support.tolist() == [3]
+
+    def test_samples_stay_in_support(self):
+        r = RandomStepDistribution(2, 10, 2)
+        rng = np.random.default_rng(0)
+        draws = r.sample(rng, size=200)
+        assert set(draws.tolist()) == {2, 4, 6, 8, 10}
+
+    def test_scalar_sample(self):
+        r = RandomStepDistribution(2, 10, 2)
+        x = r.sample(np.random.default_rng(1))
+        assert x in (2, 4, 6, 8, 10)
+
+    def test_validation(self):
+        with pytest.raises(StorageConfigError):
+            RandomStepDistribution(2, 10, 0)
+        with pytest.raises(StorageConfigError):
+            RandomStepDistribution(10, 2, 2)
+
+    def test_str_roundtrip(self):
+        r = RandomStepDistribution(2, 10, 2)
+        assert str(r) == "R(2,10,2)"
+        assert parse_r_notation(str(r)) == r
+
+
+class TestParser:
+    def test_parse_standard(self):
+        r = parse_r_notation("R(2,10,2)")
+        assert (r.lo, r.hi, r.step) == (2, 10, 2)
+
+    def test_parse_with_spaces(self):
+        r = parse_r_notation("  R( 1 , 5 , 2 ) ")
+        assert (r.lo, r.hi, r.step) == (1, 5, 2)
+
+    def test_parse_bare_number_as_constant(self):
+        r = parse_r_notation("0")
+        assert r.support.tolist() == [0]
+        r = parse_r_notation("3.5")
+        assert r.support.tolist() == [3.5]
+
+    def test_parse_garbage(self):
+        with pytest.raises(StorageConfigError):
+            parse_r_notation("uniform(0,1)")

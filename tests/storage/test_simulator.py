@@ -1,0 +1,131 @@
+"""Tests for the event-driven simulator and online replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleScheduleError, StorageConfigError
+from repro.storage import OnlineReplay, StorageSystem, simulate_schedule
+
+
+def small_system() -> StorageSystem:
+    sys_ = StorageSystem.homogeneous(4, "cheetah", num_sites=2, delay_ms=[2, 1])
+    sys_.set_loads([1, 0, 0, 3])
+    return sys_
+
+
+class TestSimulateSchedule:
+    def test_matches_analytic_model(self):
+        sys_ = small_system()
+        assignment = {f"b{k}": k % 4 for k in range(10)}
+        res = simulate_schedule(sys_, assignment)
+        analytic = max(
+            sys_.finish_time(d, c) for d, c in res.buckets_by_disk.items()
+        )
+        assert res.response_time_ms == pytest.approx(analytic)
+
+    def test_empty_schedule(self):
+        res = simulate_schedule(small_system(), {})
+        assert res.response_time_ms == 0.0
+        assert res.bottleneck_disk() is None
+
+    def test_events_are_back_to_back(self):
+        sys_ = small_system()
+        res = simulate_schedule(sys_, {"a": 0, "b": 0, "c": 0})
+        ev = sorted(
+            (e for e in res.events if e.disk_id == 0), key=lambda e: e.start_ms
+        )
+        # first bucket starts after delay + initial load
+        assert ev[0].start_ms == pytest.approx(2 + 1)
+        for prev, nxt in zip(ev, ev[1:]):
+            assert nxt.start_ms == pytest.approx(prev.end_ms)
+        assert all(e.service_ms == pytest.approx(6.1) for e in ev)
+
+    def test_bottleneck_disk(self):
+        sys_ = small_system()
+        res = simulate_schedule(sys_, {"a": 0, "b": 1, "c": 1, "d": 1})
+        assert res.bottleneck_disk() == 1  # 3 buckets beats 1 bucket + loads
+
+    def test_utilization_bounds(self):
+        sys_ = small_system()
+        res = simulate_schedule(sys_, {"a": 0, "b": 1})
+        for d in (0, 1):
+            assert 0 < res.utilization(d) <= 1
+        assert res.utilization(2) == 0.0
+
+    def test_unknown_disk_rejected(self):
+        with pytest.raises(InfeasibleScheduleError):
+            simulate_schedule(small_system(), {"a": 99})
+
+
+class TestOnlineReplay:
+    @staticmethod
+    def greedy_scheduler(system, buckets):
+        """Assign every bucket to the currently least-finishing disk."""
+        counts = [0] * system.num_disks
+        out = {}
+        for b in buckets:
+            best = min(
+                range(system.num_disks),
+                key=lambda d: system.finish_time(d, counts[d] + 1),
+            )
+            counts[best] += 1
+            out[b] = best
+        return out
+
+    def test_loads_evolve(self):
+        sys_ = StorageSystem.homogeneous(2, "cheetah")
+        replay = OnlineReplay(sys_, self.greedy_scheduler)
+        r1 = replay.submit(0.0, ["a", "b"])
+        assert r1.loads_before == (0.0, 0.0)
+        # second query arrives before disks finish -> positive loads
+        r2 = replay.submit(1.0, ["c", "d"])
+        assert any(x > 0 for x in r2.loads_before)
+
+    def test_loads_drain_when_idle(self):
+        sys_ = StorageSystem.homogeneous(2, "cheetah")
+        replay = OnlineReplay(sys_, self.greedy_scheduler)
+        replay.submit(0.0, ["a"])
+        rec = replay.submit(10_000.0, ["b"])
+        assert rec.loads_before == (0.0, 0.0)
+
+    def test_arrivals_must_be_monotone(self):
+        replay = OnlineReplay(
+            StorageSystem.homogeneous(2, "cheetah"), self.greedy_scheduler
+        )
+        replay.submit(5.0, ["a"])
+        with pytest.raises(StorageConfigError, match="non-decreasing"):
+            replay.submit(4.0, ["b"])
+
+    def test_unassigned_bucket_detected(self):
+        replay = OnlineReplay(
+            StorageSystem.homogeneous(2, "cheetah"),
+            lambda system, buckets: {},
+        )
+        with pytest.raises(StorageConfigError, match="unassigned"):
+            replay.submit(0.0, ["a"])
+
+    def test_run_stream_and_stats(self):
+        sys_ = StorageSystem.homogeneous(2, "cheetah")
+        replay = OnlineReplay(sys_, self.greedy_scheduler)
+        records = replay.run([(0.0, ["a"]), (1.0, ["b", "c"]), (2.0, ["d"])])
+        assert len(records) == 3
+        assert replay.mean_response_ms() > 0
+        assert replay.max_response_ms() >= replay.mean_response_ms()
+        assert replay.clock_ms == 2.0
+
+    def test_empty_replay_stats(self):
+        replay = OnlineReplay(
+            StorageSystem.homogeneous(2, "cheetah"), self.greedy_scheduler
+        )
+        assert replay.mean_response_ms() == 0.0
+        assert replay.max_response_ms() == 0.0
+
+    def test_response_matches_offline_simulation(self):
+        """Replay response of one query == simulator on same system state."""
+        sys_ = StorageSystem.homogeneous(4, "raptor", num_sites=2, delay_ms=[3, 0])
+        replay = OnlineReplay(sys_, self.greedy_scheduler)
+        rec = replay.submit(0.0, list("abcdef"))
+        res = simulate_schedule(sys_, rec.assignment)
+        assert rec.response_time_ms == pytest.approx(res.response_time_ms)

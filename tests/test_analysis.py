@@ -1,0 +1,138 @@
+"""Tests for the analysis toolkit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DecisionOverhead,
+    ResponseStats,
+    decision_overhead_study,
+    replication_gain_study,
+    response_time_study,
+    scheme_comparison,
+    work_profile_study,
+)
+
+
+class TestResponseStats:
+    def test_from_samples(self):
+        s = ResponseStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.max == 4.0
+        assert s.p95 <= 4.0
+
+    def test_empty(self):
+        s = ResponseStats.from_samples([])
+        assert s.n == 0 and s.mean == 0.0
+
+
+class TestResponseStudy:
+    def test_basic_point(self):
+        stats = response_time_study(1, "dependent", 4, "range", 3,
+                                    n_queries=6, seed=1)
+        assert stats.n == 6
+        assert 0 < stats.mean <= stats.max + 1e-9
+        assert stats.median <= stats.p95 <= stats.max + 1e-9
+
+    def test_deterministic_with_seed(self):
+        a = response_time_study(5, "rda", 4, "arbitrary", 3, n_queries=4, seed=9)
+        b = response_time_study(5, "rda", 4, "arbitrary", 3, n_queries=4, seed=9)
+        assert a == b
+
+    def test_scheme_comparison_covers_all_schemes(self):
+        out = scheme_comparison(1, 4, "range", 3, n_queries=4, seed=2)
+        assert set(out) == {"rda", "dependent", "orthogonal"}
+        assert all(s.n == 4 for s in out.values())
+
+    def test_replication_gain_nonnegative(self):
+        """Replicated optimum can never exceed the single-copy optimum."""
+        out = replication_gain_study(1, "orthogonal", 5, "range", 2,
+                                     n_queries=6, seed=3)
+        assert out["replicated"].mean <= out["single-copy"].mean + 1e-9
+        assert out["replicated"].max <= out["single-copy"].max + 1e-9
+
+    def test_replication_gain_is_strict_under_contention(self):
+        """With load 2's larger queries, two copies must actually help."""
+        out = replication_gain_study(1, "rda", 5, "arbitrary", 2,
+                                     n_queries=8, seed=4)
+        assert out["replicated"].mean < out["single-copy"].mean
+
+
+class TestDecisionOverhead:
+    def test_fields_and_fraction(self):
+        d = DecisionOverhead("x", 3, mean_decision_ms=1.0, mean_response_ms=9.0)
+        assert d.overhead_fraction == pytest.approx(0.1)
+        assert d.effective_response_ms == pytest.approx(10.0)
+
+    def test_zero_total(self):
+        d = DecisionOverhead("x", 0, 0.0, 0.0)
+        assert d.overhead_fraction == 0.0
+
+    def test_study_runs_all_solvers(self):
+        out = decision_overhead_study(1, "dependent", 4, "range", 3,
+                                      n_queries=3, seed=5)
+        assert set(out) == {"pr-binary", "blackbox-binary", "greedy-finish-time"}
+        for d in out.values():
+            assert d.n == 3
+            assert d.mean_decision_ms > 0
+            assert 0 <= d.overhead_fraction < 1
+
+    def test_greedy_decides_faster_than_maxflow(self):
+        out = decision_overhead_study(
+            5, "orthogonal", 6, "arbitrary", 2,
+            solvers=["pr-binary", "greedy-finish-time"],
+            n_queries=5, seed=6,
+        )
+        assert (out["greedy-finish-time"].mean_decision_ms
+                < out["pr-binary"].mean_decision_ms)
+
+
+class TestWorkProfiles:
+    def test_conservation_shows_in_pushes(self):
+        out = work_profile_study(
+            5, "orthogonal", 5, "arbitrary", 1,
+            solvers=["pr-binary", "blackbox-binary"],
+            n_queries=6, seed=7,
+        )
+        integrated = out["pr-binary"]
+        blackbox = out["blackbox-binary"]
+        assert integrated.probes == blackbox.probes  # same schedule of probes
+        assert blackbox.pushes > integrated.pushes  # conservation
+        assert integrated.conservation_ratio(blackbox) > 1.0
+
+    def test_ff_reports_augmentations_not_pushes(self):
+        out = work_profile_study(
+            1, "dependent", 4, "range", 3,
+            solvers=["ff-incremental"], n_queries=3, seed=8,
+        )
+        prof = out["ff-incremental"]
+        assert prof.augmentations > 0
+        assert prof.pushes == 0
+
+    def test_disagreement_detected(self):
+        """Heuristic solvers are excluded from the optimum cross-check."""
+        out = work_profile_study(
+            1, "dependent", 4, "range", 3,
+            solvers=["pr-binary", "greedy-finish-time"],
+            n_queries=3, seed=9,
+        )
+        assert "greedy-finish-time" in out  # ran without tripping the assert
+
+    def test_pushes_per_query(self):
+        out = work_profile_study(
+            1, "dependent", 4, "range", 3,
+            solvers=["pr-binary"], n_queries=4, seed=10,
+        )
+        prof = out["pr-binary"]
+        assert prof.pushes_per_query == pytest.approx(prof.pushes / 4)
+
+    def test_conservation_ratio_zero_division(self):
+        from repro.analysis.work import WorkProfile
+
+        a = WorkProfile("a", 1, 0, 0, 0, 0, 0)
+        b = WorkProfile("b", 1, 0, 0, 5, 0, 0)
+        assert a.conservation_ratio(b) == float("inf")
+        assert a.conservation_ratio(a) == 1.0

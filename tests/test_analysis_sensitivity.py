@@ -1,0 +1,91 @@
+"""Tests for parameter-sweep sensitivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_disk_load, sweep_site_delay
+from repro.core import RetrievalProblem
+from repro.errors import StorageConfigError
+from repro.storage import StorageSystem
+
+
+def two_site_problem():
+    rng = np.random.default_rng(3)
+    sys_ = StorageSystem.from_groups(
+        ["cheetah", "ssd"], 3, delays_ms=[0.0, 0.0], rng=rng
+    )
+    reps = tuple(
+        tuple(sorted(rng.choice(6, size=2, replace=False).tolist()))
+        for _ in range(6)
+    )
+    return RetrievalProblem(sys_, reps)
+
+
+class TestSweepSiteDelay:
+    def test_curve_monotone(self):
+        p = two_site_problem()
+        result = sweep_site_delay(p, 1, [0, 5, 20, 80])
+        assert result.monotone_nondecreasing
+        assert len(result.points) == 4
+        assert result.parameter == "site[1].delay_ms"
+
+    def test_breakpoints_detect_spill(self):
+        """As the SSD site's delay grows, buckets migrate to the HDDs —
+        the support of the schedule must change somewhere."""
+        p = two_site_problem()
+        result = sweep_site_delay(p, 1, [0, 2, 5, 10, 20, 40, 80, 200])
+        assert result.breakpoints()  # at least one shape change
+
+    def test_system_state_restored(self):
+        p = two_site_problem()
+        before = p.system.sites[1].delay_ms
+        sweep_site_delay(p, 1, [1, 2, 3])
+        assert p.system.sites[1].delay_ms == before
+
+    def test_unknown_site(self):
+        p = two_site_problem()
+        with pytest.raises(StorageConfigError, match="unknown site"):
+            sweep_site_delay(p, 5, [1])
+
+    def test_negative_delay_rejected_and_restored(self):
+        p = two_site_problem()
+        before = p.system.sites[1].delay_ms
+        with pytest.raises(StorageConfigError):
+            sweep_site_delay(p, 1, [1, -2])
+        assert p.system.sites[1].delay_ms == before
+
+    def test_response_curve_shape(self):
+        p = two_site_problem()
+        result = sweep_site_delay(p, 1, [0, 10])
+        curve = result.response_curve()
+        assert curve[0][0] == 0 and curve[1][0] == 10
+        assert all(r > 0 for _, r in curve)
+
+
+class TestSweepDiskLoad:
+    def test_monotone_and_restored(self):
+        p = two_site_problem()
+        before = p.system.disk(0).initial_load_ms
+        result = sweep_disk_load(p, 0, [0, 5, 50, 500])
+        assert result.monotone_nondecreasing
+        assert p.system.disk(0).initial_load_ms == before
+
+    def test_load_saturation_plateau(self):
+        """Once a disk is busy enough that the optimum avoids it, further
+        load must not change the response at all."""
+        p = two_site_problem()
+        result = sweep_disk_load(p, 0, [1000, 2000, 4000])
+        responses = {round(pt.response_time_ms, 9) for pt in result.points}
+        assert len(responses) == 1
+
+    def test_negative_load_rejected(self):
+        p = two_site_problem()
+        with pytest.raises(StorageConfigError):
+            sweep_disk_load(p, 0, [-1])
+
+    def test_unknown_disk(self):
+        p = two_site_problem()
+        with pytest.raises(StorageConfigError):
+            sweep_disk_load(p, 77, [1])

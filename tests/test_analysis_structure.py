@@ -1,0 +1,72 @@
+"""Tests for the graph-structure correlation study (Figure 10's mechanism)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import StructurePoint, StructureStudy, structure_correlation_study
+
+
+def pt(q, ratio):
+    return StructurePoint(
+        num_buckets=q,
+        num_replica_arcs=2 * q,
+        num_disks_touched=min(q, 8),
+        sequential_ms=1.0,
+        parallel_ms=ratio,
+    )
+
+
+class TestStructureStudy:
+    def test_ratio(self):
+        p = pt(5, 2.5)
+        assert p.ratio == pytest.approx(2.5)
+        zero = StructurePoint(1, 2, 1, 0.0, 1.0)
+        assert math.isnan(zero.ratio)
+
+    def test_perfect_monotone_correlation(self):
+        study = StructureStudy([pt(q, float(q)) for q in (1, 5, 9, 20, 40)])
+        assert study.size_ratio_correlation == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        study = StructureStudy([pt(q, 100.0 - q) for q in (1, 5, 9, 20, 40)])
+        assert study.size_ratio_correlation == pytest.approx(-1.0)
+
+    def test_too_few_points(self):
+        study = StructureStudy([pt(1, 1.0), pt(2, 2.0)])
+        assert study.size_ratio_correlation == 0.0
+
+    def test_mean_ratio(self):
+        study = StructureStudy([pt(1, 2.0), pt(2, 4.0)])
+        assert study.mean_ratio == pytest.approx(3.0)
+
+    def test_by_size_band(self):
+        study = StructureStudy([pt(q, float(q)) for q in range(1, 10)])
+        bands = study.by_size_band(3)
+        assert len(bands) == 3
+        labels = [b[0] for b in bands]
+        assert labels[0].startswith("|Q| 1-")
+        means = [b[1] for b in bands]
+        assert means == sorted(means)
+
+
+class TestEndToEnd:
+    def test_study_runs_and_agrees(self):
+        study = structure_correlation_study(
+            5, "orthogonal", 5, "arbitrary", 2, n_queries=6, seed=1
+        )
+        assert len(study.points) == 6
+        for p in study.points:
+            assert p.num_buckets >= 1
+            assert p.num_replica_arcs >= p.num_buckets
+            assert p.sequential_ms > 0 and p.parallel_ms > 0
+        assert -1.0 <= study.size_ratio_correlation <= 1.0
+
+    def test_structure_fields_describe_problem(self):
+        study = structure_correlation_study(
+            1, "dependent", 4, "range", 3, n_queries=4, seed=2
+        )
+        for p in study.points:
+            assert p.num_disks_touched <= 8  # 2 sites x 4 disks

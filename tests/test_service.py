@@ -1,0 +1,152 @@
+"""Tests for the SchedulerService facade."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.decluster import make_placement
+from repro.errors import InfeasibleScheduleError, StorageConfigError
+from repro.service import SchedulerService
+from repro.storage import StorageSystem
+
+
+def make_service(N=5, time_fn=None, **kw):
+    placement = make_placement("orthogonal", N, num_sites=2, seed=0)
+    system = StorageSystem.homogeneous(2 * N, "cheetah", num_sites=2)
+    return SchedulerService(system, placement, time_fn=time_fn, **kw)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestBasics:
+    def test_submit_returns_record(self):
+        svc = make_service(time_fn=FakeClock())
+        rec = svc.submit([(0, 0), (0, 1)])
+        assert rec.num_buckets == 2
+        assert rec.response_time_ms > 0
+        assert not rec.degraded
+        assert len(rec.assignment) == 2
+
+    def test_placement_system_mismatch(self):
+        placement = make_placement("orthogonal", 5, num_sites=2, seed=0)
+        system = StorageSystem.homogeneous(5, "cheetah")
+        with pytest.raises(StorageConfigError, match="placement"):
+            SchedulerService(system, placement)
+
+    def test_loads_evolve_between_queries(self):
+        clock = FakeClock()
+        svc = make_service(time_fn=clock)
+        svc.submit([(i, j) for i in range(3) for j in range(3)])
+        clock.t = 1.0  # almost immediately: disks still busy
+        rec = svc.submit([(0, 0)])
+        assert any(x > 0 for x in svc.system.loads())
+        assert rec.response_time_ms > 6.1  # must queue behind the backlog
+
+    def test_loads_drain_when_idle(self):
+        clock = FakeClock()
+        svc = make_service(time_fn=clock)
+        svc.submit([(0, 0), (1, 1)])
+        clock.t = 1e6
+        svc.submit([(2, 2)])
+        assert all(x == 0 for x in svc.system.loads()[:1])  # drained
+
+    def test_arrivals_must_be_monotone(self):
+        svc = make_service(time_fn=FakeClock())
+        svc.submit([(0, 0)], arrival_ms=10.0)
+        with pytest.raises(StorageConfigError, match="non-decreasing"):
+            svc.submit([(0, 0)], arrival_ms=5.0)
+
+    def test_stats_accumulate(self):
+        svc = make_service(time_fn=FakeClock())
+        svc.submit([(0, 0)], arrival_ms=0.0)
+        svc.submit([(1, 1), (2, 2)], arrival_ms=100.0)
+        st = svc.stats()
+        assert st.queries == 2
+        assert st.buckets == 3
+        assert st.mean_response_ms > 0
+        assert st.max_response_ms >= st.mean_response_ms
+        assert sum(st.per_disk_buckets) == 3
+
+    def test_stats_snapshot_is_independent(self):
+        svc = make_service(time_fn=FakeClock())
+        svc.submit([(0, 0)], arrival_ms=0.0)
+        snap = svc.stats()
+        svc.submit([(1, 1)], arrival_ms=1.0)
+        assert snap.queries == 1
+        assert svc.stats().queries == 2
+
+
+class TestFailures:
+    def test_failed_disk_avoided(self):
+        svc = make_service(time_fn=FakeClock())
+        svc.mark_failed([0])
+        rec = svc.submit([(i, j) for i in range(2) for j in range(3)])
+        assert rec.degraded
+        assert 0 not in rec.assignment.values()
+        assert svc.stats().degraded_queries == 1
+
+    def test_repair_restores_disk(self):
+        clock = FakeClock()
+        svc = make_service(time_fn=clock)
+        svc.mark_failed([0, 1])
+        svc.mark_repaired([0])
+        assert svc.failed_disks == frozenset({1})
+
+    def test_unknown_disk_rejected(self):
+        svc = make_service(time_fn=FakeClock())
+        with pytest.raises(StorageConfigError):
+            svc.mark_failed([99])
+
+    def test_data_unavailable_propagates(self):
+        svc = make_service(N=3, time_fn=FakeClock())
+        # fail both replicas of bucket (0, 0)
+        reps = svc.placement.allocation.replicas_of(0, 0)
+        svc.mark_failed(list(reps))
+        with pytest.raises(InfeasibleScheduleError, match="lost all replicas"):
+            svc.submit([(0, 0)])
+
+
+class TestConcurrency:
+    def test_parallel_submissions_consistent(self):
+        svc = make_service(time_fn=FakeClock())
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(10):
+                    svc.submit([(0, 0), (1, 1), (2, 2)])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        st = svc.stats()
+        assert st.queries == 40
+        assert st.buckets == 120
+        assert len(svc.history) == 40
+
+
+class TestSolverChoice:
+    def test_custom_solver(self):
+        svc = make_service(time_fn=FakeClock(), solver="ff-incremental")
+        rec = svc.submit([(0, 0)])
+        assert rec.response_time_ms > 0
+
+    def test_decision_time_recorded(self):
+        svc = make_service(time_fn=FakeClock())
+        rec = svc.submit([(0, 0), (1, 0)])
+        assert rec.decision_time_ms > 0
+        assert svc.stats().mean_decision_ms > 0

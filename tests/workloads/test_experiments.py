@@ -1,0 +1,104 @@
+"""Tests for Table IV experiment configurations and builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import EXPERIMENTS, build_problem, build_system
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+class TestTable4:
+    def test_five_experiments(self):
+        assert sorted(EXPERIMENTS) == [1, 2, 3, 4, 5]
+
+    def test_exp1_homogeneous_cheetah(self):
+        cfg = EXPERIMENTS[1]
+        assert cfg.homogeneous
+        assert cfg.site_groups == ("cheetah", "cheetah")
+        assert cfg.delay_dist.support.tolist() == [0]
+
+    def test_exp2_exp3_mirrored(self):
+        assert EXPERIMENTS[2].site_groups == ("ssd", "hdd")
+        assert EXPERIMENTS[3].site_groups == ("hdd", "ssd")
+
+    def test_exp5_random_params(self):
+        cfg = EXPERIMENTS[5]
+        assert cfg.site_groups == ("ssd+hdd", "ssd+hdd")
+        assert cfg.delay_dist.support.tolist() == [2, 4, 6, 8, 10]
+        assert cfg.load_dist.support.tolist() == [2, 4, 6, 8, 10]
+
+    def test_describe_mentions_everything(self):
+        text = EXPERIMENTS[5].describe()
+        assert "Experiment 5" in text
+        assert "ssd+hdd" in text
+        assert "R(2,10,2)" in text
+
+
+class TestBuildSystem:
+    def test_exp1_system_homogeneous_idle(self, rng):
+        sys_ = build_system(1, 6, rng)
+        assert sys_.num_disks == 12
+        assert np.all(sys_.costs() == 6.1)
+        assert np.all(sys_.delays() == 0)
+        assert np.all(sys_.loads() == 0)
+
+    def test_exp2_sites_have_right_kinds(self, rng):
+        sys_ = build_system(2, 5, rng)
+        assert np.all(sys_.costs()[:5] <= 0.5)  # ssds
+        assert np.all(sys_.costs()[5:] >= 6.1)  # hdds
+
+    def test_exp5_parameters_in_r_support(self, rng):
+        sys_ = build_system(5, 5, rng)
+        assert set(np.unique(sys_.delays())) <= {2, 4, 6, 8, 10}
+        assert set(np.unique(sys_.loads())) <= {2, 4, 6, 8, 10}
+
+    def test_unknown_experiment(self, rng):
+        with pytest.raises(WorkloadError, match="Table IV"):
+            build_system(9, 5, rng)
+
+
+class TestBuildProblem:
+    @pytest.mark.parametrize("exp", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("scheme", ["rda", "dependent", "orthogonal"])
+    def test_problem_is_solvable(self, exp, scheme, rng):
+        from repro.core import solve
+
+        p = build_problem(exp, scheme, 4, "range", 3, rng)
+        assert p.num_disks == 8
+        sched = solve(p)
+        assert sched.response_time_ms > 0
+
+    def test_replicas_span_both_sites(self, rng):
+        p = build_problem(5, "orthogonal", 5, "arbitrary", 2, rng)
+        for reps in p.replicas:
+            assert 0 <= reps[0] < 5
+            assert 5 <= reps[1] < 10
+
+    def test_reuses_provided_placement_and_system(self, rng):
+        from repro.decluster import make_placement
+
+        placement = make_placement("dependent", 4, num_sites=2, rng=rng)
+        system = build_system(1, 4, rng)
+        p = build_problem(
+            1, "dependent", 4, "range", 3, rng,
+            placement=placement, system=system,
+        )
+        assert p.system is system
+
+    def test_mismatched_system_rejected(self, rng):
+        from repro.decluster import make_placement
+
+        placement = make_placement("dependent", 4, num_sites=2, rng=rng)
+        system = build_system(1, 5, rng)  # 10 disks vs placement's 8
+        with pytest.raises(WorkloadError, match="disks"):
+            build_problem(
+                1, "dependent", 4, "range", 3, rng,
+                placement=placement, system=system,
+            )

@@ -1,0 +1,105 @@
+"""Tests for the three query-load distributions (§VI-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import QUERY_LOADS, sample_bucket_count
+from repro.workloads.loads import sample_query
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(33)
+
+
+class TestLoad2:
+    def test_uniform_k_probabilities(self):
+        p = QUERY_LOADS[2].k_probabilities(8)
+        assert np.allclose(p, 1 / 8)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_sizes_cover_full_range(self, rng):
+        N = 6
+        sizes = [sample_bucket_count(2, N, rng) for _ in range(400)]
+        assert min(sizes) >= 1 and max(sizes) <= N * N
+        # expected size ~ N^2/2 = 18
+        assert 13 < np.mean(sizes) < 23
+
+    def test_band_structure(self, rng):
+        """Every sampled size sits in some [(k-1)N+1, kN] band by design."""
+        N = 5
+        for _ in range(100):
+            m = sample_bucket_count(2, N, rng)
+            k = -(-m // N)
+            assert (k - 1) * N + 1 <= m <= k * N
+
+
+class TestLoad3:
+    def test_halving_probabilities(self):
+        p = QUERY_LOADS[3].k_probabilities(6)
+        for a, b in zip(p, p[1:]):
+            assert b == pytest.approx(a / 2)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_small_queries_dominate(self, rng):
+        N = 10
+        sizes = [sample_bucket_count(3, N, rng) for _ in range(400)]
+        # expected ~3N/2 = 15, far below load 2's ~50
+        assert np.mean(sizes) < 25
+        assert np.median(sizes) <= 2 * N
+
+    def test_load3_much_smaller_than_load2(self, rng):
+        N = 8
+        s3 = np.mean([sample_bucket_count(3, N, rng) for _ in range(300)])
+        s2 = np.mean([sample_bucket_count(2, N, rng) for _ in range(300)])
+        assert s3 < s2 / 2
+
+
+class TestLoad1:
+    def test_no_explicit_k_distribution(self):
+        with pytest.raises(WorkloadError):
+            QUERY_LOADS[1].k_probabilities(5)
+        with pytest.raises(WorkloadError):
+            QUERY_LOADS[1].sample_size(5, np.random.default_rng(0))
+
+    def test_range_sizes_average_quarter_grid(self, rng):
+        N = 8
+        sizes = [
+            sample_query(1, "range", N, rng).num_buckets for _ in range(300)
+        ]
+        # E[r*c] = ((N+1)/2)^2 = 20.25
+        assert 15 < np.mean(sizes) < 26
+
+    def test_arbitrary_sizes_average_half_grid(self, rng):
+        N = 8
+        sizes = [
+            sample_query(1, "arbitrary", N, rng).num_buckets for _ in range(200)
+        ]
+        assert 26 < np.mean(sizes) < 38  # N^2/2 = 32
+
+
+class TestSampleQuery:
+    @pytest.mark.parametrize("load", [1, 2, 3])
+    @pytest.mark.parametrize("qtype", ["range", "arbitrary"])
+    def test_all_combinations_produce_valid_queries(self, load, qtype, rng):
+        N = 6
+        for _ in range(10):
+            q = sample_query(load, qtype, N, rng)
+            assert 1 <= q.num_buckets <= N * N
+            buckets = q.buckets()
+            assert len(set(buckets)) == len(buckets)
+
+    def test_unknown_load_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_query(4, "range", 5, rng)
+        with pytest.raises(WorkloadError):
+            sample_bucket_count(0, 5, rng)
+
+    def test_unknown_type_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_query(2, "circular", 5, rng)
+        with pytest.raises(WorkloadError):
+            sample_query(1, "circular", 5, rng)

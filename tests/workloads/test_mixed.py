@@ -1,0 +1,93 @@
+"""Tests for mixed workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mixed import MixComponent, WorkloadMix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(44)
+
+
+def interactive_mix():
+    return WorkloadMix([
+        MixComponent(0.8, 3, "range"),
+        MixComponent(0.2, 2, "arbitrary"),
+    ])
+
+
+class TestComponent:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MixComponent(0, 1, "range")
+        with pytest.raises(WorkloadError):
+            MixComponent(1, 4, "range")
+        with pytest.raises(WorkloadError):
+            MixComponent(1, 1, "circular")
+
+
+class TestMix:
+    def test_needs_components(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix([])
+
+    def test_samples_valid_queries(self, rng):
+        mix = interactive_mix()
+        for _ in range(30):
+            q = mix.sample(6, rng)
+            assert 1 <= q.num_buckets <= 36
+
+    def test_weights_respected(self, rng):
+        mix = interactive_mix()
+        picks = [mix.sample_component(rng) for _ in range(500)]
+        heavy = sum(1 for c in picks if c.load == 3)
+        assert 330 <= heavy <= 470  # ~0.8 of 500 with slack
+
+    def test_expected_size_is_blend(self):
+        from repro.workloads.stats import expected_bucket_count
+
+        mix = interactive_mix()
+        N = 8
+        manual = (
+            0.8 * expected_bucket_count(3, "range", N)
+            + 0.2 * expected_bucket_count(2, "arbitrary", N)
+        )
+        assert mix.expected_size(N) == pytest.approx(manual)
+
+    def test_empirical_size_tracks_expected(self, rng):
+        mix = interactive_mix()
+        N = 8
+        sizes = [mix.sample(N, rng).num_buckets for _ in range(500)]
+        assert np.mean(sizes) == pytest.approx(mix.expected_size(N), rel=0.2)
+
+    def test_stream_is_replayable(self, rng):
+        from repro.storage import OnlineReplay, StorageSystem
+
+        mix = interactive_mix()
+        events = mix.stream(5, 8, 10.0, rng)
+        assert len(events) == 8
+        times = [e.arrival_ms for e in events]
+        assert times == sorted(times)
+
+        def naive(sys_, buckets):
+            return {b: 0 for b in buckets}
+
+        replay = OnlineReplay(StorageSystem.homogeneous(5, "cheetah"), naive)
+        for ev in events:
+            replay.submit(ev.arrival_ms, list(ev.buckets))
+        assert replay.mean_response_ms() > 0
+
+    def test_stream_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            interactive_mix().stream(5, 3, 0.0, rng)
+
+    def test_single_component_mix(self, rng):
+        mix = WorkloadMix([MixComponent(1.0, 3, "range")])
+        q = mix.sample(6, rng)
+        assert q.num_buckets <= 36
+        assert mix.sample_component(rng).load == 3

@@ -1,0 +1,131 @@
+"""Tests for range/arbitrary queries on the wraparound grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ArbitraryQuery,
+    RangeQuery,
+    count_range_queries,
+    sample_arbitrary_query,
+    sample_arbitrary_query_of_size,
+    sample_range_query,
+    sample_range_query_of_size,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestRangeQuery:
+    def test_buckets_row_major(self):
+        q = RangeQuery(1, 2, 2, 2, 5)
+        assert q.buckets() == [(1, 2), (1, 3), (2, 2), (2, 3)]
+        assert q.num_buckets == 4
+
+    def test_wraparound(self):
+        q = RangeQuery(4, 4, 2, 2, 5)
+        assert set(q.buckets()) == {(4, 4), (4, 0), (0, 4), (0, 0)}
+
+    def test_full_grid(self):
+        q = RangeQuery(3, 3, 5, 5, 5)
+        assert len(set(q.buckets())) == 25
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RangeQuery(5, 0, 1, 1, 5)  # corner outside
+        with pytest.raises(WorkloadError):
+            RangeQuery(0, 0, 6, 1, 5)  # too tall
+        with pytest.raises(WorkloadError):
+            RangeQuery(0, 0, 0, 1, 5)  # zero rows
+        with pytest.raises(WorkloadError):
+            RangeQuery(0, 0, 1, 1, 0)  # empty grid
+
+    def test_count_formula(self):
+        # (N(N+1)/2)^2: the paper's §VI-B count
+        assert count_range_queries(1) == 1
+        assert count_range_queries(2) == 9
+        assert count_range_queries(7) == (7 * 8 // 2) ** 2
+        with pytest.raises(WorkloadError):
+            count_range_queries(0)
+
+    def test_count_matches_enumeration(self):
+        """The paper counts by choosing 2 of N+1 row and column grid lines,
+        i.e. distinct *unwrapped* rectangles."""
+        N = 4
+        combos = {
+            (i, j, r, c)
+            for i in range(N)
+            for j in range(N)
+            for r in range(1, N - i + 1)
+            for c in range(1, N - j + 1)
+        }
+        assert len(combos) == count_range_queries(N)
+
+
+class TestArbitraryQuery:
+    def test_buckets_passthrough(self):
+        q = ArbitraryQuery(((0, 0), (2, 3)), 5)
+        assert q.buckets() == [(0, 0), (2, 3)]
+        assert q.num_buckets == 2
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError, match="non-empty"):
+            ArbitraryQuery((), 5)
+        with pytest.raises(WorkloadError, match="outside"):
+            ArbitraryQuery(((5, 0),), 5)
+        with pytest.raises(WorkloadError, match="duplicate"):
+            ArbitraryQuery(((1, 1), (1, 1)), 5)
+
+
+class TestSamplers:
+    def test_range_query_uniform_bounds(self, rng):
+        for _ in range(50):
+            q = sample_range_query(6, rng)
+            assert 1 <= q.num_buckets <= 36
+
+    def test_range_query_of_size_in_band(self, rng):
+        N = 7
+        for k in (1, 3, 7):
+            lo, hi = (k - 1) * N + 1, k * N
+            for _ in range(20):
+                q = sample_range_query_of_size(N, lo, hi, rng)
+                assert lo <= q.num_buckets <= hi
+
+    def test_range_query_of_size_fallback(self, rng):
+        """Force the deterministic fallback with max_tries=0."""
+        N = 7
+        q = sample_range_query_of_size(N, 3 * N + 1, 4 * N, rng, max_tries=0)
+        assert 3 * N + 1 <= q.num_buckets <= 4 * N
+
+    def test_range_query_of_size_bad_band(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_range_query_of_size(5, 0, 3, rng)
+        with pytest.raises(WorkloadError):
+            sample_range_query_of_size(5, 10, 26, rng)
+
+    def test_arbitrary_query_nonempty(self, rng):
+        for _ in range(20):
+            q = sample_arbitrary_query(4, rng)
+            assert q.num_buckets >= 1
+
+    def test_arbitrary_query_expected_size(self, rng):
+        """Load-1 arbitrary queries average ~N^2/2."""
+        sizes = [sample_arbitrary_query(8, rng).num_buckets for _ in range(200)]
+        assert 24 < np.mean(sizes) < 40  # 32 +/- slack
+
+    def test_arbitrary_of_size_exact(self, rng):
+        q = sample_arbitrary_query_of_size(5, 13, rng)
+        assert q.num_buckets == 13
+        assert len(set(q.buckets())) == 13
+
+    def test_arbitrary_of_size_bounds(self, rng):
+        with pytest.raises(WorkloadError):
+            sample_arbitrary_query_of_size(5, 0, rng)
+        with pytest.raises(WorkloadError):
+            sample_arbitrary_query_of_size(5, 26, rng)
