@@ -20,6 +20,7 @@ Top-level surface
 * :mod:`repro.storage` — disks, sites, simulator.
 * :mod:`repro.workloads` — queries, loads, the paper's experiments.
 * :mod:`repro.bench` — figure-regeneration harness.
+* :mod:`repro.obs` — metrics registry, probe tracing, exporters.
 """
 
 from repro._version import __version__

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--explain", action="store_true",
                          help="print the min-cut bottleneck explanation")
+    p_solve.add_argument("--metrics", metavar="FILE.prom", default=None,
+                         help="write solve metrics in Prometheus text "
+                              "exposition format")
+    p_solve.add_argument("--trace", metavar="FILE.jsonl", default=None,
+                         help="record the probe trace and write it as "
+                              "JSON lines")
 
     p_cmp = sub.add_parser("compare", help="time all solvers on one point")
     p_cmp.add_argument("--experiment", type=int, default=5, choices=range(1, 6))
@@ -232,7 +238,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     problem = build_problem(
         args.experiment, args.scheme, args.n, args.qtype, args.load, rng
     )
-    schedule = solve(problem, solver=args.solver)
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    schedule = solve(
+        problem,
+        solver=args.solver,
+        trace=bool(args.trace),
+        registry=registry,
+    )
     print(EXPERIMENTS[args.experiment].describe())
     print(
         f"query: {problem.num_buckets} buckets ({args.qtype}, load "
@@ -247,6 +263,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
         print()
         print(explain_schedule(problem, schedule).render(problem))
+    if args.trace:
+        from repro.obs import write_trace_jsonl
+
+        tr = schedule.stats.extra["trace"]
+        write_trace_jsonl(tr, args.trace)
+        print(f"probe trace ({len(tr)} events) written to {args.trace}")
+    if args.metrics:
+        from repro.obs import write_prometheus
+
+        write_prometheus(registry, args.metrics)
+        print(f"metrics written to {args.metrics}")
     return 0
 
 

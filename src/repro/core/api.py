@@ -4,6 +4,8 @@
 >>> schedule = solve(problem)                       # pr-binary (Alg. 6)
 >>> schedule = solve(problem, solver="blackbox-binary")
 >>> schedule = solve(problem, solver="parallel-binary", num_threads=2)
+>>> schedule = solve(problem, trace=True)           # probe trace in
+...                                                 # stats.extra["trace"]
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.core.incremental_pr import PushRelabelIncrementalSolver
 from repro.core.parallel import ParallelBinarySolver
 from repro.core.problem import RetrievalProblem
 from repro.core.schedule import RetrievalSchedule
+from repro.obs.instrument import observe_solve as _observe_solve
 
 __all__ = ["SOLVERS", "get_solver", "solve"]
 
@@ -54,9 +57,19 @@ def get_solver(name: str, **kwargs):
 
 
 def solve(
-    problem: RetrievalProblem, solver: str = "pr-binary", **solver_kwargs
+    problem: RetrievalProblem,
+    solver: str = "pr-binary",
+    *,
+    trace: bool = False,
+    registry=None,
+    **solver_kwargs,
 ) -> RetrievalSchedule:
     """Compute an optimal-response-time retrieval schedule.
+
+    This is also the observability choke point: every registry solver
+    runs under the same tracing context and metrics hook
+    (:mod:`repro.obs`), so instrumentation added here covers all of
+    :data:`SOLVERS` at once.
 
     Parameters
     ----------
@@ -64,6 +77,14 @@ def solve(
         The query + system state to schedule.
     solver:
         Registry name (default: the paper's integrated Algorithm 6).
+    trace:
+        Record a :class:`~repro.obs.ProbeTrace` of every feasibility
+        probe into ``schedule.stats.extra["trace"]`` (off by default;
+        default solves pay no tracing cost).
+    registry:
+        A :class:`~repro.obs.MetricsRegistry` to record this solve into;
+        ``None`` uses the global registry when
+        :func:`repro.obs.enable_metrics` has been called, else nothing.
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``num_threads=2``).
 
@@ -73,7 +94,19 @@ def solve(
         With ``stats.wall_time_s`` filled in.
     """
     instance = get_solver(solver, **solver_kwargs)
-    start = time.perf_counter()
-    schedule = instance.solve(problem)
-    schedule.stats.wall_time_s = time.perf_counter() - start
+    if trace:
+        from repro.obs.trace import ProbeTrace, capture_probes
+
+        probe_trace = ProbeTrace(solver=solver)
+        start = time.perf_counter()
+        with capture_probes(probe_trace):
+            schedule = instance.solve(problem)
+        schedule.stats.wall_time_s = time.perf_counter() - start
+        probe_trace.finish(schedule)
+        schedule.stats.extra["trace"] = probe_trace
+    else:
+        start = time.perf_counter()
+        schedule = instance.solve(problem)
+        schedule.stats.wall_time_s = time.perf_counter() - start
+    _observe_solve(schedule, registry)
     return schedule

@@ -48,6 +48,9 @@ class FordFulkersonProber(Prober):
         self._augmentations += result.augmentations
         return result.value
 
+    def op_counts(self) -> tuple[int, int, int]:
+        return (0, 0, self._augmentations)
+
     def harvest(self, stats: SolverStats) -> None:
         stats.augmentations += self._augmentations
 

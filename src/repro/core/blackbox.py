@@ -45,6 +45,9 @@ class BlackBoxProber(Prober):
         self._augmentations += result.augmentations
         return result.value
 
+    def op_counts(self) -> tuple[int, int, int]:
+        return (self._pushes, self._relabels, self._augmentations)
+
     def harvest(self, stats: SolverStats) -> None:
         stats.pushes += self._pushes
         stats.relabels += self._relabels

@@ -55,6 +55,11 @@ class SequentialProber(Prober):
         self._state.initialize(preserve_flow=True)
         return self._state.run()
 
+    def op_counts(self) -> tuple[int, int, int]:
+        if self._state is None:
+            return (0, 0, 0)
+        return (self._state.pushes, self._state.relabels, 0)
+
     def harvest(self, stats: SolverStats) -> None:
         if self._state is not None:
             stats.pushes += self._state.pushes

@@ -54,6 +54,9 @@ class ParallelProber(Prober):
         self._load_balances.append(result.extra["parallel_stats"].load_balance)
         return result.value
 
+    def op_counts(self) -> tuple[int, int, int]:
+        return (self._pushes, self._relabels, 0)
+
     def harvest(self, stats: SolverStats) -> None:
         stats.pushes += self._pushes
         stats.relabels += self._relabels

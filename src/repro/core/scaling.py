@@ -28,11 +28,13 @@ infeasible lower end and optimality is unconditional.
 from __future__ import annotations
 
 import abc
+import time
 
 from repro.core.increment import MinCostIncrementer
 from repro.core.network import RetrievalNetwork
 from repro.core.problem import RetrievalProblem
 from repro.core.schedule import RetrievalSchedule, SolverStats
+from repro.obs.trace import active_trace
 
 __all__ = ["Prober", "binary_scaling_solve", "incremental_solve"]
 
@@ -62,10 +64,43 @@ class Prober(abc.ABC):
     def harvest(self, stats: SolverStats) -> None:
         """Deposit accumulated engine counters into ``stats``."""
 
+    def op_counts(self) -> tuple[int, int, int]:
+        """Cumulative ``(pushes, relabels, augmentations)`` so far.
 
-def _probe(prober: Prober, stats: SolverStats) -> float:
+        Snapshotted around each probe by the tracing hook; per-probe
+        deltas therefore sum exactly to what :meth:`harvest` deposits.
+        """
+        return (0, 0, 0)
+
+
+def _probe(
+    prober: Prober,
+    stats: SolverStats,
+    num_buckets: int,
+    t: float,
+    phase: str,
+) -> float:
+    """One feasibility probe; records a trace event when tracing is on."""
     stats.probes += 1
-    return prober.probe()
+    trace = active_trace()
+    if trace is None:
+        return prober.probe()
+    p0, r0, a0 = prober.op_counts()
+    start = time.perf_counter()
+    flow = prober.probe()
+    wall = time.perf_counter() - start
+    p1, r1, a1 = prober.op_counts()
+    trace.record(
+        phase=phase,
+        t=t,
+        flow=flow,
+        feasible=flow >= num_buckets - _EPS,
+        pushes=p1 - p0,
+        relabels=r1 - r0,
+        augmentations=a1 - a0,
+        wall_s=wall,
+    )
+    return flow
 
 
 def binary_scaling_solve(
@@ -85,7 +120,7 @@ def binary_scaling_solve(
 
     # defensive anchor probe at tmin (see module docstring)
     net.set_deadline_capacities(tmin)
-    flow = _probe(prober, stats)
+    flow = _probe(prober, stats, Q, tmin, "anchor")
     if flow >= Q - _EPS:
         tmax, tmin = tmin, 0.0
         g.reset_flow()
@@ -95,7 +130,7 @@ def binary_scaling_solve(
     while tmax - tmin >= min_speed:
         tmid = tmin + (tmax - tmin) * 0.5
         net.set_deadline_capacities(tmid)
-        flow = _probe(prober, stats)
+        flow = _probe(prober, stats, Q, tmid, "binary")
         if flow >= Q - _EPS:
             # feasible but maybe not optimal: back off to the stored flow
             if prober.conserves_flow:
@@ -112,7 +147,8 @@ def binary_scaling_solve(
         g.restore_flow(saved)
     net.set_deadline_capacities(tmin)
     schedule = incremental_solve(
-        problem, prober, solver_name, stats=stats, network=net
+        problem, prober, solver_name, stats=stats, network=net,
+        entry_deadline=tmin,
     )
     return schedule
 
@@ -124,12 +160,16 @@ def incremental_solve(
     *,
     stats: SolverStats | None = None,
     network: RetrievalNetwork | None = None,
+    entry_deadline: float = 0.0,
 ) -> RetrievalSchedule:
     """Algorithm 5's outer loop: probe, then increment-min-cost until |Q|.
 
     Called standalone (capacities start at zero — the pure
     ``pr-incremental`` solver) or as Algorithm 6's final phase (capacities
-    pre-scaled by the caller).
+    pre-scaled by the caller; ``entry_deadline`` is the deadline those
+    capacities encode, recorded as the first increment-phase probe's
+    candidate ``t`` — every later candidate, being a min-cost finish time
+    *above* the scaled capacities, is strictly larger).
     """
     if network is None:
         network = RetrievalNetwork(problem)
@@ -140,11 +180,12 @@ def incremental_solve(
     inc = MinCostIncrementer(network)
     inc.sync_live_set()
 
-    flow = _probe(prober, stats)
+    t_cur = entry_deadline
+    flow = _probe(prober, stats, Q, t_cur, "increment")
     while flow < Q - _EPS:
-        inc.increment()
+        t_cur = inc.increment()
         stats.increments += 1
-        flow = _probe(prober, stats)
+        flow = _probe(prober, stats, Q, t_cur, "increment")
 
     prober.harvest(stats)
     assignment = network.assignment()

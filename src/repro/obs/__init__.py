@@ -1,0 +1,77 @@
+"""Observability — metrics, probe tracing, exporters.
+
+The measurement layer for everything else in the repository:
+
+* :class:`MetricsRegistry` — thread-safe counters, gauges and
+  fixed-bucket histograms (p50/p95/p99) cheap enough to leave on in the
+  scheduler hot path;
+* :class:`ProbeTrace` — the per-solve event log of feasibility probes
+  (candidate ``t``, flow reached, operation deltas, wall time) that makes
+  the paper's black-box vs. integrated comparison visible in-process;
+  opt in with ``solve(problem, trace=True)`` and read it back from
+  ``schedule.stats.extra["trace"]``;
+* exporters — Prometheus text exposition (:func:`to_prometheus`) and
+  JSON-lines traces with a lossless parser
+  (:func:`write_trace_jsonl` / :func:`read_trace_jsonl`).
+
+Wiring: :func:`repro.core.api.solve` hosts the shared hook
+(:func:`observe_solve`, off by default — see :func:`enable_metrics`);
+:class:`repro.service.SchedulerService` always carries its own registry;
+the CLI exposes ``repro solve --metrics FILE --trace FILE``.
+"""
+
+from repro.obs.export import (
+    parse_trace_jsonl,
+    read_trace_jsonl,
+    to_prometheus,
+    trace_to_jsonl,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.instrument import (
+    enable_metrics,
+    metrics_enabled,
+    metrics_registry,
+    observe_solve,
+    reset_metrics,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    PHASES,
+    ProbeEvent,
+    ProbeTrace,
+    active_trace,
+    capture_probes,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "PHASES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "ProbeEvent",
+    "ProbeTrace",
+    "active_trace",
+    "capture_probes",
+    "enable_metrics",
+    "metrics_enabled",
+    "metrics_registry",
+    "observe_solve",
+    "reset_metrics",
+    "parse_trace_jsonl",
+    "read_trace_jsonl",
+    "to_prometheus",
+    "trace_to_jsonl",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,166 @@
+"""Exporters: Prometheus text exposition and JSON-lines probe traces.
+
+Two sinks, chosen for what they feed:
+
+* :func:`to_prometheus` renders a :class:`~repro.obs.registry.MetricsRegistry`
+  in the Prometheus *text exposition format* (version 0.0.4) — ``# HELP``
+  / ``# TYPE`` headers, escaped label values, cumulative ``le`` histogram
+  buckets with ``_sum`` and ``_count`` — ready for a node-exporter-style
+  textfile collector or a pushgateway.
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` serialise a
+  :class:`~repro.obs.trace.ProbeTrace` as one JSON object per line (a
+  header record then one record per event) and parse it back losslessly,
+  so traces can be shipped through logs and re-analysed offline.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+from typing import Iterable
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import ProbeEvent, ProbeTrace
+
+__all__ = [
+    "to_prometheus",
+    "write_prometheus",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "parse_trace_jsonl",
+]
+
+#: JSONL schema version stamped into the header record.
+TRACE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(v: float) -> str:
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format."""
+    out = io.StringIO()
+    seen_header: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            help_ = registry.help_for(metric.name)
+            if help_:
+                out.write(f"# HELP {metric.name} {help_}\n")
+            out.write(f"# TYPE {metric.name} {metric.kind}\n")
+        if isinstance(metric, (Counter, Gauge)):
+            out.write(
+                f"{metric.name}{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(metric.value)}\n"
+            )
+        elif isinstance(metric, Histogram):
+            for le, cum in metric.bucket_counts():
+                lbl = _fmt_labels(metric.labels, (("le", _fmt_value(le)),))
+                out.write(f"{metric.name}_bucket{lbl} {cum}\n")
+            lbl = _fmt_labels(metric.labels)
+            out.write(f"{metric.name}_sum{lbl} {_fmt_value(metric.total)}\n")
+            out.write(f"{metric.name}_count{lbl} {metric.count}\n")
+    return out.getvalue()
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | os.PathLike) -> str:
+    """Write the exposition to ``path``; returns the path written."""
+    text = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return os.fspath(path)
+
+
+# ----------------------------------------------------------------------
+# JSONL probe traces
+# ----------------------------------------------------------------------
+def trace_to_jsonl(trace: ProbeTrace) -> str:
+    """One header line plus one line per event; trailing newline."""
+    lines = [
+        json.dumps(
+            {
+                "type": "trace",
+                "version": TRACE_SCHEMA_VERSION,
+                "solver": trace.solver,
+                "events": len(trace.events),
+            },
+            sort_keys=True,
+        )
+    ]
+    for ev in trace.events:
+        d = {"type": "event"}
+        d.update(ev.to_dict())
+        lines.append(json.dumps(d, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_trace_jsonl(trace: ProbeTrace, path: str | os.PathLike) -> str:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(trace_to_jsonl(trace))
+    return os.fspath(path)
+
+
+def parse_trace_jsonl(text_or_lines: str | Iterable[str]) -> ProbeTrace:
+    """Parse JSONL produced by :func:`trace_to_jsonl` (lossless inverse)."""
+    if isinstance(text_or_lines, str):
+        lines = text_or_lines.splitlines()
+    else:
+        lines = list(text_or_lines)
+    solver = "?"
+    declared: int | None = None
+    events: list[ProbeEvent] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno}: invalid JSON") from exc
+        kind = d.get("type")
+        if kind == "trace":
+            solver = str(d.get("solver", "?"))
+            declared = d.get("events")
+        elif kind == "event":
+            events.append(ProbeEvent.from_dict(d))
+        else:
+            raise ValueError(
+                f"trace line {lineno}: unknown record type {kind!r}"
+            )
+    if declared is not None and declared != len(events):
+        raise ValueError(
+            f"trace header declares {declared} events, found {len(events)}"
+        )
+    return ProbeTrace.from_events(solver, events)
+
+
+def read_trace_jsonl(path: str | os.PathLike) -> ProbeTrace:
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_trace_jsonl(f)

@@ -1,0 +1,324 @@
+"""In-process metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the accounting backbone of the observability layer: the
+solver hook (:mod:`repro.obs.instrument`), the scheduler service and the
+CLI all deposit into one of these, and the exporters in
+:mod:`repro.obs.export` read it back out.  Design constraints, in order:
+
+1. *cheap enough to leave on* — ``Counter.inc`` and ``Histogram.observe``
+   are a lock acquire, one or two adds and a linear bucket scan over a
+   dozen floats; no allocation on the hot path;
+2. *thread-safe* — one re-entrant lock per registry shared by all of its
+   metrics (contention is negligible at scheduler decision rates, and a
+   single lock makes `collect()` snapshots coherent);
+3. *Prometheus-compatible* — names, label sets and histogram semantics
+   (cumulative ``le`` buckets, ``_sum``/``_count``) map 1:1 onto the text
+   exposition format.
+
+Percentiles use the standard fixed-bucket estimate (Prometheus's
+``histogram_quantile``): find the bucket containing the target rank and
+interpolate linearly inside it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (milliseconds): sub-tenth-ms solver decisions
+#: up to multi-second stragglers, roughly 2.5x apart — the classic
+#: Prometheus latency ladder scaled for a scheduler hot path.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+LabelPairs = tuple[tuple[str, str], ...]
+
+
+def _canon_labels(labels: Mapping[str, str] | None) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared plumbing: identity + the registry's lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelPairs, lock: threading.RLock):
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels, lock):
+        super().__init__(name, labels, lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, busy horizon)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels, lock):
+        super().__init__(name, labels, lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Snapshot of a histogram's headline numbers."""
+
+    count: int
+    total: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    ``bounds`` are the finite upper edges; an implicit ``+Inf`` bucket
+    catches the overflow.  Per-bucket counts are stored non-cumulative and
+    cumulated on export (matching Prometheus's ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, labels, lock, bounds: Iterable[float]):
+        super().__init__(name, labels, lock)
+        b = tuple(float(x) for x in bounds)
+        if not b:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if any(y <= x for x, y in zip(b, b[1:])):
+            raise ValueError(f"histogram {name} buckets must increase: {b}")
+        if math.isinf(b[-1]):
+            b = b[:-1]  # +Inf is implicit
+        self.bounds = b
+        self._counts = [0] * (len(b) + 1)  # [..bounds.., +Inf]
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        v = float(value)
+        with self._lock:
+            i = 0
+            for i, ub in enumerate(self.bounds):  # noqa: B007
+                if v <= ub:
+                    break
+            else:
+                i = len(self.bounds)
+            self._counts[i] += 1
+            self._sum += v
+            self._count += 1
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, ending with ``(+Inf, n)``."""
+        with self._lock:
+            out = []
+            cum = 0
+            for ub, c in zip(self.bounds, self._counts):
+                cum += c
+                out.append((ub, cum))
+            out.append((math.inf, cum + self._counts[-1]))
+            return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the containing bucket, anchored at 0
+        for the first bucket (all instrumented quantities are
+        non-negative).  Observations beyond the last finite edge clamp to
+        the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cum = 0.0
+            lower = 0.0
+            for ub, c in zip(self.bounds, self._counts):
+                if c and cum + c >= rank:
+                    frac = max(0.0, rank - cum) / c
+                    return lower + frac * (ub - lower)
+                cum += c
+                lower = ub
+            return self._max
+
+    def summary(self) -> HistogramSummary:
+        with self._lock:
+            if self._count == 0:
+                return HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return HistogramSummary(
+                count=self._count,
+                total=self._sum,
+                p50=self.quantile(0.50),
+                p95=self.quantile(0.95),
+                p99=self.quantile(0.99),
+                min=self._min,
+                max=self._max,
+            )
+
+
+class MetricsRegistry:
+    """A named family of metrics with get-or-create accessors.
+
+    Metrics are keyed by ``(name, labels)``; asking twice returns the
+    same object, asking with a conflicting type raises.  All accessors
+    and all metric mutations share one re-entrant lock, so a concurrent
+    ``collect()``/exporter pass sees a coherent snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[tuple[str, LabelPairs], _Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name, help_, labels, **kw):
+        key = (name, _canon_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            if self._kinds.get(name, cls.kind) != cls.kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{self._kinds[name]}, not {cls.kind}"
+                )
+            metric = cls(name, key[1], self._lock, **kw)
+            self._metrics[key] = metric
+            self._kinds[name] = cls.kind
+            if help_:
+                self._help[name] = help_
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, bounds=buckets
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, labels: Mapping[str, str] | None = None):
+        """Look up a metric or return ``None`` (never creates)."""
+        with self._lock:
+            return self._metrics.get((name, _canon_labels(labels)))
+
+    def help_for(self, name: str) -> str:
+        with self._lock:
+            return self._help.get(name, "")
+
+    def kind_of(self, name: str) -> str | None:
+        with self._lock:
+            return self._kinds.get(name)
+
+    def collect(self) -> list[_Metric]:
+        """All metrics, grouped by name, labels sorted within a name."""
+        with self._lock:
+            return sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.labels)
+            )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._kinds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)

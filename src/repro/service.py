@@ -25,6 +25,7 @@ from repro.core.degraded import degrade_problem
 from repro.core.problem import RetrievalProblem
 from repro.decluster.multisite import MultiSitePlacement
 from repro.errors import InfeasibleScheduleError, StorageConfigError
+from repro.obs.registry import MetricsRegistry
 from repro.storage.system import StorageSystem
 
 __all__ = ["ServiceRecord", "ServiceStats", "SchedulerService"]
@@ -75,6 +76,12 @@ class SchedulerService:
     time_fn:
         Injectable clock returning milliseconds (tests pass a fake);
         defaults to ``time.perf_counter() * 1000``.
+    registry:
+        Metrics sink for the per-query latency histograms and per-disk
+        queue-depth gauges; a private
+        :class:`~repro.obs.MetricsRegistry` is created when omitted.
+        Always on — the observe path is a few lock-guarded adds per
+        query.  Exposed as :attr:`registry` for exporters.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class SchedulerService:
         *,
         solver: str = "pr-binary",
         time_fn: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
         **solver_kwargs,
     ) -> None:
         if placement.total_disks != system.num_disks:
@@ -106,6 +114,31 @@ class SchedulerService:
         self._last_arrival = 0.0
         self._stats = ServiceStats(per_disk_buckets=[0] * system.num_disks)
         self.history: list[ServiceRecord] = []
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_queries = self.registry.counter(
+            "repro_service_queries_total", "Queries scheduled."
+        )
+        self._m_degraded = self.registry.counter(
+            "repro_service_degraded_total", "Queries routed around failures."
+        )
+        self._m_buckets = self.registry.counter(
+            "repro_service_buckets_total", "Buckets retrieved."
+        )
+        self._m_decision = self.registry.histogram(
+            "repro_service_decision_ms", "Scheduling decision latency (ms)."
+        )
+        self._m_response = self.registry.histogram(
+            "repro_service_response_ms", "Scheduled query response time (ms)."
+        )
+        self._m_depth = [
+            self.registry.gauge(
+                "repro_service_queue_depth_ms",
+                "Per-disk busy horizon X_j after the last decision (ms).",
+                labels={"disk": str(j)},
+            )
+            for j in range(system.num_disks)
+        ]
 
     # ------------------------------------------------------------------
     # failure management
@@ -194,6 +227,13 @@ class SchedulerService:
             st.total_decision_ms += record.decision_time_ms
             if degraded:
                 st.degraded_queries += 1
+                self._m_degraded.inc()
+            self._m_queries.inc()
+            self._m_buckets.inc(record.num_buckets)
+            self._m_decision.observe(record.decision_time_ms)
+            self._m_response.observe(record.response_time_ms)
+            for j, gauge in enumerate(self._m_depth):
+                gauge.set(max(0.0, self._busy_until[j] - now))
             return record
 
     # ------------------------------------------------------------------

@@ -1,0 +1,129 @@
+"""Differential testing: every optimal solver agrees on every instance.
+
+A seeded grid of random *generalized* problems (heterogeneous disks,
+initial loads, network delays — Experiment-5-shaped) swept over problem
+sizes.  All six optimal solvers must return exactly the same optimal
+response time on each instance, and on instances small enough for the
+exhaustive oracle the shared answer must equal brute force.  This is the
+§VI.F cross-check scaled up into a regression net: any solver whose
+scaling, warm-start or incrementation logic drifts gets caught by
+disagreement long before a benchmark would notice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RetrievalProblem, brute_force_response_time, solve
+from repro.core.certify import verify_schedule
+from repro.storage import StorageSystem
+
+OPTIMAL_SOLVERS = [
+    "ff-binary",
+    "ff-incremental",
+    "pr-binary",
+    "pr-incremental",
+    "blackbox-binary",
+    "parallel-binary",
+]
+
+#: brute force enumerates c^|Q|; keep the oracle cross-check at <= 10
+BRUTE_FORCE_MAX_BUCKETS = 10
+
+#: (n_per_site, n_buckets, replicas) grid — 54 instances total
+GRID = [
+    (2, 4, 2),
+    (2, 8, 2),
+    (3, 6, 2),
+    (3, 10, 3),
+    (4, 8, 2),
+    (4, 14, 3),
+]
+SEEDS_PER_CELL = 9
+
+
+def random_generalized(rng, n_per_site, n_buckets, replicas):
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"],
+        n_per_site,
+        delays_ms=rng.integers(0, 8, size=2).tolist(),
+        rng=rng,
+    )
+    total = sys_.num_disks
+    sys_.set_loads(rng.integers(0, 6, size=total).astype(float))
+    k = min(replicas, total)
+    reps = tuple(
+        tuple(sorted(rng.choice(total, size=k, replace=False).tolist()))
+        for _ in range(n_buckets)
+    )
+    return RetrievalProblem(sys_, reps)
+
+
+def instance_params():
+    """One pytest id per instance so a disagreement names its seed."""
+    for n_per_site, n_buckets, replicas in GRID:
+        for s in range(SEEDS_PER_CELL):
+            seed = hash((n_per_site, n_buckets, replicas, s)) % (2**31)
+            yield pytest.param(
+                n_per_site, n_buckets, replicas, seed,
+                id=f"N{n_per_site}-Q{n_buckets}-c{replicas}-s{s}",
+            )
+
+
+ALL_INSTANCES = list(instance_params())
+assert len(ALL_INSTANCES) >= 50
+
+
+@pytest.mark.parametrize("n_per_site,n_buckets,replicas,seed", ALL_INSTANCES)
+def test_optimal_solvers_agree(n_per_site, n_buckets, replicas, seed):
+    rng = np.random.default_rng(seed)
+    problem = random_generalized(rng, n_per_site, n_buckets, replicas)
+
+    results = {}
+    for name in OPTIMAL_SOLVERS:
+        sched = solve(problem, solver=name)
+        verify_schedule(problem, sched)
+        assert sched.recompute_response_time() == pytest.approx(
+            sched.response_time_ms
+        ), f"{name} reported a response time its assignment does not achieve"
+        results[name] = sched.response_time_ms
+
+    baseline = results["pr-binary"]
+    mismatched = {
+        name: t
+        for name, t in results.items()
+        if t != pytest.approx(baseline)
+    }
+    assert not mismatched, (
+        f"solver disagreement on seed {seed}: baseline pr-binary={baseline}, "
+        f"others={mismatched}"
+    )
+
+    if n_buckets <= BRUTE_FORCE_MAX_BUCKETS:
+        oracle = brute_force_response_time(problem)
+        assert baseline == pytest.approx(oracle), (
+            f"all solvers agree on {baseline} but brute force says {oracle} "
+            f"(seed {seed})"
+        )
+
+
+def test_grid_covers_brute_force_checkable_instances():
+    """At least half the grid is small enough for the oracle cross-check."""
+    checkable = [
+        p for p in ALL_INSTANCES if p.values[1] <= BRUTE_FORCE_MAX_BUCKETS
+    ]
+    assert len(checkable) >= 25
+
+
+@pytest.mark.parametrize("qsize", [1, 2, 3])
+def test_tiny_queries_agree_with_brute_force(qsize):
+    """Degenerate sizes (1-3 buckets) exercise the bracket edge cases."""
+    rng = np.random.default_rng(1234 + qsize)
+    for _ in range(5):
+        problem = random_generalized(rng, 2, qsize, 2)
+        oracle = brute_force_response_time(problem)
+        for name in OPTIMAL_SOLVERS:
+            assert solve(problem, solver=name).response_time_ms == (
+                pytest.approx(oracle)
+            ), name

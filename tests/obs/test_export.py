@@ -1,0 +1,162 @@
+"""Exporters: Prometheus text format compliance and JSONL round-trip."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    ProbeEvent,
+    ProbeTrace,
+    parse_trace_jsonl,
+    read_trace_jsonl,
+    to_prometheus,
+    trace_to_jsonl,
+    write_prometheus,
+    write_trace_jsonl,
+)
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # more labels
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$"  # value
+)
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("req_total", "Requests.", labels={"solver": "pr-binary"}).inc(3)
+    reg.counter("req_total", "Requests.", labels={"solver": "ff-binary"}).inc()
+    reg.gauge("depth_ms", "Backlog.", labels={"disk": "0"}).set(12.5)
+    h = reg.histogram("lat_ms", "Latency.", buckets=(1.0, 5.0))
+    h.observe(0.5)
+    h.observe(3.0)
+    h.observe(30.0)
+    return reg
+
+
+class TestPrometheusFormat:
+    def test_full_exposition(self):
+        text = to_prometheus(make_registry())
+        assert text == (
+            "# HELP depth_ms Backlog.\n"
+            "# TYPE depth_ms gauge\n"
+            'depth_ms{disk="0"} 12.5\n'
+            "# HELP lat_ms Latency.\n"
+            "# TYPE lat_ms histogram\n"
+            'lat_ms_bucket{le="1"} 1\n'
+            'lat_ms_bucket{le="5"} 2\n'
+            'lat_ms_bucket{le="+Inf"} 3\n'
+            "lat_ms_sum 33.5\n"
+            "lat_ms_count 3\n"
+            "# HELP req_total Requests.\n"
+            "# TYPE req_total counter\n"
+            'req_total{solver="ff-binary"} 1\n'
+            'req_total{solver="pr-binary"} 3\n'
+        )
+
+    def test_every_sample_line_matches_text_format_grammar(self):
+        for line in to_prometheus(make_registry()).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert SAMPLE_LINE.match(line), line
+
+    def test_histogram_buckets_are_cumulative_and_end_with_inf(self):
+        text = to_prometheus(make_registry())
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_ms_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert 'lat_ms_bucket{le="+Inf"} 3' in text
+        assert text.index('le="+Inf"') > text.index('le="5"')
+
+    def test_type_header_emitted_once_per_name(self):
+        text = to_prometheus(make_registry())
+        assert text.count("# TYPE req_total counter") == 1
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"k": 'a"b\\c\nd'}).inc()
+        text = to_prometheus(reg)
+        assert 'c{k="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_exposes_nothing(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_write_prometheus_roundtrips_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        written = write_prometheus(make_registry(), path)
+        assert written == str(path)
+        assert path.read_text() == to_prometheus(make_registry())
+
+
+def make_trace() -> ProbeTrace:
+    tr = ProbeTrace(solver="pr-binary")
+    tr.record(phase="anchor", t=10.2, flow=3.0, feasible=False,
+              pushes=20, relabels=2, wall_s=1e-4)
+    tr.record(phase="binary", t=60.0, flow=8.0, feasible=True,
+              pushes=5, relabels=1, wall_s=2e-4)
+    tr.record(phase="increment", t=61.5, flow=8.0, feasible=True,
+              augmentations=3, wall_s=5e-5)
+    tr.record(phase="result", t=61.5, flow=8.0, feasible=True)
+    return tr
+
+
+class TestTraceJsonl:
+    def test_one_json_object_per_line_with_header(self):
+        text = trace_to_jsonl(make_trace())
+        lines = text.strip().splitlines()
+        assert len(lines) == 5
+        header = json.loads(lines[0])
+        assert header == {
+            "type": "trace", "version": 1, "solver": "pr-binary", "events": 4
+        }
+        for line in lines[1:]:
+            assert json.loads(line)["type"] == "event"
+
+    def test_parse_is_lossless_inverse(self):
+        tr = make_trace()
+        parsed = parse_trace_jsonl(trace_to_jsonl(tr))
+        assert parsed.solver == tr.solver
+        assert parsed.events == tr.events
+
+    def test_file_roundtrip(self, tmp_path):
+        tr = make_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(tr, path)
+        parsed = read_trace_jsonl(path)
+        assert parsed.events == tr.events
+        assert parsed.totals() == tr.totals()
+
+    def test_blank_lines_tolerated(self):
+        text = trace_to_jsonl(make_trace()).replace("\n", "\n\n")
+        assert parse_trace_jsonl(text).events == make_trace().events
+
+    def test_invalid_json_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_trace_jsonl(
+                '{"type": "trace", "solver": "x"}\nnot json\n'
+            )
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            parse_trace_jsonl('{"type": "mystery"}\n')
+
+    def test_event_count_mismatch_rejected(self):
+        lines = trace_to_jsonl(make_trace()).strip().splitlines()
+        with pytest.raises(ValueError, match="declares 4 events, found 3"):
+            parse_trace_jsonl("\n".join(lines[:-1]))
+
+    def test_event_from_dict_defaults(self):
+        ev = ProbeEvent.from_dict(
+            {"seq": 0, "phase": "binary", "t": 1.0, "flow": 2.0,
+             "feasible": True}
+        )
+        assert ev.pushes == 0 and ev.wall_s == 0.0

@@ -1,0 +1,205 @@
+"""Metrics registry: bucket edges, percentile math, thread safety."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounterGauge:
+    def test_counter_increments(self, registry):
+        c = registry.counter("hits_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_decrease(self, registry):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("hits_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10.5)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == pytest.approx(12.0)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", labels={"k": "1"}) is not registry.counter(
+            "a", labels={"k": "2"}
+        )
+
+    def test_label_order_is_canonical(self, registry):
+        a = registry.counter("a", labels={"x": "1", "y": "2"})
+        b = registry.counter("a", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a", labels={"k": "v"})
+
+    def test_get_never_creates(self, registry):
+        assert registry.get("nope") is None
+        assert len(registry) == 0
+
+
+class TestHistogramBuckets:
+    def test_values_land_in_correct_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 7.0):
+            h.observe(v)
+        # le semantics: a value equal to the edge belongs to that bucket
+        assert h.bucket_counts() == [
+            (1.0, 2),          # 0.5, 1.0
+            (2.0, 4),          # + 1.5, 2.0
+            (5.0, 6),          # + 4.9, 5.0
+            (math.inf, 7),     # + 7.0
+        ]
+        assert h.count == 7
+        assert h.total == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 7.0)
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS_MS) == sorted(DEFAULT_BUCKETS_MS)
+        assert len(set(DEFAULT_BUCKETS_MS)) == len(DEFAULT_BUCKETS_MS)
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="increase"):
+            registry.histogram("h1", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("h2", buckets=())
+
+    def test_explicit_inf_edge_is_collapsed(self, registry):
+        h = registry.histogram("h", buckets=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(3.0)
+        assert h.bounds == (1.0,)
+        assert h.bucket_counts() == [(1.0, 1), (math.inf, 2)]
+
+
+class TestPercentiles:
+    def test_quantiles_on_known_uniform_input(self, registry):
+        # 100 observations 0.01..1.00 against edges every 0.1: the rank-q
+        # observation interpolates back to ~q itself.
+        h = registry.histogram(
+            "u", buckets=tuple(round(0.1 * i, 1) for i in range(1, 11))
+        )
+        for i in range(1, 101):
+            h.observe(i / 100.0)
+        assert h.quantile(0.50) == pytest.approx(0.50)
+        assert h.quantile(0.95) == pytest.approx(0.95)
+        assert h.quantile(0.99) == pytest.approx(0.99)
+        assert h.quantile(1.00) == pytest.approx(1.00)
+
+    def test_quantile_interpolates_within_bucket(self, registry):
+        # 4 observations all in (1, 2]: p50 → rank 2 of 4 → midpoint 1.5
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        for v in (1.2, 1.4, 1.6, 1.8):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.25) == pytest.approx(1.25)
+
+    def test_overflow_bucket_clamps_to_observed_max(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(50.0)
+        h.observe(90.0)
+        assert h.quantile(0.99) == pytest.approx(90.0)
+
+    def test_empty_histogram(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        s = h.summary()
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_summary_fields(self, registry):
+        h = registry.histogram("h", buckets=(10.0, 20.0, 50.0))
+        for v in (5.0, 15.0, 15.0, 45.0):
+            h.observe(v)
+        s = h.summary()
+        assert s.count == 4
+        assert s.total == pytest.approx(80.0)
+        assert s.mean == pytest.approx(20.0)
+        assert s.min == pytest.approx(5.0)
+        assert s.max == pytest.approx(45.0)
+        # rank 2 of 4 falls in (10, 20] holding 2 obs → 10 + 1/2 * 10
+        assert s.p50 == pytest.approx(15.0)
+
+    def test_quantile_domain_checked(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError, match="outside"):
+            h.quantile(1.5)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_updates(self, registry):
+        c = registry.counter("n_total")
+        g = registry.gauge("g")
+        h = registry.histogram("h", buckets=(0.5,))
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+                g.inc()
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert c.value == total
+        assert g.value == total
+        assert h.count == total
+        assert h.bucket_counts() == [(0.5, total), (math.inf, total)]
+
+    def test_concurrent_get_or_create(self, registry):
+        out: list[Counter] = []
+
+        def work():
+            out.append(registry.counter("shared_total"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(m is out[0] for m in out)
+
+
+class TestCollect:
+    def test_collect_sorted_and_typed(self, registry):
+        registry.gauge("b")
+        registry.counter("a_total", labels={"k": "2"})
+        registry.counter("a_total", labels={"k": "1"})
+        collected = registry.collect()
+        assert [m.name for m in collected] == ["a_total", "a_total", "b"]
+        assert collected[0].labels == (("k", "1"),)
+        assert isinstance(collected[0], Counter)
+        assert isinstance(collected[2], Gauge)
+        assert registry.kind_of("b") == "gauge"
+        assert registry.names() == ["a_total", "b"]
+
+    def test_help_text_stored(self, registry):
+        registry.histogram("h", help="latency")
+        assert isinstance(registry.get("h"), Histogram)
+        assert registry.help_for("h") == "latency"
