@@ -1,0 +1,81 @@
+"""Service pipeline throughput: legacy lock-everything vs concurrent modes.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_service_throughput.py`` — a smoke-sized
+  before/after comparison asserted via pytest (rides the benchmark
+  suite's conventions).
+* ``python benchmarks/bench_service_throughput.py [--tiny] [--out F]`` —
+  the standalone runner CI uses; prints the comparison table and writes
+  the JSON evidence file (``BENCH_service.json`` by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import format_table
+from repro.bench.service_bench import run_service_bench
+
+FULL = dict(n=6, threads=8, queries_per_thread=25, distinct=12)
+TINY = dict(n=4, threads=4, queries_per_thread=4, distinct=6)
+
+
+def _rows(result):
+    rows = []
+    for mode, m in result.modes.items():
+        rows.append([
+            mode,
+            m.queries,
+            f"{m.throughput_qps:.1f}",
+            f"{m.p50_submit_ms:.3f}",
+            f"{m.p95_submit_ms:.3f}",
+            f"{m.p95_decision_ms:.3f}",
+            f"{m.cache_hit_rate:.2f}",
+            m.batches,
+        ])
+    return rows
+
+
+def run(params: dict, out: str | None) -> int:
+    result = run_service_bench(**params)
+    print(format_table(
+        ["mode", "queries", "qps", "p50 submit ms", "p95 submit ms",
+         "p95 decision ms", "cache hit", "batches"],
+        _rows(result),
+    ))
+    print(f"pipeline vs legacy throughput: {result.speedup_pipeline:.2f}x")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def test_service_throughput_smoke():
+    """Tiny-scale sanity: all modes run, answers stay optimal, cache hits."""
+    result = run_service_bench(**TINY)
+    assert set(result.modes) == {"legacy", "pipeline", "batch", "sharded"}
+    for m in result.modes.values():
+        assert m.queries == TINY["threads"] * TINY["queries_per_thread"]
+        assert m.throughput_qps > 0
+    assert result.modes["pipeline"].cache_hit_rate > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke scale (4 threads, N=4)")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="JSON evidence file ('' to skip)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    params = dict(TINY if args.tiny else FULL, seed=args.seed)
+    return run(params, args.out or None)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

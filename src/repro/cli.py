@@ -133,6 +133,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_mat.add_argument("--queries", type=int, default=5)
     p_mat.add_argument("--seed", type=int, default=0)
 
+    p_svc = sub.add_parser(
+        "service-bench",
+        help="stress the scheduler service: legacy vs pipeline vs batch",
+    )
+    p_svc.add_argument("--n", type=int, default=6, help="disks per site")
+    p_svc.add_argument("--threads", type=int, default=8)
+    p_svc.add_argument("--queries", type=int, default=12,
+                       help="queries per thread")
+    p_svc.add_argument("--distinct", type=int, default=12,
+                       help="distinct query signatures in the pool")
+    p_svc.add_argument("--solver", default="pr-binary")
+    p_svc.add_argument("--window-ms", type=float, default=2.0,
+                       help="batched-admission window for the batch mode")
+    p_svc.add_argument("--cache-size", type=int, default=64)
+    p_svc.add_argument("--seed", type=int, default=0)
+    p_svc.add_argument("--output", metavar="FILE.json", default=None,
+                       help="save the comparison as JSON evidence")
+
     p_prof = sub.add_parser(
         "profile", help="cProfile a solver on a workload point"
     )
@@ -390,6 +408,51 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.reporting import format_table
+    from repro.bench.service_bench import run_service_bench
+
+    result = run_service_bench(
+        n=args.n,
+        threads=args.threads,
+        queries_per_thread=args.queries,
+        distinct=args.distinct,
+        solver=args.solver,
+        batch_window_ms=args.window_ms,
+        cache_size=args.cache_size,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            mode,
+            m.queries,
+            f"{m.throughput_qps:.1f}",
+            f"{m.p50_submit_ms:.3f}",
+            f"{m.p95_submit_ms:.3f}",
+            f"{m.p95_decision_ms:.3f}",
+            f"{m.cache_hit_rate:.2f}",
+            m.batches,
+        ]
+        for mode, m in result.modes.items()
+    ]
+    print(format_table(
+        ["mode", "queries", "qps", "p50 submit ms", "p95 submit ms",
+         "p95 decision ms", "cache hit", "batches"],
+        rows,
+    ))
+    print(
+        f"pipeline vs legacy throughput: {result.speedup_pipeline:.2f}x"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"saved {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
@@ -452,6 +515,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"load {worst.load}, N={worst.N}"
             )
         return 0
+    if args.command == "service-bench":
+        return _cmd_service_bench(args)
     if args.command == "profile":
         from repro.bench.profiling import profile_solver
 

@@ -62,6 +62,7 @@ def solve(
     *,
     trace: bool = False,
     registry=None,
+    network=None,
     **solver_kwargs,
 ) -> RetrievalSchedule:
     """Compute an optimal-response-time retrieval schedule.
@@ -85,6 +86,13 @@ def solve(
         A :class:`~repro.obs.MetricsRegistry` to record this solve into;
         ``None`` uses the global registry when
         :func:`repro.obs.enable_metrics` has been called, else nothing.
+    network:
+        A pre-built :class:`~repro.core.network.RetrievalNetwork` with
+        the query's replica signature, to warm-start the solve from
+        (skips topology construction; conserved flow the caller restored
+        into it is clamped and reused).  Only the binary-scaling solvers
+        accept this — :class:`KeyError`-adjacent misuse raises
+        ``TypeError`` for others.
     solver_kwargs:
         Forwarded to the solver constructor (e.g. ``num_threads=2``).
 
@@ -94,19 +102,33 @@ def solve(
         With ``stats.wall_time_s`` filled in.
     """
     instance = get_solver(solver, **solver_kwargs)
+    if network is not None:
+        if not getattr(instance, "supports_warm_start", False):
+            raise TypeError(
+                f"solver {solver!r} does not support warm-start networks"
+            )
+
+        def solve_fn():
+            return instance.solve(problem, network=network)
+
+    else:
+
+        def solve_fn():
+            return instance.solve(problem)
+
     if trace:
         from repro.obs.trace import ProbeTrace, capture_probes
 
         probe_trace = ProbeTrace(solver=solver)
         start = time.perf_counter()
         with capture_probes(probe_trace):
-            schedule = instance.solve(problem)
+            schedule = solve_fn()
         schedule.stats.wall_time_s = time.perf_counter() - start
         probe_trace.finish(schedule)
         schedule.stats.extra["trace"] = probe_trace
     else:
         start = time.perf_counter()
-        schedule = instance.solve(problem)
+        schedule = solve_fn()
         schedule.stats.wall_time_s = time.perf_counter() - start
     _observe_solve(schedule, registry)
     return schedule

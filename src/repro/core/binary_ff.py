@@ -59,6 +59,9 @@ class FordFulkersonBinarySolver:
     """Binary capacity scaling with flow-conserving Ford–Fulkerson."""
 
     name = "ff-binary"
+    supports_warm_start = True
 
-    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
-        return binary_scaling_solve(problem, FordFulkersonProber(), self.name)
+    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
+        return binary_scaling_solve(
+            problem, FordFulkersonProber(), self.name, network=network
+        )

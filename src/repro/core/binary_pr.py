@@ -21,6 +21,7 @@ class PushRelabelBinarySolver:
     """Integrated binary-scaled push–relabel (Algorithm 6)."""
 
     name = "pr-binary"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -33,10 +34,10 @@ class PushRelabelBinarySolver:
         self.global_relabel_interval = global_relabel_interval
         self.gap_heuristic = gap_heuristic
 
-    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
         prober = SequentialProber(
             initial_heights=self.initial_heights,
             global_relabel_interval=self.global_relabel_interval,
             gap_heuristic=self.gap_heuristic,
         )
-        return binary_scaling_solve(problem, prober, self.name)
+        return binary_scaling_solve(problem, prober, self.name, network=network)

@@ -58,11 +58,12 @@ class BlackBoxBinarySolver:
     """[12]'s binary-scaling retrieval with a black-box max-flow engine."""
 
     name = "blackbox-binary"
+    supports_warm_start = True
 
     def __init__(self, engine: str = "push-relabel", **engine_kwargs) -> None:
         self.engine_name = engine
         self.engine_kwargs = engine_kwargs
 
-    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
         prober = BlackBoxProber(self.engine_name, **self.engine_kwargs)
-        return binary_scaling_solve(problem, prober, self.name)
+        return binary_scaling_solve(problem, prober, self.name, network=network)

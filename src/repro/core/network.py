@@ -71,6 +71,81 @@ class RetrievalNetwork:
         return v - 2 - self.problem.num_buckets
 
     # ------------------------------------------------------------------
+    # topology reuse (warm starts across queries)
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple[tuple[int, ...], ...]:
+        """The replica-set signature this topology was built from.
+
+        Two problems with equal signatures (and the same system) produce
+        byte-identical networks, so a network built for one can serve the
+        other after :meth:`rebind` — the basis of the service-layer
+        warm-start cache.
+        """
+        return self.problem.replicas
+
+    def rebind(self, problem: RetrievalProblem) -> None:
+        """Point this network at another problem with the same topology.
+
+        Only the ``problem`` reference changes; arcs, capacities and flow
+        are left untouched (callers decide whether the stale flow is
+        worth keeping — see :meth:`clamp_flow_to_sink_caps`).  Raises if
+        the replica signature differs.
+        """
+        if problem.replicas != self.problem.replicas:
+            raise InfeasibleScheduleError(
+                "cannot rebind: replica signatures differ"
+            )
+        if problem.num_disks != self.problem.num_disks:
+            raise InfeasibleScheduleError(
+                f"cannot rebind: {problem.num_disks} disks vs "
+                f"{self.problem.num_disks}"
+            )
+        self.problem = problem
+
+    def clamp_flow_to_sink_caps(self) -> int:
+        """Cancel bucket routings on disks whose flow exceeds capacity.
+
+        A flow carried over from an earlier solve (same topology,
+        different loads) is conserving but may violate the *current*
+        disk→sink capacities.  For every overloaded disk the excess
+        bucket units are unrouted in full — disk→sink, bucket→disk and
+        source→bucket arcs together — leaving a valid flow within
+        capacities that keeps every still-affordable routing.  Returns
+        the number of bucket units cancelled.
+        """
+        g = self.graph
+        over: dict[int, int] = {}
+        for j, a in enumerate(self.sink_arcs):
+            excess = g.flow[a] - g.cap[a]
+            if excess > 0.5:
+                units = int(round(excess))
+                over[self.disk_vertex(j)] = units
+                g.flow[a] -= units
+                g.flow[a ^ 1] += units
+        if not over:
+            return 0
+        cancelled = 0
+        for i, arcs in enumerate(self.replica_arcs):
+            if not over:
+                break
+            for a in arcs:
+                if g.flow[a] > 0.5:
+                    need = over.get(g.head[a], 0)
+                    if need:
+                        g.flow[a] -= 1.0
+                        g.flow[a ^ 1] += 1.0
+                        sa = self.source_arcs[i]
+                        g.flow[sa] -= 1.0
+                        g.flow[sa ^ 1] += 1.0
+                        cancelled += 1
+                        if need == 1:
+                            del over[g.head[a]]
+                        else:
+                            over[g.head[a]] = need - 1
+                    break  # a bucket carries at most one unit
+        return cancelled
+
+    # ------------------------------------------------------------------
     # capacity management
     # ------------------------------------------------------------------
     def sink_caps(self) -> list[int]:

@@ -72,10 +72,11 @@ class ParallelBinarySolver:
     matching the paper's Figure 10 configuration)."""
 
     name = "parallel-binary"
+    supports_warm_start = True
 
     def __init__(self, num_threads: int = 2) -> None:
         self.num_threads = num_threads
 
-    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule:
+    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
         prober = ParallelProber(self.num_threads)
-        return binary_scaling_solve(problem, prober, self.name)
+        return binary_scaling_solve(problem, prober, self.name, network=network)

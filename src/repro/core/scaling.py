@@ -104,10 +104,29 @@ def _probe(
 
 
 def binary_scaling_solve(
-    problem: RetrievalProblem, prober: Prober, solver_name: str
+    problem: RetrievalProblem,
+    prober: Prober,
+    solver_name: str,
+    *,
+    network: RetrievalNetwork | None = None,
 ) -> RetrievalSchedule:
-    """Run the full Algorithm 6 skeleton with ``prober``'s flow policy."""
-    net = RetrievalNetwork(problem)
+    """Run the full Algorithm 6 skeleton with ``prober``'s flow policy.
+
+    ``network`` warm-starts the solve from an existing
+    :class:`RetrievalNetwork` of the same replica signature (see
+    :meth:`RetrievalNetwork.rebind`): topology construction is skipped
+    and any flow the caller restored into it is conserved — after being
+    clamped to the capacities of the first probe, so a stale routing can
+    never make an infeasible deadline look feasible.
+    """
+    if network is None:
+        net = RetrievalNetwork(problem)
+        warm = False
+    else:
+        net = network
+        if net.problem is not problem:
+            net.rebind(problem)
+        warm = True
     g = net.graph
     stats = SolverStats()
     prober.attach(net)
@@ -120,6 +139,8 @@ def binary_scaling_solve(
 
     # defensive anchor probe at tmin (see module docstring)
     net.set_deadline_capacities(tmin)
+    if warm:
+        net.clamp_flow_to_sink_caps()
     flow = _probe(prober, stats, Q, tmin, "anchor")
     if flow >= Q - _EPS:
         tmax, tmin = tmin, 0.0

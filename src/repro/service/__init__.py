@@ -1,0 +1,34 @@
+"""Stateful scheduling services over the paper's solvers.
+
+``repro.service`` was a single module in PR 1; it is now a package, but
+the public import surface is unchanged and extended::
+
+    from repro.service import (
+        SchedulerService,          # as before
+        ServiceRecord,             # as before (+ query/cache_hit fields)
+        ServiceStats,              # as before (+ p50/p95, cache, batches)
+        ServiceConfig,             # scheduling policy as a value
+        ShardedSchedulerService,   # N services over disjoint disk groups
+        NetworkCache,              # warm-start network cache
+    )
+"""
+
+from repro.service.batching import BatchAdmission
+from repro.service.cache import CacheEntry, NetworkCache
+from repro.service.config import ServiceConfig, perf_ms
+from repro.service.scheduler import SchedulerService
+from repro.service.sharded import ShardedSchedulerService, merged_quantile
+from repro.service.stats import ServiceRecord, ServiceStats
+
+__all__ = [
+    "BatchAdmission",
+    "CacheEntry",
+    "NetworkCache",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceRecord",
+    "ServiceStats",
+    "ShardedSchedulerService",
+    "merged_quantile",
+    "perf_ms",
+]

@@ -1,0 +1,114 @@
+"""Batched admission: coalesce concurrent submits into one joint solve.
+
+The paper schedules queries one at a time; ``repro.core.batch`` shows
+that a *burst* of queries scheduled jointly can only improve the batch
+makespan (the cost-of-isolation argument).  This module supplies the
+missing admission mechanism: the first submit to arrive opens a batch
+and becomes its **leader**; submits landing within the configured window
+join as **followers**; after the window closes the leader takes the
+service's solve lock once, solves the merged problem with
+:func:`repro.core.batch.solve_batch` semantics, and distributes
+per-query records.  Followers block on an event, not on the solve lock,
+so admission contention scales with the window rather than with solver
+latency.
+
+The window is *real* wall-clock time (``time.sleep``), independent of the
+service's injectable ``time_fn`` — a fake test clock controls recorded
+arrival timestamps, not how long the leader physically waits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.problem import RetrievalProblem
+
+__all__ = ["BatchAdmission"]
+
+
+class _PendingQuery:
+    """One submit waiting for its batch to be scheduled."""
+
+    __slots__ = (
+        "base",
+        "problem",
+        "query_obj",
+        "degraded",
+        "failed",
+        "arrival_ms",
+        "record",
+        "error",
+    )
+
+    def __init__(
+        self,
+        base: RetrievalProblem,
+        problem: RetrievalProblem,
+        query_obj: object,
+        degraded: bool,
+        failed: frozenset[int],
+        arrival_ms: float | None,
+    ) -> None:
+        self.base = base
+        self.problem = problem
+        self.query_obj = query_obj
+        self.degraded = degraded
+        self.failed = failed
+        self.arrival_ms = arrival_ms
+        self.record = None
+        self.error: BaseException | None = None
+
+
+class _Batch:
+    __slots__ = ("requests", "done")
+
+    def __init__(self) -> None:
+        self.requests: list[_PendingQuery] = []
+        self.done = threading.Event()
+
+
+class BatchAdmission:
+    """The admission window in front of a scheduler service."""
+
+    def __init__(self, service, window_ms: float) -> None:
+        self._service = service
+        self._window_s = float(window_ms) / 1000.0
+        self._mutex = threading.Lock()
+        self._open: _Batch | None = None
+
+    # ------------------------------------------------------------------
+    def submit(self, request: _PendingQuery):
+        """Join (or open) the current batch; return this query's record."""
+        with self._mutex:
+            batch = self._open
+            if batch is None:
+                batch = _Batch()
+                self._open = batch
+                leader = True
+            else:
+                leader = False
+            batch.requests.append(request)
+
+        if leader:
+            if self._window_s > 0:
+                time.sleep(self._window_s)
+            with self._mutex:
+                # seal: later submits open a fresh batch
+                if self._open is batch:
+                    self._open = None
+            try:
+                self._service._admit_batch(batch.requests)
+            except BaseException as exc:  # propagate to every member
+                for req in batch.requests:
+                    if req.record is None and req.error is None:
+                        req.error = exc
+            finally:
+                batch.done.set()
+        else:
+            batch.done.wait()
+
+        if request.error is not None:
+            raise request.error
+        assert request.record is not None, "batch solved without a record"
+        return request.record

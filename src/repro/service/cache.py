@@ -1,0 +1,128 @@
+"""Warm-start network cache keyed by replica-set signature.
+
+Repeated and overlapping queries — the hot case of any real frontend —
+resolve to the *same* replica signature ``problem.replicas``, and the
+paper's flow networks are a pure function of that signature.  Caching the
+built :class:`~repro.core.network.RetrievalNetwork` (plus the final flow
+of the last solve, via the existing ``save_flow``/``restore_flow``
+machinery) lets the integrated solvers skip topology construction
+entirely and start each probe from a conserved, clamped preflow — the
+same flow-conservation idea Algorithm 6 applies *within* a solve,
+extended *across* solves.
+
+The cache is deliberately not thread-safe on its own: the scheduler
+service mutates cached networks while solving, so every access happens
+under the service's solve lock anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.network import RetrievalNetwork
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["CacheEntry", "NetworkCache"]
+
+Signature = tuple[tuple[int, ...], ...]
+
+
+@dataclass
+class CacheEntry:
+    """One cached topology and the flow it last carried."""
+
+    network: RetrievalNetwork
+    flow: list[float] | None = None
+    hits: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+
+class NetworkCache:
+    """LRU cache of retrieval networks with hit/miss/eviction counters.
+
+    Parameters
+    ----------
+    size:
+        Maximum number of entries; ``0`` makes every lookup a miss and
+        every store a no-op (caching disabled, counters still live).
+    registry:
+        Metrics sink for ``repro_service_cache_{hits,misses,evictions}_total``
+        counters and the ``repro_service_cache_entries`` gauge.
+    """
+
+    def __init__(self, size: int, registry: MetricsRegistry) -> None:
+        if size < 0:
+            raise ValueError(f"cache size must be >= 0, got {size}")
+        self.size = size
+        self._entries: OrderedDict[Signature, CacheEntry] = OrderedDict()
+        self._m_hits = registry.counter(
+            "repro_service_cache_hits_total",
+            "Warm-start network cache hits.",
+        )
+        self._m_misses = registry.counter(
+            "repro_service_cache_misses_total",
+            "Warm-start network cache misses.",
+        )
+        self._m_evictions = registry.counter(
+            "repro_service_cache_evictions_total",
+            "Warm-start network cache LRU evictions.",
+        )
+        self._m_entries = registry.gauge(
+            "repro_service_cache_entries",
+            "Warm-start network cache resident entries.",
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._m_evictions.value)
+
+    # ------------------------------------------------------------------
+    def get(self, signature: Signature) -> CacheEntry | None:
+        """Look up (and LRU-touch) the entry; counts a hit or a miss."""
+        entry = self._entries.get(signature)
+        if entry is None:
+            self._m_misses.inc()
+            return None
+        self._entries.move_to_end(signature)
+        entry.hits += 1
+        self._m_hits.inc()
+        return entry
+
+    def put(
+        self,
+        signature: Signature,
+        network: RetrievalNetwork,
+        flow: list[float] | None,
+    ) -> None:
+        """Insert or refresh an entry; evicts the LRU tail on overflow."""
+        if self.size == 0:
+            return
+        entry = self._entries.get(signature)
+        if entry is None:
+            self._entries[signature] = CacheEntry(network, flow)
+        else:
+            entry.network = network
+            entry.flow = flow
+            self._entries.move_to_end(signature)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+            self._m_evictions.inc()
+        self._m_entries.set(len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._m_entries.set(0)

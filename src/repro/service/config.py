@@ -1,0 +1,76 @@
+"""Service configuration: one object for every scheduler knob.
+
+``ServiceConfig`` consolidates what used to be loose keyword arguments
+(``solver``, ``solver_kwargs``, ``time_fn``, ``registry``) and adds the
+concurrent-pipeline knobs (``batch_window_ms``, ``cache_size``) in one
+place, so a deployment's scheduling policy can be constructed, logged and
+passed around as a value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ServiceConfig", "perf_ms"]
+
+
+def perf_ms() -> float:
+    """The default service clock: ``time.perf_counter()`` in milliseconds."""
+    return time.perf_counter() * 1000.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Scheduling policy for a :class:`~repro.service.SchedulerService`.
+
+    Attributes
+    ----------
+    solver:
+        Registry solver used per decision (default: the paper's
+        integrated Algorithm 6, ``pr-binary``).
+    solver_kwargs:
+        Forwarded to the solver constructor on every solve.
+    time_fn:
+        Injectable clock returning milliseconds (tests pass a fake);
+        ``None`` selects :func:`perf_ms`.
+    registry:
+        Metrics sink; ``None`` gives the service a private
+        :class:`~repro.obs.MetricsRegistry`.
+    batch_window_ms:
+        When positive, concurrently arriving submits are coalesced for
+        this many *real* milliseconds into one joint ``solve_batch``
+        schedule (batched admission).  ``0`` (default) schedules every
+        query individually.
+    cache_size:
+        Capacity of the warm-start network cache (entries keyed by the
+        query's replica-set signature).  ``0`` disables caching.  Only
+        solvers that support warm starts use the cache; others fall back
+        to cold solves transparently.
+    """
+
+    solver: str = "pr-binary"
+    solver_kwargs: Mapping[str, object] = field(default_factory=dict)
+    time_fn: Callable[[], float] | None = None
+    registry: MetricsRegistry | None = None
+    batch_window_ms: float = 0.0
+    cache_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+
+    # ------------------------------------------------------------------
+    def resolved_time_fn(self) -> Callable[[], float]:
+        return self.time_fn if self.time_fn is not None else perf_ms
+
+    def with_changes(self, **changes) -> "ServiceConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)

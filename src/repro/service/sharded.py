@@ -1,0 +1,162 @@
+"""Sharded scheduling: N independent services over disjoint disk groups.
+
+A single :class:`~repro.service.SchedulerService` serializes solves
+because the busy horizons ``X_j`` are shared mutable state.  When a
+deployment's disks partition into independent groups (separate arrays,
+separate sites), nothing couples their schedules — each group can run
+its own service, its own lock, its own cache, and submits against
+different shards proceed fully in parallel.
+
+``ShardedSchedulerService`` packages that: construct it from ready-made
+services or from ``(system, placement)`` pairs, route queries with a
+stable hash (or an explicit ``shard=``), and read merged statistics —
+counters sum, ``per_disk_buckets`` concatenates in shard order, and the
+response-time percentiles are recomputed from the shards' combined
+histogram buckets (quantiles do not add).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import StorageConfigError
+from repro.obs.registry import Histogram
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import SchedulerService
+from repro.service.stats import ServiceRecord, ServiceStats
+from repro.workloads.queries import ArbitraryQuery, RangeQuery
+
+__all__ = ["ShardedSchedulerService", "merged_quantile"]
+
+
+def merged_quantile(histograms: Sequence[Histogram], q: float) -> float:
+    """The ``q``-quantile of several histograms' pooled observations.
+
+    Decumulates each histogram's ``bucket_counts()`` into shared per-bucket
+    counts (the bucket bounds must match, which holds for every service's
+    ``repro_service_response_ms``), then interpolates exactly like
+    :meth:`~repro.obs.registry.Histogram.quantile`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    live = [h for h in histograms if h is not None and h.count]
+    if not live:
+        return 0.0
+    bounds = live[0].bounds
+    for h in live[1:]:
+        if h.bounds != bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+    counts = [0] * (len(bounds) + 1)
+    total = 0
+    observed_max = 0.0
+    for h in live:
+        cum_prev = 0
+        for i, (_ub, cum) in enumerate(h.bucket_counts()):
+            counts[i] += cum - cum_prev
+            cum_prev = cum
+        s = h.summary()
+        total += s.count
+        observed_max = max(observed_max, s.max)
+    rank = q * total
+    cum = 0.0
+    lower = 0.0
+    for ub, c in zip(bounds, counts):
+        if c and cum + c >= rank:
+            frac = max(0.0, rank - cum) / c
+            return lower + frac * (ub - lower)
+        cum += c
+        lower = ub
+    return observed_max
+
+
+class ShardedSchedulerService:
+    """N independent scheduler services with stable routing + merged stats.
+
+    Parameters
+    ----------
+    shards:
+        Either ready-built :class:`~repro.service.SchedulerService`
+        instances, or ``(system, placement)`` pairs to build one service
+        each from ``config``.
+    config:
+        Template policy for pair-built shards.  Each shard gets its own
+        private metrics registry (``registry=None``) so per-disk gauges
+        from different shards cannot collide; read them via
+        :attr:`registries`.
+    """
+
+    def __init__(self, shards: Sequence, config: ServiceConfig | None = None):
+        if config is None:
+            config = ServiceConfig()
+        services: list[SchedulerService] = []
+        for shard in shards:
+            if isinstance(shard, SchedulerService):
+                services.append(shard)
+            else:
+                system, placement = shard
+                services.append(
+                    SchedulerService(
+                        system,
+                        placement,
+                        config=config.with_changes(registry=None),
+                    )
+                )
+        if not services:
+            raise StorageConfigError("sharded service needs at least one shard")
+        self.services = services
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.services)
+
+    @property
+    def registries(self) -> list:
+        """Each shard's metrics registry, in shard order."""
+        return [svc.registry for svc in self.services]
+
+    # ------------------------------------------------------------------
+    def shard_of(self, query) -> int:
+        """The stable home shard for a query (hash of its sorted coords)."""
+        if isinstance(query, (RangeQuery, ArbitraryQuery)):
+            coords = query.buckets()
+        else:
+            coords = list(query)
+        key = tuple(sorted(tuple(c) for c in coords))
+        # hash() over int tuples is deterministic (PYTHONHASHSEED only
+        # perturbs str/bytes), so routing is stable across processes.
+        return hash(key) % len(self.services)
+
+    def submit(
+        self,
+        query,
+        shard: int | None = None,
+        arrival_ms: float | None = None,
+    ) -> ServiceRecord:
+        """Route the query to its shard (or ``shard=``) and schedule it."""
+        idx = self.shard_of(query) if shard is None else shard
+        return self.services[idx].submit(query, arrival_ms=arrival_ms)
+
+    # ------------------------------------------------------------------
+    def mark_failed(self, shard: int, disks: Sequence[int]) -> None:
+        self.services[shard].mark_failed(disks)
+
+    def mark_repaired(self, shard: int, disks: Sequence[int]) -> None:
+        self.services[shard].mark_repaired(disks)
+
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> list[ServiceStats]:
+        return [svc.stats() for svc in self.services]
+
+    def stats(self) -> ServiceStats:
+        """The fleet-wide roll-up (percentiles from pooled histograms)."""
+        merged = ServiceStats(per_disk_buckets=[])
+        for snap in self.shard_stats():
+            merged = merged.merge(snap)
+        hists = [
+            svc.registry.get("repro_service_response_ms")
+            for svc in self.services
+        ]
+        merged.p50_response_ms = merged_quantile(hists, 0.50)
+        merged.p95_response_ms = merged_quantile(hists, 0.95)
+        return merged

@@ -1,0 +1,145 @@
+"""Warm-start networks: rebind, flow clamping, and cross-solve reuse.
+
+The cache layer's correctness rests on three core facts tested here:
+
+* a :class:`RetrievalNetwork` can be re-pointed at a *new* problem with
+  the same replica signature (``rebind``) and refuses anything else;
+* a stale preflow restored into re-tightened sink capacities is clamped
+  back to a valid preflow (``clamp_flow_to_sink_caps``), so feasibility
+  probes cannot be fooled by leftover flow;
+* solving through a reused network yields bit-identical response times
+  to a cold solve, for every warm-capable solver (differential).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import SOLVERS, solve
+from repro.core.certify import certify_optimal, verify_schedule
+from repro.core.network import RetrievalNetwork
+from repro.core.problem import RetrievalProblem
+from repro.decluster import make_placement
+from repro.errors import InfeasibleScheduleError
+from repro.storage import StorageSystem
+
+N = 6
+
+WARM_SOLVERS = [
+    name
+    for name, cls in SOLVERS.items()
+    if getattr(cls, "supports_warm_start", False)
+]
+
+
+def deployment(seed=0):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], N, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return system, placement
+
+
+def random_query(rng, k=None):
+    k = k or int(rng.integers(2, 7))
+    cells = rng.choice(N * N, size=k, replace=False)
+    return [(int(c) // N, int(c) % N) for c in cells]
+
+
+class TestRebind:
+    def test_rebind_same_signature(self):
+        system, placement = deployment()
+        coords = [(0, 0), (1, 1), (2, 2)]
+        p1 = RetrievalProblem.from_query(system, placement, coords)
+        p2 = RetrievalProblem.from_query(system, placement, coords)
+        net = RetrievalNetwork(p1)
+        net.rebind(p2)
+        assert net.problem is p2
+
+    def test_signature_is_replicas(self):
+        system, placement = deployment()
+        p = RetrievalProblem.from_query(system, placement, [(0, 0), (3, 4)])
+        net = RetrievalNetwork(p)
+        assert net.signature() == p.replicas
+
+    def test_rebind_rejects_different_query(self):
+        system, placement = deployment()
+        p1 = RetrievalProblem.from_query(system, placement, [(0, 0), (1, 1)])
+        p2 = RetrievalProblem.from_query(system, placement, [(0, 0), (2, 2)])
+        net = RetrievalNetwork(p1)
+        with pytest.raises(InfeasibleScheduleError, match="signature"):
+            net.rebind(p2)
+
+
+class TestClamp:
+    def test_clamp_restores_preflow_validity(self):
+        system, placement = deployment()
+        rng = np.random.default_rng(1)
+        p = RetrievalProblem.from_query(system, placement, random_query(rng, 6))
+        net = RetrievalNetwork(p)
+        schedule = solve(p, solver="pr-binary", network=net)
+        saved = net.graph.save_flow()
+
+        # tighten far below the solved deadline, restore the stale flow
+        net.set_deadline_capacities(schedule.response_time_ms)
+        net.graph.restore_flow(saved)
+        tight = min(
+            system.finish_time(j, 1) for j in p.replica_disks()
+        )
+        net.set_deadline_capacities(tight)
+        cancelled = net.clamp_flow_to_sink_caps()
+        assert cancelled >= 0
+        g = net.graph
+        for a in range(0, len(g.cap), 2):
+            assert g.flow[a] <= g.cap[a] + 1e-9
+
+    def test_clamp_noop_when_capacities_loosen(self):
+        system, placement = deployment()
+        p = RetrievalProblem.from_query(system, placement, [(0, 0), (1, 1)])
+        net = RetrievalNetwork(p)
+        schedule = solve(p, solver="pr-binary", network=net)
+        net.set_deadline_capacities(schedule.response_time_ms * 10)
+        assert net.clamp_flow_to_sink_caps() == 0
+
+
+class TestWarmDifferential:
+    @pytest.mark.parametrize("solver", WARM_SOLVERS)
+    def test_warm_equals_cold_across_load_changes(self, solver):
+        system, placement = deployment(seed=3)
+        rng = np.random.default_rng(42)
+        queries = [random_query(rng) for _ in range(6)]
+        networks: dict = {}
+        for trial in range(18):
+            coords = queries[int(rng.integers(len(queries)))]
+            system.set_loads(
+                [float(rng.uniform(0, 30)) for _ in range(system.num_disks)]
+            )
+            problem = RetrievalProblem.from_query(system, placement, coords)
+            cold = solve(problem, solver=solver)
+
+            sig = problem.replicas
+            cached = networks.get(sig)
+            if cached is None:
+                net = RetrievalNetwork(problem)
+            else:
+                net, flow = cached
+                net.rebind(problem)
+                net.graph.restore_flow(flow)
+            warm = solve(problem, solver=solver, network=net)
+            networks[sig] = (net, net.graph.save_flow())
+
+            assert warm.response_time_ms == pytest.approx(
+                cold.response_time_ms, abs=1e-9
+            ), f"trial {trial}: warm diverged from cold"
+            verify_schedule(problem, warm)
+            cert = certify_optimal(problem, warm)
+            assert cert, cert.reason
+
+    def test_cold_solver_rejects_network(self):
+        system, placement = deployment()
+        p = RetrievalProblem.from_query(system, placement, [(0, 0)])
+        net = RetrievalNetwork(p)
+        with pytest.raises(TypeError, match="warm-start"):
+            solve(p, solver="ff-incremental", network=net)

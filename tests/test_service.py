@@ -150,3 +150,64 @@ class TestSolverChoice:
         rec = svc.submit([(0, 0), (1, 0)])
         assert rec.decision_time_ms > 0
         assert svc.stats().mean_decision_ms > 0
+
+
+class TestQueryObjects:
+    def test_range_query_accepted(self):
+        from repro.workloads import RangeQuery
+
+        svc = make_service(time_fn=FakeClock())
+        q = RangeQuery(0, 0, 2, 2, 5)
+        rec = svc.submit(q)
+        assert rec.num_buckets == 4
+        assert sorted(rec.assignment) == sorted(q.buckets())
+        assert rec.query is q
+
+    def test_arbitrary_query_accepted(self):
+        from repro.workloads import ArbitraryQuery
+
+        svc = make_service(time_fn=FakeClock())
+        q = ArbitraryQuery(((0, 0), (3, 4)), 5)
+        rec = svc.submit(q)
+        assert rec.num_buckets == 2
+        assert rec.query is q
+
+    def test_raw_coords_recorded_on_record(self):
+        svc = make_service(time_fn=FakeClock())
+        coords = [(0, 0), (1, 1)]
+        rec = svc.submit(coords)
+        assert rec.query == coords
+        assert rec.cache_hit in (False, True)
+        assert rec.batch_size == 1
+
+
+class TestNewStats:
+    def test_percentiles_in_snapshot(self):
+        clock = FakeClock()
+        svc = make_service(time_fn=clock)
+        for k in range(1, 6):
+            svc.submit([(i, 0) for i in range(k)])
+            clock.t += 100.0
+        st = svc.stats()
+        assert 0 < st.p50_response_ms <= st.p95_response_ms
+        # interpolated within histogram buckets: bounded by the edge
+        # above the observed max, not by the max itself
+        hist = svc.registry.get("repro_service_response_ms")
+        ceiling = next(
+            (b for b in hist.bounds if b >= st.max_response_ms),
+            st.max_response_ms,
+        )
+        assert st.p95_response_ms <= ceiling + 1e-9
+
+    def test_repair_clears_queue_depth_gauge(self):
+        clock = FakeClock()
+        svc = make_service(time_fn=clock)
+        rec = svc.submit([(i, j) for i in range(3) for j in range(3)])
+        busy = next(iter(rec.assignment.values()))
+        gauge = svc.registry.get(
+            "repro_service_queue_depth_ms", {"disk": str(busy)}
+        )
+        assert gauge.value > 0
+        svc.mark_failed([busy])
+        svc.mark_repaired([busy])
+        assert gauge.value == 0.0

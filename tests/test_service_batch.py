@@ -1,0 +1,184 @@
+"""Batched admission: coalescing, joint optimality, isolation penalty."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.batch import solve_batch
+from repro.core.problem import RetrievalProblem
+from repro.decluster import make_placement
+from repro.errors import StorageConfigError
+from repro.service import SchedulerService, ServiceConfig
+from repro.service.batching import _PendingQuery
+from repro.storage import StorageSystem
+
+N = 6
+
+
+def deployment(seed=0):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], N, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return system, placement
+
+
+def make_queries(seed, count):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        k = int(rng.integers(2, 6))
+        cells = rng.choice(N * N, size=k, replace=False)
+        out.append([(int(c) // N, int(c) % N) for c in cells])
+    return out
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def admit_directly(svc, queries, arrival_ms=0.0):
+    """Drive ``_admit_batch`` without threads (deterministic joint path)."""
+    requests = []
+    for q in queries:
+        coords, query_obj = svc._normalize_query(q)
+        base = RetrievalProblem.from_query(svc.system, svc.placement, coords)
+        requests.append(
+            _PendingQuery(base, base, query_obj, False, frozenset(), arrival_ms)
+        )
+    svc._admit_batch(requests)
+    return [r.record for r in requests]
+
+
+class TestJointSchedule:
+    def test_batch_matches_solve_batch(self):
+        """Service batch records == direct ``solve_batch`` finishes."""
+        system, placement = deployment(seed=2)
+        svc = SchedulerService(
+            system,
+            placement,
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        queries = make_queries(seed=5, count=4)
+        records = admit_directly(svc, queries)
+
+        # reference joint solve on an identical deployment (idle loads)
+        ref_system, ref_placement = deployment(seed=2)
+        ref_system.set_loads([0.0] * ref_system.num_disks)
+        problems = [
+            RetrievalProblem.from_query(ref_system, ref_placement, q)
+            for q in queries
+        ]
+        joint = solve_batch(problems, solver="pr-binary")
+        finishes = joint.per_query_finish_ms()
+        for rec, want in zip(records, finishes):
+            assert rec.response_time_ms == pytest.approx(want, abs=1e-9)
+            assert rec.batch_size == len(queries)
+        makespan = max(r.response_time_ms for r in records)
+        assert makespan == pytest.approx(joint.makespan_ms, abs=1e-9)
+
+    def test_batch_assignments_cover_queries(self):
+        svc = SchedulerService(
+            *deployment(seed=3),
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        queries = make_queries(seed=7, count=3)
+        for rec, q in zip(admit_directly(svc, queries), queries):
+            assert sorted(rec.assignment) == sorted(q)
+
+    def test_joint_no_worse_than_sequential(self):
+        """Batching beats (or ties) scheduling the burst one by one."""
+        queries = make_queries(seed=9, count=5)
+
+        batched = SchedulerService(
+            *deployment(seed=4),
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        joint_makespan = max(
+            r.response_time_ms for r in admit_directly(batched, queries)
+        )
+
+        serial = SchedulerService(
+            *deployment(seed=4),
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        serial_makespan = max(
+            serial.submit(q, arrival_ms=0.0).response_time_ms
+            for q in queries
+        )
+        assert joint_makespan <= serial_makespan + 1e-9
+
+    def test_batch_stats_and_metrics(self):
+        svc = SchedulerService(
+            *deployment(seed=6),
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        queries = make_queries(seed=11, count=3)
+        admit_directly(svc, queries)
+        st = svc.stats()
+        assert st.queries == 3
+        assert st.batches == 1
+        assert svc.registry.get("repro_service_batches_total").value == 1
+        hist = svc.registry.get("repro_service_batch_size")
+        assert hist.count == 1 and hist.total == 3.0
+
+    def test_batch_monotonic_arrival_enforced(self):
+        svc = SchedulerService(
+            *deployment(seed=6),
+            config=ServiceConfig(time_fn=FakeClock(), cache_size=0),
+        )
+        svc.submit([(0, 0)], arrival_ms=50.0)
+        with pytest.raises(StorageConfigError, match="non-decreasing"):
+            admit_directly(svc, make_queries(seed=1, count=2), arrival_ms=10.0)
+
+
+@pytest.mark.slow
+class TestCoalescing:
+    def test_concurrent_submits_coalesce(self):
+        svc = SchedulerService(
+            *deployment(seed=8),
+            config=ServiceConfig(batch_window_ms=60.0, cache_size=0),
+        )
+        queries = make_queries(seed=15, count=6)
+        records = [None] * len(queries)
+        barrier = threading.Barrier(len(queries))
+
+        def worker(i):
+            barrier.wait(timeout=30)
+            records[i] = svc.submit(queries[i])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r is not None for r in records)
+        st = svc.stats()
+        assert st.queries == len(queries)
+        # all six released together: far fewer solves than queries
+        assert st.batches < len(queries)
+        assert max(r.batch_size for r in records) > 1
+        for rec, q in zip(records, queries):
+            assert sorted(rec.assignment) == sorted(q)
+
+    def test_lone_submit_still_works_in_batch_mode(self):
+        svc = SchedulerService(
+            *deployment(seed=8),
+            config=ServiceConfig(batch_window_ms=5.0, cache_size=0),
+        )
+        rec = svc.submit([(0, 0), (1, 1)])
+        assert rec.batch_size == 1
+        assert rec.response_time_ms > 0
+        assert svc.stats().batches == 1

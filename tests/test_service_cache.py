@@ -1,0 +1,156 @@
+"""Warm-start network cache: accounting and answer transparency.
+
+The load-bearing property is the differential: with caching enabled,
+every per-query response time must equal the single-query optimum that a
+cold ``solve(problem, solver="pr-binary")`` computes under the same
+loads — verified with ``verify_schedule``/``certify_optimal`` on seeded
+instances.  The cache may only change *speed*, never answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import solve
+from repro.core.certify import certify_optimal, verify_schedule
+from repro.core.problem import RetrievalProblem
+from repro.decluster import make_placement
+from repro.obs import MetricsRegistry
+from repro.service import NetworkCache, SchedulerService, ServiceConfig
+from repro.storage import StorageSystem
+
+N = 6
+
+
+def deployment(seed=0):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], N, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return system, placement
+
+
+def make_queries(seed, count, distinct=5):
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(distinct):
+        k = int(rng.integers(2, 7))
+        cells = rng.choice(N * N, size=k, replace=False)
+        pool.append([(int(c) // N, int(c) % N) for c in cells])
+    return [pool[int(rng.integers(distinct))] for _ in range(count)]
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestAccounting:
+    def test_hits_misses_evictions(self):
+        registry = MetricsRegistry()
+        cache = NetworkCache(2, registry)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), "netA", None)
+        cache.put(("b",), "netB", None)
+        assert cache.get(("a",)).network == "netA"
+        cache.put(("c",), "netC", None)  # evicts LRU "b"
+        assert cache.get(("b",)) is None
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 2, 1)
+        assert len(cache) == 2
+        assert registry.get("repro_service_cache_entries").value == 2
+
+    def test_zero_size_disables_storage(self):
+        cache = NetworkCache(0, MetricsRegistry())
+        cache.put(("a",), "net", None)
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+    def test_service_counts_repeat_queries(self):
+        clock = FakeClock()
+        svc = SchedulerService(
+            *deployment(),
+            config=ServiceConfig(time_fn=clock, cache_size=8),
+        )
+        q = [(0, 0), (1, 1), (2, 2)]
+        first = svc.submit(q)
+        clock.t += 5.0
+        second = svc.submit(q)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert svc.cache.hits == 1
+        assert svc.stats().cache_hits == 1
+
+    def test_degraded_signature_is_distinct(self):
+        clock = FakeClock()
+        svc = SchedulerService(
+            *deployment(),
+            config=ServiceConfig(time_fn=clock, cache_size=8),
+        )
+        q = [(0, 0), (1, 1), (2, 2)]
+        svc.submit(q)
+        svc.mark_failed([0])
+        clock.t += 5.0
+        rec = svc.submit(q)
+        # the degraded replica set differs, so this cannot hit the
+        # healthy entry
+        assert rec.degraded
+        assert not rec.cache_hit
+
+    def test_cold_solver_runs_without_cache(self):
+        svc = SchedulerService(
+            *deployment(),
+            config=ServiceConfig(
+                time_fn=FakeClock(), solver="ff-incremental"
+            ),
+        )
+        assert svc.cache is None
+        assert svc.submit([(0, 0), (1, 1)]).response_time_ms > 0
+
+
+class TestDifferential:
+    def test_cached_answers_stay_optimal(self):
+        """Service-with-cache == cold optimum, certified per query."""
+        clock = FakeClock()
+        svc = SchedulerService(
+            *deployment(seed=7),
+            config=ServiceConfig(time_fn=clock, cache_size=16),
+        )
+        for coords in make_queries(seed=11, count=20):
+            rec = svc.submit(coords)
+            # svc.system still carries the admission loads set under the
+            # lock, so a cold reference solve sees the identical instance
+            problem = RetrievalProblem.from_query(
+                svc.system, svc.placement, coords
+            )
+            reference = solve(problem, solver="pr-binary")
+            assert rec.response_time_ms == pytest.approx(
+                reference.response_time_ms, abs=1e-9
+            )
+            verify_schedule(problem, reference)
+            cert = certify_optimal(problem, reference)
+            assert cert, cert.reason
+            clock.t += 2.0
+        assert svc.cache.hits > 0  # the differential exercised warm paths
+
+    def test_eviction_pressure_keeps_answers(self):
+        clock = FakeClock()
+        svc = SchedulerService(
+            *deployment(seed=9),
+            config=ServiceConfig(time_fn=clock, cache_size=2),
+        )
+        for coords in make_queries(seed=13, count=15, distinct=6):
+            rec = svc.submit(coords)
+            problem = RetrievalProblem.from_query(
+                svc.system, svc.placement, coords
+            )
+            reference = solve(problem, solver="pr-binary")
+            assert rec.response_time_ms == pytest.approx(
+                reference.response_time_ms, abs=1e-9
+            )
+            clock.t += 1.0
+        assert svc.cache.evictions > 0

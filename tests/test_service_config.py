@@ -1,0 +1,101 @@
+"""ServiceConfig and the legacy-keyword deprecation shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decluster import make_placement
+from repro.obs import MetricsRegistry
+from repro.service import SchedulerService, ServiceConfig
+from repro.service import scheduler as scheduler_mod
+from repro.storage import StorageSystem
+
+
+def deployment(N=5):
+    placement = make_placement("orthogonal", N, num_sites=2, seed=0)
+    system = StorageSystem.homogeneous(2 * N, "cheetah", num_sites=2)
+    return system, placement
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestConfigValue:
+    def test_defaults(self):
+        cfg = ServiceConfig()
+        assert cfg.solver == "pr-binary"
+        assert cfg.batch_window_ms == 0.0
+        assert cfg.cache_size > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="batch_window_ms"):
+            ServiceConfig(batch_window_ms=-1.0)
+        with pytest.raises(ValueError, match="cache_size"):
+            ServiceConfig(cache_size=-1)
+
+    def test_with_changes(self):
+        cfg = ServiceConfig(solver="ff-binary")
+        other = cfg.with_changes(cache_size=0)
+        assert other.solver == "ff-binary"
+        assert other.cache_size == 0
+        assert cfg.cache_size != 0  # frozen original untouched
+
+    def test_service_reads_config(self):
+        system, placement = deployment()
+        reg = MetricsRegistry()
+        cfg = ServiceConfig(
+            solver="ff-binary", time_fn=FakeClock(), registry=reg
+        )
+        svc = SchedulerService(system, placement, config=cfg)
+        assert svc.solver == "ff-binary"
+        assert svc.registry is reg
+        rec = svc.submit([(0, 0)])
+        assert rec.response_time_ms > 0
+
+
+class TestLegacyShim:
+    def setup_method(self):
+        scheduler_mod._legacy_kwargs_warned = False
+
+    def test_legacy_kwargs_warn_once(self):
+        system, placement = deployment()
+        with pytest.warns(DeprecationWarning, match="ServiceConfig"):
+            svc = SchedulerService(system, placement, time_fn=FakeClock())
+        assert svc.submit([(0, 0)]).response_time_ms > 0
+        # second construction: latch already set, no second warning
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SchedulerService(*deployment(), time_fn=FakeClock())
+
+    def test_legacy_solver_kwargs_forwarded(self):
+        system, placement = deployment()
+        with pytest.warns(DeprecationWarning):
+            svc = SchedulerService(
+                system, placement, solver="ff-binary", time_fn=FakeClock()
+            )
+        assert svc.solver == "ff-binary"
+        assert svc.config.solver == "ff-binary"
+
+    def test_config_plus_legacy_is_error(self):
+        system, placement = deployment()
+        with pytest.raises(TypeError, match="not both"):
+            SchedulerService(
+                system, placement, ServiceConfig(), solver="ff-binary"
+            )
+
+    def test_modern_path_does_not_warn(self):
+        import warnings
+
+        system, placement = deployment()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SchedulerService(
+                system, placement, config=ServiceConfig(time_fn=FakeClock())
+            )

@@ -1,0 +1,150 @@
+"""Sharded scheduling: routing stability, isolation, merged statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decluster import make_placement
+from repro.errors import StorageConfigError
+from repro.obs.registry import MetricsRegistry
+from repro.service import (
+    SchedulerService,
+    ServiceConfig,
+    ShardedSchedulerService,
+    merged_quantile,
+)
+from repro.storage import StorageSystem
+
+N = 5
+
+
+def deployment(seed=0):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], N, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return system, placement
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_sharded(num_shards=3, **cfg):
+    config = ServiceConfig(time_fn=FakeClock(), **cfg)
+    return ShardedSchedulerService(
+        [deployment(seed=i) for i in range(num_shards)], config=config
+    )
+
+
+def make_queries(seed, count):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        k = int(rng.integers(2, 5))
+        cells = rng.choice(N * N, size=k, replace=False)
+        out.append([(int(c) // N, int(c) % N) for c in cells])
+    return out
+
+
+class TestConstruction:
+    def test_from_pairs_builds_services(self):
+        sh = make_sharded(3)
+        assert sh.num_shards == 3
+        assert all(isinstance(s, SchedulerService) for s in sh.services)
+        # private registries: per-disk gauges cannot collide across shards
+        regs = sh.registries
+        assert len({id(r) for r in regs}) == 3
+
+    def test_from_prebuilt_services(self):
+        svc = SchedulerService(
+            *deployment(seed=9),
+            config=ServiceConfig(time_fn=FakeClock()),
+        )
+        sh = ShardedSchedulerService([svc])
+        assert sh.services[0] is svc
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageConfigError, match="at least one"):
+            ShardedSchedulerService([])
+
+
+class TestRouting:
+    def test_routing_is_stable_and_order_insensitive(self):
+        sh = make_sharded(3)
+        q = [(0, 0), (2, 3), (1, 4)]
+        idx = sh.shard_of(q)
+        assert sh.shard_of(list(reversed(q))) == idx
+        assert sh.shard_of(q) == idx
+
+    def test_routing_spreads_queries(self):
+        sh = make_sharded(3)
+        idxs = {sh.shard_of(q) for q in make_queries(3, 40)}
+        assert len(idxs) > 1
+
+    def test_explicit_shard_override(self):
+        sh = make_sharded(2)
+        rec = sh.submit([(0, 0)], shard=1, arrival_ms=0.0)
+        assert rec.response_time_ms > 0
+        assert sh.services[1].stats().queries == 1
+        assert sh.services[0].stats().queries == 0
+
+    def test_failures_are_per_shard(self):
+        sh = make_sharded(2)
+        sh.mark_failed(0, [0])
+        assert sh.services[0].failed_disks == frozenset({0})
+        assert sh.services[1].failed_disks == frozenset()
+        sh.mark_repaired(0, [0])
+        assert sh.services[0].failed_disks == frozenset()
+
+
+class TestMergedStats:
+    def test_counters_sum_and_buckets_concatenate(self):
+        sh = make_sharded(2)
+        queries = make_queries(17, 10)
+        for q in queries:
+            sh.submit(q, arrival_ms=0.0)
+        merged = sh.stats()
+        per = sh.shard_stats()
+        assert merged.queries == sum(s.queries for s in per) == len(queries)
+        assert merged.buckets == sum(s.buckets for s in per)
+        assert merged.max_response_ms == max(s.max_response_ms for s in per)
+        assert merged.per_disk_buckets == (
+            per[0].per_disk_buckets + per[1].per_disk_buckets
+        )
+
+    def test_merged_percentiles_match_pooled_histogram(self):
+        sh = make_sharded(2)
+        for q in make_queries(19, 12):
+            sh.submit(q, arrival_ms=0.0)
+        merged = sh.stats()
+
+        # pooled reference: one histogram fed every observation
+        ref_reg = MetricsRegistry()
+        ref = ref_reg.histogram("ref_response_ms", "pooled")
+        for svc in sh.services:
+            for rec in svc.history:
+                ref.observe(rec.response_time_ms)
+        assert merged.p50_response_ms == pytest.approx(ref.quantile(0.50))
+        assert merged.p95_response_ms == pytest.approx(ref.quantile(0.95))
+
+    def test_merged_quantile_rejects_mismatched_buckets(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("a_ms", "a", buckets=(1.0, 2.0))
+        b = reg.histogram("b_ms", "b", buckets=(1.0, 4.0))
+        a.observe(0.5)
+        b.observe(0.5)
+        with pytest.raises(ValueError, match="different buckets"):
+            merged_quantile([a, b], 0.5)
+
+    def test_empty_fleet_stats(self):
+        sh = make_sharded(2)
+        merged = sh.stats()
+        assert merged.queries == 0
+        assert merged.p95_response_ms == 0.0

@@ -123,3 +123,102 @@ class TestSubmitStress:
         assert stats.per_disk_buckets[0] == 0
         degraded = svc.registry.get("repro_service_degraded_total")
         assert degraded.value == len(records)
+
+    def test_cache_accounting_under_contention(self):
+        from repro.service import ServiceConfig
+
+        svc = make_service(config=ServiceConfig(cache_size=256))
+        records = self.run_stress(svc)
+        # every solve either hit or missed; nothing lost under contention
+        assert svc.cache.hits + svc.cache.misses == len(records)
+        assert svc.cache.hits == sum(1 for r in records if r.cache_hit)
+        assert svc.stats().cache_hits == svc.cache.hits
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.mark.slow
+@pytest.mark.stress
+class TestSerialReplayEquivalence:
+    def test_concurrent_records_match_serial_replay(self):
+        """Concurrency must not change answers, only interleaving.
+
+        Hammer a cache-enabled service under a frozen fake clock, then
+        replay the admission order (the history) serially on a fresh,
+        identically configured deployment: every response time and
+        assignment must reproduce exactly — the solver, the cache and
+        the horizon bookkeeping are all deterministic in admission
+        order.
+        """
+        from repro.service import ServiceConfig
+
+        svc = make_service(
+            config=ServiceConfig(cache_size=64, time_fn=FakeClock())
+        )
+        records: list = []
+        errors: list = []
+        barrier = threading.Barrier(NUM_THREADS)
+        threads = [
+            threading.Thread(
+                target=hammer, args=(svc, 2000 + i, records, errors, barrier)
+            )
+            for i in range(NUM_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        replay = make_service(
+            config=ServiceConfig(cache_size=64, time_fn=FakeClock())
+        )
+        for original in svc.history:
+            again = replay.submit(original.query, arrival_ms=0.0)
+            assert again.response_time_ms == pytest.approx(
+                original.response_time_ms, abs=1e-9
+            )
+            assert again.assignment == original.assignment
+
+
+@pytest.mark.slow
+@pytest.mark.stress
+class TestBatchedStress:
+    def test_batched_admission_under_contention(self):
+        from repro.service import ServiceConfig
+
+        svc = make_service(
+            config=ServiceConfig(batch_window_ms=2.0, cache_size=0)
+        )
+        records: list = []
+        errors: list = []
+        barrier = threading.Barrier(NUM_THREADS)
+        threads = [
+            threading.Thread(
+                target=hammer, args=(svc, 3000 + i, records, errors, barrier)
+            )
+            for i in range(NUM_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert len(records) == NUM_THREADS * QUERIES_PER_THREAD
+
+        stats = svc.stats()
+        assert stats.queries == len(records)
+        assert 1 <= stats.batches <= len(records)
+        assert stats.buckets == sum(r.num_buckets for r in records)
+        # every record carries a complete assignment for its own query
+        for r in records:
+            assert len(r.assignment) == r.num_buckets
+            assert r.batch_size >= 1
+        # coalescing actually happened somewhere in the run
+        assert max(r.batch_size for r in records) > 1
