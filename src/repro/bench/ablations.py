@@ -12,7 +12,7 @@ import time
 import numpy as np
 
 from repro.bench.figures import FigureResult, Panel
-from repro.bench.harness import BenchScale, current_scale, run_point
+from repro.bench.harness import BenchScale, current_scale
 from repro.core.api import get_solver
 from repro.decluster.multisite import make_placement
 from repro.workloads.experiments import build_problem, build_system

@@ -151,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc.add_argument("--output", metavar="FILE.json", default=None,
                        help="save the comparison as JSON evidence")
 
+    p_lint = sub.add_parser(
+        "lint", help="project-specific static analysis (see repro.lint)"
+    )
+    p_lint.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "json"))
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule names to run "
+                             "(default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+
     p_prof = sub.add_parser(
         "profile", help="cProfile a solver on a workload point"
     )
@@ -408,6 +421,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import format_report, lint_repo, rule_catalog
+
+    if args.list_rules:
+        for name, description in rule_catalog():
+            print(f"{name:24s} {description}")
+        return 0
+    select = args.rules.split(",") if args.rules else None
+    findings = lint_repo(paths=args.paths or None, select=select)
+    print(format_report(findings, args.fmt))
+    return 1 if findings else 0
+
+
 def _cmd_service_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -515,6 +541,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"load {worst.load}, N={worst.N}"
             )
         return 0
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
     if args.command == "profile":

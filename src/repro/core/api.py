@@ -11,6 +11,7 @@
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Protocol
 
 from repro.core.basic_ff import FordFulkersonBasicSolver
 from repro.core.binary_ff import FordFulkersonBinarySolver
@@ -25,7 +26,20 @@ from repro.core.problem import RetrievalProblem
 from repro.core.schedule import RetrievalSchedule
 from repro.obs.instrument import observe_solve as _observe_solve
 
-__all__ = ["SOLVERS", "get_solver", "solve"]
+if TYPE_CHECKING:
+    from repro.core.network import RetrievalNetwork
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SOLVERS", "Solver", "get_solver", "solve"]
+
+
+class Solver(Protocol):
+    """Structural type every registry solver satisfies."""
+
+    name: str
+
+    def solve(self, problem: RetrievalProblem) -> RetrievalSchedule: ...
+
 
 #: registry name → solver class (see package docstring for the mapping to
 #: the paper's algorithm numbers)
@@ -45,7 +59,7 @@ SOLVERS = {
 }
 
 
-def get_solver(name: str, **kwargs):
+def get_solver(name: str, **kwargs: object) -> Solver:
     """Instantiate a solver by registry name."""
     try:
         cls = SOLVERS[name]
@@ -61,9 +75,9 @@ def solve(
     solver: str = "pr-binary",
     *,
     trace: bool = False,
-    registry=None,
-    network=None,
-    **solver_kwargs,
+    registry: MetricsRegistry | None = None,
+    network: RetrievalNetwork | None = None,
+    **solver_kwargs: object,
 ) -> RetrievalSchedule:
     """Compute an optimal-response-time retrieval schedule.
 
@@ -108,12 +122,12 @@ def solve(
                 f"solver {solver!r} does not support warm-start networks"
             )
 
-        def solve_fn():
+        def solve_fn() -> RetrievalSchedule:
             return instance.solve(problem, network=network)
 
     else:
 
-        def solve_fn():
+        def solve_fn() -> RetrievalSchedule:
             return instance.solve(problem)
 
     if trace:

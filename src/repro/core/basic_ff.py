@@ -51,9 +51,7 @@ class FordFulkersonBasicSolver:
         net.set_uniform_sink_caps(-(-Q // N))
 
         # saturate all source arcs (the paper's stated precondition)
-        for a in net.source_arcs:
-            g.flow[a] = 1.0
-            g.flow[a ^ 1] = -1.0
+        net.saturate_source_arcs()
 
         # lines 3-15: per-bucket DFS with uniform capacity incrementation
         for i in range(Q):

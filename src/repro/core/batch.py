@@ -95,7 +95,7 @@ def merge_problems(
 
 
 def solve_batch(
-    problems: list[RetrievalProblem], solver: str = "pr-binary", **kwargs
+    problems: list[RetrievalProblem], solver: str = "pr-binary", **kwargs: object
 ) -> BatchSchedule:
     """Jointly schedule a batch for minimum makespan."""
     merged, owner = merge_problems(problems)

@@ -61,7 +61,12 @@ class FordFulkersonBinarySolver:
     name = "ff-binary"
     supports_warm_start = True
 
-    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
+    def solve(
+        self,
+        problem: RetrievalProblem,
+        *,
+        network: RetrievalNetwork | None = None,
+    ) -> RetrievalSchedule:
         return binary_scaling_solve(
             problem, FordFulkersonProber(), self.name, network=network
         )

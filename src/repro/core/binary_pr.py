@@ -10,6 +10,7 @@ practice thanks to flow conservation (§IV).
 from __future__ import annotations
 
 from repro.core.incremental_pr import SequentialProber
+from repro.core.network import RetrievalNetwork
 from repro.core.problem import RetrievalProblem
 from repro.core.scaling import binary_scaling_solve
 from repro.core.schedule import RetrievalSchedule
@@ -34,7 +35,12 @@ class PushRelabelBinarySolver:
         self.global_relabel_interval = global_relabel_interval
         self.gap_heuristic = gap_heuristic
 
-    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
+    def solve(
+        self,
+        problem: RetrievalProblem,
+        *,
+        network: RetrievalNetwork | None = None,
+    ) -> RetrievalSchedule:
         prober = SequentialProber(
             initial_heights=self.initial_heights,
             global_relabel_interval=self.global_relabel_interval,

@@ -24,7 +24,7 @@ class BlackBoxProber(Prober):
 
     conserves_flow = False
 
-    def __init__(self, engine: str = "push-relabel", **engine_kwargs) -> None:
+    def __init__(self, engine: str = "push-relabel", **engine_kwargs: object) -> None:
         self.engine = get_engine(engine, **engine_kwargs)
         self._network: RetrievalNetwork | None = None
         self._pushes = 0
@@ -60,10 +60,15 @@ class BlackBoxBinarySolver:
     name = "blackbox-binary"
     supports_warm_start = True
 
-    def __init__(self, engine: str = "push-relabel", **engine_kwargs) -> None:
+    def __init__(self, engine: str = "push-relabel", **engine_kwargs: object) -> None:
         self.engine_name = engine
         self.engine_kwargs = engine_kwargs
 
-    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
+    def solve(
+        self,
+        problem: RetrievalProblem,
+        *,
+        network: RetrievalNetwork | None = None,
+    ) -> RetrievalSchedule:
         prober = BlackBoxProber(self.engine_name, **self.engine_kwargs)
         return binary_scaling_solve(problem, prober, self.name, network=network)

@@ -59,7 +59,7 @@ def solve_degraded(
     problem: RetrievalProblem,
     failed_disks: Iterable[int],
     solver: str = "pr-binary",
-    **kwargs,
+    **kwargs: object,
 ) -> RetrievalSchedule:
     """Optimal schedule avoiding the failed disks."""
     return solve(degrade_problem(problem, failed_disks), solver=solver, **kwargs)

@@ -95,6 +95,6 @@ class MinCostIncrementer:
 
         for j, cost in zip(survivors, costs):
             if cost <= min_cost + _TIE_EPS:
-                g.cap[arcs[j]] += 1.0
+                net.increment_sink_cap(j)
         self.steps += 1
         return min_cost

@@ -40,9 +40,7 @@ class FordFulkersonIncrementalSolver:
         inc = MinCostIncrementer(net)
 
         # caps start at 0 (lines 1-2); saturate source arcs as in Alg. 1
-        for a in net.source_arcs:
-            g.flow[a] = 1.0
-            g.flow[a ^ 1] = -1.0
+        net.saturate_source_arcs()
 
         for i in range(problem.num_buckets):
             bv = net.bucket_vertex(i)

@@ -16,6 +16,7 @@ place* while conserving flow; black-box solvers additionally call
 
 from __future__ import annotations
 
+from repro import invariants
 from repro.core.problem import RetrievalProblem
 from repro.errors import InfeasibleScheduleError
 from repro.graph.flownetwork import FlowNetwork
@@ -123,6 +124,8 @@ class RetrievalNetwork:
                 g.flow[a] -= units
                 g.flow[a ^ 1] += units
         if not over:
+            if invariants.ENABLED:
+                invariants.check_clamped_network(self, "clamp_flow_to_sink_caps")
             return 0
         cancelled = 0
         for i, arcs in enumerate(self.replica_arcs):
@@ -143,6 +146,8 @@ class RetrievalNetwork:
                         else:
                             over[g.head[a]] = need - 1
                     break  # a bucket carries at most one unit
+        if invariants.ENABLED:
+            invariants.check_clamped_network(self, "clamp_flow_to_sink_caps")
         return cancelled
 
     # ------------------------------------------------------------------
@@ -168,6 +173,25 @@ class RetrievalNetwork:
         """Raise every disk→sink capacity by one (Algorithm 1 lines 6-7)."""
         for a in self.sink_arcs:
             self.graph.cap[a] += 1.0
+
+    def increment_sink_cap(self, j: int) -> None:
+        """Raise disk ``j``'s disk→sink capacity by one (Algorithm 3)."""
+        self.graph.cap[self.sink_arcs[j]] += 1.0
+
+    # ------------------------------------------------------------------
+    # flow management
+    # ------------------------------------------------------------------
+    def saturate_source_arcs(self) -> None:
+        """Saturate every source→bucket arc.
+
+        The integrated solvers' stated precondition: each requested
+        bucket demands exactly one unit of retrieval, pushed onto the
+        source→bucket arcs up front and then routed bucket-by-bucket.
+        """
+        g = self.graph
+        for a in self.source_arcs:
+            g.flow[a] = 1.0
+            g.flow[a ^ 1] = -1.0
 
     # ------------------------------------------------------------------
     # flow inspection

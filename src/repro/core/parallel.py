@@ -77,6 +77,11 @@ class ParallelBinarySolver:
     def __init__(self, num_threads: int = 2) -> None:
         self.num_threads = num_threads
 
-    def solve(self, problem: RetrievalProblem, *, network=None) -> RetrievalSchedule:
+    def solve(
+        self,
+        problem: RetrievalProblem,
+        *,
+        network: RetrievalNetwork | None = None,
+    ) -> RetrievalSchedule:
         prober = ParallelProber(self.num_threads)
         return binary_scaling_solve(problem, prober, self.name, network=network)

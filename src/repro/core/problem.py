@@ -110,8 +110,8 @@ class RetrievalProblem:
         costs = self.system.costs()
         return bool(
             np.all(costs == costs[0])
-            and np.all(self.system.delays() == 0.0)
-            and np.all(self.system.loads() == 0.0)
+            and not np.any(self.system.delays())
+            and not np.any(self.system.loads())
         )
 
     def replica_disks(self) -> set[int]:

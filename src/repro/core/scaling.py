@@ -30,6 +30,7 @@ from __future__ import annotations
 import abc
 import time
 
+from repro import invariants
 from repro.core.increment import MinCostIncrementer
 from repro.core.network import RetrievalNetwork
 from repro.core.problem import RetrievalProblem
@@ -79,27 +80,36 @@ def _probe(
     num_buckets: int,
     t: float,
     phase: str,
+    monitor: invariants.ProbeMonitor | None = None,
 ) -> float:
-    """One feasibility probe; records a trace event when tracing is on."""
+    """One feasibility probe; records a trace event when tracing is on.
+
+    ``monitor`` (armed sanitizer only) validates the post-probe flow and
+    watches feasibility monotonicity across the solve's probes.
+    """
     stats.probes += 1
     trace = active_trace()
-    if trace is None:
+    if trace is None and monitor is None:
         return prober.probe()
     p0, r0, a0 = prober.op_counts()
     start = time.perf_counter()
     flow = prober.probe()
     wall = time.perf_counter() - start
     p1, r1, a1 = prober.op_counts()
-    trace.record(
-        phase=phase,
-        t=t,
-        flow=flow,
-        feasible=flow >= num_buckets - _EPS,
-        pushes=p1 - p0,
-        relabels=r1 - r0,
-        augmentations=a1 - a0,
-        wall_s=wall,
-    )
+    feasible = flow >= num_buckets - _EPS
+    if trace is not None:
+        trace.record(
+            phase=phase,
+            t=t,
+            flow=flow,
+            feasible=feasible,
+            pushes=p1 - p0,
+            relabels=r1 - r0,
+            augmentations=a1 - a0,
+            wall_s=wall,
+        )
+    if monitor is not None:
+        monitor.after_probe(t, feasible, phase)
     return flow
 
 
@@ -130,6 +140,7 @@ def binary_scaling_solve(
     g = net.graph
     stats = SolverStats()
     prober.attach(net)
+    monitor = invariants.ProbeMonitor(net) if invariants.ENABLED else None
     Q = problem.num_buckets
 
     # lines 1-11: bracket the optimum
@@ -141,7 +152,7 @@ def binary_scaling_solve(
     net.set_deadline_capacities(tmin)
     if warm:
         net.clamp_flow_to_sink_caps()
-    flow = _probe(prober, stats, Q, tmin, "anchor")
+    flow = _probe(prober, stats, Q, tmin, "anchor", monitor)
     if flow >= Q - _EPS:
         tmax, tmin = tmin, 0.0
         g.reset_flow()
@@ -151,7 +162,7 @@ def binary_scaling_solve(
     while tmax - tmin >= min_speed:
         tmid = tmin + (tmax - tmin) * 0.5
         net.set_deadline_capacities(tmid)
-        flow = _probe(prober, stats, Q, tmid, "binary")
+        flow = _probe(prober, stats, Q, tmid, "binary", monitor)
         if flow >= Q - _EPS:
             # feasible but maybe not optimal: back off to the stored flow
             if prober.conserves_flow:
@@ -200,13 +211,16 @@ def incremental_solve(
     Q = problem.num_buckets
     inc = MinCostIncrementer(network)
     inc.sync_live_set()
+    monitor = (
+        invariants.ProbeMonitor(network) if invariants.ENABLED else None
+    )
 
     t_cur = entry_deadline
-    flow = _probe(prober, stats, Q, t_cur, "increment")
+    flow = _probe(prober, stats, Q, t_cur, "increment", monitor)
     while flow < Q - _EPS:
         t_cur = inc.increment()
         stats.increments += 1
-        flow = _probe(prober, stats, Q, t_cur, "increment")
+        flow = _probe(prober, stats, Q, t_cur, "increment", monitor)
 
     prober.harvest(stats)
     assignment = network.assignment()

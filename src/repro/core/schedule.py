@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
 
 from repro.core.problem import RetrievalProblem
 from repro.errors import InfeasibleScheduleError
+
+if TYPE_CHECKING:
+    from repro.maxflow.base import MaxFlowResult
 
 __all__ = ["SolverStats", "RetrievalSchedule"]
 
@@ -33,9 +36,9 @@ class SolverStats:
     relabels: int = 0
     augmentations: int = 0
     wall_time_s: float = 0.0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
-    def absorb(self, result) -> None:
+    def absorb(self, result: "MaxFlowResult") -> None:
         """Accumulate a :class:`~repro.maxflow.MaxFlowResult`'s counters."""
         self.pushes += result.pushes
         self.relabels += result.relabels

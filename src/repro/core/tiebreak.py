@@ -55,7 +55,7 @@ class WorkOptimalResult:
 
 
 def solve_min_work(
-    problem: RetrievalProblem, solver: str = "pr-binary", **solver_kwargs
+    problem: RetrievalProblem, solver: str = "pr-binary", **solver_kwargs: object
 ) -> WorkOptimalResult:
     """Optimal response time first, minimal total work second.
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.decluster.grid import Allocation, ReplicatedAllocation
+from repro.decluster.grid import ReplicatedAllocation
 from repro.decluster.orthogonal import orthogonal_pair
 from repro.decluster.periodic import dependent_pair
 from repro.decluster.rda import rda_pair, rda_per_site

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from repro import invariants
 from repro.errors import InvalidArcError, InvalidVertexError
 
 __all__ = ["Arc", "FlowNetwork"]
@@ -240,6 +241,8 @@ class FlowNetwork:
                 f"snapshot has {len(saved)} slots, network has {len(self.flow)}"
             )
         self.flow[:] = saved
+        if invariants.ENABLED:
+            invariants.check_antisymmetry(self, "restore_flow")
 
     # ------------------------------------------------------------------
     # misc

@@ -1,0 +1,144 @@
+"""Runtime invariant sanitizer (``REPRO_CHECK_INVARIANTS=1``).
+
+The paper's integrated algorithms are correct only while three unstated
+invariants hold:
+
+* **flow conservation** — the assignment inside a
+  :class:`~repro.graph.FlowNetwork` stays a legal flow across
+  StoreFlows/RestoreFlows and across warm starts (Equation 1);
+* **capacity respect** — raising the disk→sink capacities
+  ``floor((t - D_j - X_j) / C_j)`` never leaves an arc carrying more
+  flow than its capacity (after :meth:`clamp_flow_to_sink_caps`);
+* **probe monotonicity** — feasibility of a candidate deadline ``t`` is
+  monotone: once some ``t`` probes feasible, no larger ``t`` may probe
+  infeasible (the property binary scaling searches over).
+
+This module turns them into machine-checked assertions.  The checks are
+**off by default** and cost nothing on the default path: every hook site
+tests the module-level :data:`ENABLED` flag (one attribute load) and the
+flag is computed once, at import, from the ``REPRO_CHECK_INVARIANTS``
+environment variable.  Set it to ``1`` (or anything not in ``{"", "0",
+"false", "no", "off"}``) to run the whole test suite — or a production
+canary — with the sanitizer armed.
+
+Violations raise :class:`InvariantViolation`, a subclass of
+:class:`~repro.errors.FlowValidationError`, so existing ``except``
+clauses for flow corruption also catch sanitizer trips.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FlowValidationError
+
+__all__ = [
+    "ENABLED",
+    "InvariantViolation",
+    "ProbeMonitor",
+    "check_antisymmetry",
+    "check_clamped_network",
+    "check_valid_flow",
+    "enabled_from_env",
+]
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+
+def enabled_from_env(environ: os._Environ | dict | None = None) -> bool:
+    """Read the sanitizer switch from ``REPRO_CHECK_INVARIANTS``."""
+    env = os.environ if environ is None else environ
+    return str(env.get("REPRO_CHECK_INVARIANTS", "")).lower() not in _FALSEY
+
+
+#: Evaluated once at import; hook sites guard on this attribute so the
+#: disabled path does no assertion work.  Tests may flip it directly
+#: (``monkeypatch.setattr(invariants, "ENABLED", True)``).
+ENABLED: bool = enabled_from_env()
+
+
+class InvariantViolation(FlowValidationError):
+    """An armed sanitizer caught a broken algorithmic invariant."""
+
+
+# ----------------------------------------------------------------------
+# flow-level checks (FlowNetwork hooks)
+# ----------------------------------------------------------------------
+def check_antisymmetry(graph, context: str) -> None:
+    """Every arc and its residual twin must carry opposite flow."""
+    flow = graph.flow
+    for a in range(0, len(flow), 2):
+        paired = flow[a] + flow[a + 1]
+        if paired > 1e-9 or paired < -1e-9:
+            raise InvariantViolation(
+                f"{context}: antisymmetry broken on arc {a} "
+                f"(flow {flow[a]} + twin {flow[a + 1]} != 0)"
+            )
+
+
+def check_valid_flow(graph, source: int, sink: int, context: str) -> None:
+    """Conservation + capacity respect for the current assignment."""
+    from repro.graph.validation import assert_valid_flow
+
+    try:
+        assert_valid_flow(graph, source, sink)
+    except FlowValidationError as exc:
+        raise InvariantViolation(f"{context}: {exc}") from exc
+
+
+def check_clamped_network(network, context: str) -> None:
+    """After clamping, the warm flow must sit within every capacity."""
+    g = network.graph
+    for j, a in enumerate(network.sink_arcs):
+        if g.flow[a] > g.cap[a] + 1e-9:
+            raise InvariantViolation(
+                f"{context}: disk {j} still overloaded after clamp "
+                f"(flow {g.flow[a]} > cap {g.cap[a]})"
+            )
+    check_valid_flow(g, network.source, network.sink, context)
+
+
+# ----------------------------------------------------------------------
+# probe-level checks (core/scaling.py hook)
+# ----------------------------------------------------------------------
+class ProbeMonitor:
+    """Per-solve monotonicity + flow-validity watcher for probes.
+
+    One instance is created per ``binary_scaling_solve`` /
+    ``incremental_solve`` invocation when the sanitizer is armed.  Each
+    deadline-indexed probe (phases ``anchor`` and ``binary``, where the
+    sink capacities are a pure function of the candidate ``t``) is
+    recorded; a feasible probe below an infeasible one is a monotonicity
+    violation.  Increment-phase probes are validity-checked only — their
+    capacities are not parameterised by ``t``.
+    """
+
+    #: phases whose capacities encode the probed deadline
+    DEADLINE_PHASES = frozenset({"anchor", "binary"})
+
+    def __init__(self, network) -> None:
+        self.network = network
+        self.observations: list[tuple[float, bool, str]] = []
+        self._max_infeasible_t = float("-inf")
+        self._min_feasible_t = float("inf")
+
+    def after_probe(self, t: float, feasible: bool, phase: str) -> None:
+        self.observations.append((t, feasible, phase))
+        net = self.network
+        check_valid_flow(
+            net.graph, net.source, net.sink,
+            f"after {phase} probe at t={t}",
+        )
+        if phase not in self.DEADLINE_PHASES:
+            return
+        if feasible:
+            self._min_feasible_t = min(self._min_feasible_t, t)
+        else:
+            self._max_infeasible_t = max(self._max_infeasible_t, t)
+        if self._min_feasible_t < self._max_infeasible_t - 1e-9:
+            raise InvariantViolation(
+                "probe monotonicity broken: "
+                f"t={self._min_feasible_t} probed feasible but "
+                f"t={self._max_infeasible_t} probed infeasible "
+                f"(observations: {self.observations})"
+            )

@@ -1,0 +1,57 @@
+"""repro.lint — project-specific static analysis for the flow core and
+the concurrent service layer.
+
+An AST-based rule engine (:mod:`repro.lint.engine`) plus the rules that
+turn this repository's implicit contracts into machine-checked ones:
+
+============================  =========================================
+rule                          contract
+============================  =========================================
+``lock-discipline``           ``*_locked`` methods and guarded shared
+                              attributes only under ``with self._lock``
+``flow-encapsulation``        ``.flow[...]``/``.cap[...]`` writes only
+                              in the two network-owning files
+``integer-capacity``          no float ``==``, ``/`` or fractional
+                              literals in capacity arithmetic
+``registry-completeness``     every solver/engine registered and tested
+``unused-import`` et al.      hygiene (mirrors the ruff CI gate)
+============================  =========================================
+
+Run it as ``repro lint [--format text|json]`` or from Python::
+
+    >>> from repro.lint import lint_repo
+    >>> findings = lint_repo()          # [] when the tree is clean
+
+Suppressions: ``# repro-lint: ignore=<rule>`` on the offending line,
+``# repro-lint: disable-file=<rule>`` anywhere in the file.
+"""
+
+from repro.lint.engine import (
+    Module,
+    Project,
+    ProjectRule,
+    Rule,
+    parse_module,
+    run_lint,
+)
+from repro.lint.findings import Finding
+from repro.lint.runner import (
+    default_rules,
+    format_report,
+    lint_repo,
+    rule_catalog,
+)
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Project",
+    "ProjectRule",
+    "Rule",
+    "default_rules",
+    "format_report",
+    "lint_repo",
+    "parse_module",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,55 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "attr_chain",
+    "identifier_tokens",
+    "mentions_token",
+    "walk_statements",
+]
+
+
+def attr_chain(node: ast.AST) -> tuple[str, list[str]] | None:
+    """Resolve ``self._stats.queries[i]`` to ``("self", ["_stats", "queries"])``.
+
+    Descends through ``Attribute`` and ``Subscript`` wrappers; returns
+    ``None`` when the chain is not rooted at a plain name (e.g. a call
+    result).  The attribute list is ordered root-first.
+    """
+    attrs: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            attrs.reverse()
+            return node.id, attrs
+        else:
+            return None
+
+
+def identifier_tokens(node: ast.AST) -> Iterator[str]:
+    """Every identifier fragment (split on ``_``) mentioned in ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield from sub.id.lower().split("_")
+        elif isinstance(sub, ast.Attribute):
+            yield from sub.attr.lower().split("_")
+
+
+def mentions_token(node: ast.AST, tokens: frozenset[str]) -> bool:
+    """True if any identifier fragment in ``node`` is in ``tokens``."""
+    return any(tok in tokens for tok in identifier_tokens(node))
+
+
+def walk_statements(tree: ast.AST) -> Iterator[ast.stmt]:
+    """Every statement node in the tree, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            yield node

@@ -1,0 +1,37 @@
+"""Finding: one lint diagnostic with location, message and fix hint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a lint rule.
+
+    Orders by ``(path, line, col, rule)`` so reports are stable across
+    runs and rule-execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    hint: str = field(default="", compare=False)
+
+    def format_text(self) -> str:
+        out = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,114 @@
+"""flow-encapsulation: the flow arrays are owned by the network classes.
+
+The twin-arc representation keeps two invariants the solvers rely on —
+``flow[a] + flow[a ^ 1] == 0`` (antisymmetry) and integral capacities on
+the disk→sink arcs.  Any code that pokes ``.flow[...]`` / ``.cap[...]``
+element-wise can silently break both, so direct writes are confined to
+the two files that own the representation:
+
+* ``graph/flownetwork.py`` — the structure itself;
+* ``core/network.py`` — the retrieval-specific capacity scaling
+  (Algorithm 6 lines 14-15) and flow clamping.
+
+Everything else must go through the ``FlowNetwork`` /
+``RetrievalNetwork`` API (``push``, ``set_capacity``,
+``saturate_source_arcs``, ``increment_sink_cap``, …) or through the
+*sanctioned* bulk escape hatch: binding ``head, cap, flow, adj =
+g.arrays()`` to locals, which this rule deliberately does not flag —
+the call marks the hot loop as operating on the raw representation.
+
+Flagged patterns (outside the allowed files):
+
+* subscript stores: ``g.flow[a] = x``, ``g.cap[a] += 1``,
+  ``g.flow[:] = saved``, ``del g.flow[a]``;
+* mutating method calls on the arrays: ``g.flow.append(...)``,
+  ``g.cap.clear()``, …
+
+Reads are always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Module, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["FlowEncapsulationRule"]
+
+#: files allowed to write the parallel arrays directly
+ALLOWED_SUFFIXES = ("graph/flownetwork.py", "core/network.py")
+
+_FIELDS = frozenset({"flow", "cap"})
+
+_LIST_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort",
+     "reverse", "__setitem__", "__delitem__"}
+)
+
+
+def _array_subscript(node: ast.expr) -> ast.Attribute | None:
+    """``<x>.flow[...]`` / ``<x>.cap[...]`` -> the Attribute, else None."""
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Attribute):
+        if node.value.attr in _FIELDS:
+            return node.value
+    return None
+
+
+class FlowEncapsulationRule(Rule):
+    name = "flow-encapsulation"
+    description = (
+        "direct writes to .flow[...]/.cap[...] are confined to "
+        "graph/flownetwork.py and core/network.py"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(ALLOWED_SUFFIXES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attr = _array_subscript(target)
+                    if attr is not None:
+                        yield self._finding(module, node, attr.attr, "write")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _array_subscript(target)
+                    if attr is not None:
+                        yield self._finding(module, node, attr.attr, "delete")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _LIST_MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in _FIELDS
+                ):
+                    yield self._finding(
+                        module, node, func.value.attr, f"{func.attr}() call"
+                    )
+
+    def _finding(
+        self, module: Module, node: ast.AST, field: str, kind: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.name,
+            message=(
+                f"direct {kind} on '.{field}' outside the flow-network "
+                f"core files"
+            ),
+            hint=(
+                "use FlowNetwork/RetrievalNetwork methods (push, "
+                "set_capacity, saturate_source_arcs, increment_sink_cap, "
+                "restore_flow) or bind g.arrays() to locals for bulk work"
+            ),
+        )

@@ -1,0 +1,209 @@
+"""Hygiene rules mirroring the ruff categories this repo gates on.
+
+``ruff`` runs in CI (see ``[tool.ruff]`` in ``pyproject.toml``), but the
+container running the tests may not have it installed — these rules keep
+the same three high-value checks enforceable with nothing but the
+standard library, so ``repro lint`` alone proves the tree clean:
+
+* **unused-import** (ruff F401) — module-level imports never referenced
+  by name (``__all__`` strings count as references; ``__init__.py``
+  re-export modules rely on them);
+* **mutable-default** (ruff B006) — ``def f(x=[])`` and friends;
+* **shadowed-builtin** (ruff A001/A002) — parameters, function/class
+  names and module/class-level assignments that shadow a builtin;
+* **bare-except** (ruff E722) — ``except:`` swallowing SystemExit;
+* **constant-comparison** (ruff E711/E712) — ``== None`` / ``!= True``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.lint.engine import Module, Rule
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BareExceptRule",
+    "ConstantComparisonRule",
+    "MutableDefaultRule",
+    "ShadowedBuiltinRule",
+    "UnusedImportRule",
+]
+
+_BUILTIN_NAMES = frozenset(
+    name for name in dir(builtins) if not name.startswith("_")
+)
+
+
+def _finding(module: Module, node: ast.AST, rule: str, message: str,
+             hint: str = "") -> Finding:
+    return Finding(
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset + 1,
+        rule=rule,
+        message=message,
+        hint=hint,
+    )
+
+
+class UnusedImportRule(Rule):
+    name = "unused-import"
+    description = "module-level import never referenced (ruff F401)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        imports: list[tuple[str, ast.stmt, str]] = []  # binding, node, shown
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    binding = alias.asname or alias.name.split(".")[0]
+                    imports.append((binding, node, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    binding = alias.asname or alias.name
+                    imports.append((binding, node, alias.name))
+        if not imports:
+            return
+
+        used: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, str
+            ):
+                # __all__ entries, typing strings, doctest-free reexports
+                used.add(node.value)
+
+        for binding, node, shown in imports:
+            if binding not in used:
+                yield _finding(
+                    module, node, self.name,
+                    f"'{shown}' imported but unused",
+                    "remove the import, or add the name to __all__ if it "
+                    "is a deliberate re-export",
+                )
+
+
+class MutableDefaultRule(Rule):
+    name = "mutable-default"
+    description = "mutable default argument (ruff B006)"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in self._MUTABLE_CALLS
+                ):
+                    yield _finding(
+                        module, default, self.name,
+                        f"mutable default argument in '{node.name}()'",
+                        "default to None and create the object in the body",
+                    )
+
+
+class ShadowedBuiltinRule(Rule):
+    name = "shadowed-builtin"
+    description = "binding shadows a builtin (ruff A001/A002)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        # A002: arguments, anywhere (methods included)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.arg in _BUILTIN_NAMES:
+                    yield _finding(
+                        module, arg, self.name,
+                        f"argument '{arg.arg}' shadows a builtin",
+                        "rename (conventional: trailing underscore)",
+                    )
+        # A001: module-level bindings only — class attributes and methods
+        # named like builtins (Gauge.set, dataclass `max` fields) are
+        # deliberate API and ruff does not flag them either
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if stmt.name in _BUILTIN_NAMES:
+                    yield _finding(
+                        module, stmt, self.name,
+                        f"module-level name '{stmt.name}' shadows a builtin",
+                        "rename (conventional: trailing underscore)",
+                    )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in _BUILTIN_NAMES
+                    ):
+                        yield _finding(
+                            module, stmt, self.name,
+                            f"assignment to '{target.id}' shadows a builtin",
+                            "rename the variable",
+                        )
+
+
+class BareExceptRule(Rule):
+    name = "bare-except"
+    description = "bare `except:` clause (ruff E722)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield _finding(
+                    module, node, self.name,
+                    "bare `except:` also catches SystemExit/KeyboardInterrupt",
+                    "catch Exception (or something narrower)",
+                )
+
+
+class ConstantComparisonRule(Rule):
+    name = "constant-comparison"
+    description = "== / != against None, True or False (ruff E711/E712)"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if isinstance(side, ast.Constant) and (
+                        side.value is None
+                        or side.value is True
+                        or side.value is False
+                    ):
+                        yield _finding(
+                            module, node, self.name,
+                            f"comparison to {side.value!r} with "
+                            f"'=='/'!='",
+                            "use `is` / `is not` (or the truth value "
+                            "directly)",
+                        )
+                        break

@@ -1,0 +1,246 @@
+"""lock-discipline: the concurrent service layer's implicit contract.
+
+PR 2's pipeline split the scheduler into lock-free admission and a
+serialized solve section, encoding the boundary in *names*: methods
+suffixed ``_locked`` must only run while the caller holds ``self._lock``.
+This rule makes the convention machine-checked:
+
+* **Generic**: any call to a ``*_locked`` method must be lexically inside
+  a ``with <obj>._lock:`` / ``with <obj>._mutex:`` block, or inside a
+  method that is itself named ``*_locked`` (locked helpers may compose),
+  or inside ``__init__`` (construction happens-before publication).
+* **Class-specific**: inside the classes listed in :data:`GUARDED`,
+  mutating a guarded shared attribute (assignment, augmented assignment,
+  deletion, or calling a method *on* the attribute — e.g.
+  ``self._failed.add(...)``, ``self._cache.put(...)``) obeys the same
+  lexical requirement.
+
+``NetworkCache`` appears indirectly: it is documented as externally
+locked, so its *own* methods carry no lock, and the discipline is
+enforced at the call sites instead — ``SchedulerService._cache`` is a
+guarded attribute, so every cache access must sit under the service
+lock (or in a ``*_locked`` helper).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import attr_chain
+from repro.lint.engine import Module, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["GUARDED", "LOCK_ATTRS", "LockDisciplineRule"]
+
+#: attribute names recognised as locks in ``with`` headers
+LOCK_ATTRS = frozenset({"_lock", "_mutex"})
+
+#: class name -> (lock attribute, guarded shared attributes)
+GUARDED: dict[str, tuple[str, frozenset[str]]] = {
+    "SchedulerService": (
+        "_lock",
+        frozenset(
+            {
+                "system",
+                "_busy_until",
+                "_failed",
+                "_last_arrival",
+                "_stats",
+                "_cache",
+                "history",
+            }
+        ),
+    ),
+    "BatchAdmission": ("_mutex", frozenset({"_open"})),
+}
+
+_MUTATING_STMTS = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+
+
+def _is_lock_withitem(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):  # e.g. timeout-taking acquire helpers
+        expr = expr.func
+    return isinstance(expr, ast.Attribute) and expr.attr in LOCK_ATTRS
+
+
+def _mutation_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _mutation_targets(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _mutation_targets(target.value)
+    else:
+        yield target
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "*_locked calls and guarded shared-state mutations must be "
+        "lexically inside a `with self._lock` block"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            yield from self._visit_stmt(
+                module, stmt, class_name=None, exempt=False, locked=False
+            )
+
+    # ------------------------------------------------------------------
+    # context-threading traversal
+    # ------------------------------------------------------------------
+    def _visit_stmt(
+        self,
+        module: Module,
+        stmt: ast.stmt,
+        *,
+        class_name: str | None,
+        exempt: bool,
+        locked: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                yield from self._visit_stmt(
+                    module, inner, class_name=stmt.name, exempt=False,
+                    locked=False,
+                )
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_exempt = stmt.name.endswith("_locked") or stmt.name == "__init__"
+            for inner in stmt.body:
+                yield from self._visit_stmt(
+                    module, inner, class_name=class_name,
+                    exempt=exempt or fn_exempt, locked=False,
+                )
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            takes_lock = any(_is_lock_withitem(item) for item in stmt.items)
+            for inner in stmt.body:
+                yield from self._visit_stmt(
+                    module, inner, class_name=class_name, exempt=exempt,
+                    locked=locked or takes_lock,
+                )
+            return
+
+        checking = not exempt and not locked
+        if checking and isinstance(stmt, _MUTATING_STMTS):
+            guard = GUARDED.get(class_name or "")
+            if guard is not None:
+                raw_targets = (
+                    stmt.targets
+                    if isinstance(stmt, (ast.Assign, ast.Delete))
+                    else [stmt.target]
+                )
+                for raw in raw_targets:
+                    for target in _mutation_targets(raw):
+                        yield from self._check_mutation(
+                            module, stmt, target, guard
+                        )
+
+        # scan this statement's directly-owned expressions for calls,
+        # then recurse into child statements with the same context
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                if checking:
+                    yield from self._check_expr(module, child, class_name)
+            elif isinstance(child, ast.stmt):
+                yield from self._visit_stmt(
+                    module, child, class_name=class_name, exempt=exempt,
+                    locked=locked,
+                )
+            elif isinstance(child, (ast.excepthandler, getattr(ast, "match_case", ast.excepthandler))):
+                for inner in child.body:
+                    yield from self._visit_stmt(
+                        module, inner, class_name=class_name, exempt=exempt,
+                        locked=locked,
+                    )
+
+    # ------------------------------------------------------------------
+    # the actual checks
+    # ------------------------------------------------------------------
+    def _check_expr(
+        self, module: Module, expr: ast.expr, class_name: str | None
+    ) -> Iterator[Finding]:
+        guard = GUARDED.get(class_name or "")
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, guard)
+
+    def _check_call(
+        self,
+        module: Module,
+        node: ast.Call,
+        guard: tuple[str, frozenset[str]] | None,
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr.endswith("_locked"):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=self.name,
+                message=(
+                    f"call to locked method '{func.attr}' outside a "
+                    f"`with <obj>._lock` block"
+                ),
+                hint=(
+                    "take the lock around the call, or move the call into "
+                    "a *_locked helper"
+                ),
+            )
+            return
+        if guard is None:
+            return
+        lock_attr, guarded = guard
+        chain = attr_chain(func)
+        if (
+            chain is not None
+            and chain[0] == "self"
+            and len(chain[1]) >= 2
+            and chain[1][0] in guarded
+        ):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=self.name,
+                message=(
+                    f"method call on guarded attribute "
+                    f"'self.{chain[1][0]}' outside `with self.{lock_attr}`"
+                ),
+                hint=(
+                    f"wrap in `with self.{lock_attr}:` or move into a "
+                    f"*_locked helper"
+                ),
+            )
+
+    def _check_mutation(
+        self,
+        module: Module,
+        stmt: ast.stmt,
+        target: ast.expr,
+        guard: tuple[str, frozenset[str]],
+    ) -> Iterator[Finding]:
+        lock_attr, guarded = guard
+        chain = attr_chain(target)
+        if chain is None or chain[0] != "self" or not chain[1]:
+            return
+        if chain[1][0] in guarded:
+            yield Finding(
+                path=module.path,
+                line=stmt.lineno,
+                col=stmt.col_offset + 1,
+                rule=self.name,
+                message=(
+                    f"mutation of guarded attribute 'self.{chain[1][0]}' "
+                    f"outside `with self.{lock_attr}`"
+                ),
+                hint=(
+                    f"wrap in `with self.{lock_attr}:` or move into a "
+                    f"*_locked helper"
+                ),
+            )

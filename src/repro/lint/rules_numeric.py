@@ -1,0 +1,156 @@
+"""integer-capacity: capacities and thresholds stay in exact arithmetic.
+
+The paper's capacities ``floor((t - D_j - X_j) / C_j)`` are integers;
+the code stores them in floats (exact up to 2**53) and relies on every
+capacity *update* being integral — a stray true division or a 0.5-ish
+literal silently turns the max-flow instance fractional, and a float
+``==`` makes feasibility tests representation-dependent.  Within the
+algorithmic packages (``core/`` and ``maxflow/``) this rule flags:
+
+* ``==`` / ``!=`` where either side is a float literal — compare against
+  an integer, or use an explicit epsilon band;
+* true division ``/`` in any expression that mentions a capacity-ish
+  identifier (``cap``, ``caps``, ``capacity``, ``threshold``, …) — use
+  floor division ``//`` or integer arithmetic;
+* non-integral float literals written into capacity-named targets or
+  passed to capacity-named calls (``set_capacity(a, 0.5)``).
+
+Identifier matching is token-based (split on ``_``), so ``sink_caps``
+matches but ``escape`` does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import mentions_token
+from repro.lint.engine import Module, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["IntegerCapacityRule"]
+
+#: identifier fragments that mark a value as a capacity/threshold
+CAPACITY_TOKENS = frozenset(
+    {"cap", "caps", "capacity", "capacities", "threshold", "thresholds"}
+)
+
+#: packages where capacity arithmetic must stay exact
+SCOPED_DIRS = ("core/", "maxflow/")
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def _nonintegral_floats(node: ast.AST) -> Iterator[ast.Constant]:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Constant)
+            and isinstance(sub.value, float)
+            and sub.value != int(sub.value)
+        ):
+            yield sub
+
+
+class IntegerCapacityRule(Rule):
+    name = "integer-capacity"
+    description = (
+        "capacity/threshold arithmetic in core/ and maxflow/ must stay "
+        "integral: no float ==, no true division, no fractional literals"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return any(d in path for d in SCOPED_DIRS)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield from self._check_division(module, node)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Div
+            ):
+                yield from self._check_division(module, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                value = node.value
+                if value is None:
+                    continue
+                for target in targets:
+                    if mentions_token(target, CAPACITY_TOKENS):
+                        yield from self._check_fractional(module, value)
+                        break
+            elif isinstance(node, ast.Call):
+                if mentions_token(node.func, CAPACITY_TOKENS):
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        yield from self._check_fractional(module, arg)
+
+    # ------------------------------------------------------------------
+    def _check_compare(
+        self, module: Module, node: ast.Compare
+    ) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                yield Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule=self.name,
+                    message="exact equality against a float literal",
+                    hint=(
+                        "compare against an int, use an epsilon band, or "
+                        "restructure to an integer quantity"
+                    ),
+                )
+
+    def _check_division(
+        self, module: Module, node: ast.BinOp | ast.AugAssign
+    ) -> Iterator[Finding]:
+        operands = (
+            (node.left, node.right)
+            if isinstance(node, ast.BinOp)
+            else (node.target, node.value)
+        )
+        if any(mentions_token(op, CAPACITY_TOKENS) for op in operands):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                rule=self.name,
+                message=(
+                    "true division '/' on a capacity/threshold expression"
+                ),
+                hint="use floor division '//' or integer arithmetic",
+            )
+
+    def _check_fractional(
+        self, module: Module, value: ast.expr
+    ) -> Iterator[Finding]:
+        for const in _nonintegral_floats(value):
+            yield Finding(
+                path=module.path,
+                line=const.lineno,
+                col=const.col_offset + 1,
+                rule=self.name,
+                message=(
+                    f"non-integral float literal {const.value!r} in a "
+                    f"capacity/threshold expression"
+                ),
+                hint="capacities are integral; use whole numbers",
+            )

@@ -56,7 +56,7 @@ ENGINES = {
 }
 
 
-def get_engine(name: str, **kwargs) -> MaxFlowEngine:
+def get_engine(name: str, **kwargs: object) -> MaxFlowEngine:
     """Instantiate an engine by registry name (see :data:`ENGINES`)."""
     try:
         cls = ENGINES[name]

@@ -274,24 +274,30 @@ class MetricsRegistry:
             return metric
 
     def counter(
-        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
     ) -> Counter:
-        return self._get_or_create(Counter, name, help, labels)
+        return self._get_or_create(Counter, name, help_text, labels)
 
     def gauge(
-        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
     ) -> Gauge:
-        return self._get_or_create(Gauge, name, help, labels)
+        return self._get_or_create(Gauge, name, help_text, labels)
 
     def histogram(
         self,
         name: str,
-        help: str = "",
+        help_text: str = "",
         labels: Mapping[str, str] | None = None,
         buckets: Iterable[float] = DEFAULT_BUCKETS_MS,
     ) -> Histogram:
         return self._get_or_create(
-            Histogram, name, help, labels, bounds=buckets
+            Histogram, name, help_text, labels, bounds=buckets
         )
 
     # ------------------------------------------------------------------

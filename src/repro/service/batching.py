@@ -21,8 +21,13 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import TYPE_CHECKING
 
 from repro.core.problem import RetrievalProblem
+
+if TYPE_CHECKING:
+    from repro.service.scheduler import SchedulerService
+    from repro.service.stats import ServiceRecord
 
 __all__ = ["BatchAdmission"]
 
@@ -71,14 +76,14 @@ class _Batch:
 class BatchAdmission:
     """The admission window in front of a scheduler service."""
 
-    def __init__(self, service, window_ms: float) -> None:
+    def __init__(self, service: SchedulerService, window_ms: float) -> None:
         self._service = service
         self._window_s = float(window_ms) / 1000.0
         self._mutex = threading.Lock()
         self._open: _Batch | None = None
 
     # ------------------------------------------------------------------
-    def submit(self, request: _PendingQuery):
+    def submit(self, request: _PendingQuery) -> ServiceRecord:
         """Join (or open) the current batch; return this query's record."""
         with self._mutex:
             batch = self._open

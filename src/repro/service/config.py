@@ -71,6 +71,6 @@ class ServiceConfig:
     def resolved_time_fn(self) -> Callable[[], float]:
         return self.time_fn if self.time_fn is not None else perf_ms
 
-    def with_changes(self, **changes) -> "ServiceConfig":
+    def with_changes(self, **changes: object) -> "ServiceConfig":
         """A copy with the given fields replaced (frozen-friendly)."""
         return replace(self, **changes)

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 import warnings
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.api import SOLVERS, solve
 from repro.core.batch import BatchSchedule, merge_problems
@@ -48,6 +48,9 @@ from repro.service.config import ServiceConfig
 from repro.service.stats import ServiceRecord, ServiceStats
 from repro.storage.system import StorageSystem
 from repro.workloads.queries import ArbitraryQuery, RangeQuery
+
+#: anything submit() accepts: a bucket-coordinate sequence or a query object
+QueryLike = Sequence[tuple[int, int]] | RangeQuery | ArbitraryQuery
 
 __all__ = ["SchedulerService"]
 
@@ -97,10 +100,10 @@ class SchedulerService:
         placement: MultiSitePlacement,
         config: ServiceConfig | None = None,
         *,
-        solver=_UNSET,
-        time_fn=_UNSET,
-        registry=_UNSET,
-        **solver_kwargs,
+        solver: Any = _UNSET,
+        time_fn: Any = _UNSET,
+        registry: Any = _UNSET,
+        **solver_kwargs: Any,
     ) -> None:
         legacy = (
             solver is not _UNSET
@@ -220,7 +223,9 @@ class SchedulerService:
     # ------------------------------------------------------------------
     # the hot path
     # ------------------------------------------------------------------
-    def submit(self, query, arrival_ms: float | None = None) -> ServiceRecord:
+    def submit(
+        self, query: QueryLike, arrival_ms: float | None = None
+    ) -> ServiceRecord:
         """Schedule one query; updates loads; returns the decision.
 
         ``query`` is a coordinate sequence, a
@@ -248,13 +253,15 @@ class SchedulerService:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _normalize_query(query):
+    def _normalize_query(query: QueryLike) -> tuple[list[Any], Any]:
         if isinstance(query, (RangeQuery, ArbitraryQuery)):
             return query.buckets(), query
         return list(query), query
 
     @staticmethod
-    def _apply_failures(base: RetrievalProblem, failed: frozenset[int]):
+    def _apply_failures(
+        base: RetrievalProblem, failed: frozenset[int]
+    ) -> tuple[RetrievalProblem, bool]:
         if failed:
             return degrade_problem(base, failed), True
         return base, False
@@ -272,7 +279,9 @@ class SchedulerService:
         self.system.set_loads(loads)
         return now, loads
 
-    def _solve_locked(self, problem: RetrievalProblem):
+    def _solve_locked(
+        self, problem: RetrievalProblem
+    ) -> "tuple[Any, bool]":
         """Solve one problem under the lock, via the warm-start cache."""
         if self._cache is None:
             return solve(problem, solver=self.solver, **self.solver_kwargs), False
@@ -295,14 +304,14 @@ class SchedulerService:
         self._cache.put(signature, network, network.graph.save_flow())
         return schedule, cache_hit
 
-    def _advance_horizons(self, now: float, loads: list, counts: list) -> None:
+    def _advance_horizons_locked(self, now: float, loads: list, counts: list) -> None:
         for j, k in enumerate(counts):
             if k:
                 disk = self.system.disk(j)
                 self._busy_until[j] = now + loads[j] + k * disk.block_time_ms
                 self._stats.per_disk_buckets[j] += k
 
-    def _record_one(self, record: ServiceRecord) -> None:
+    def _record_one_locked(self, record: ServiceRecord) -> None:
         """Append one decision to history, stats and metrics (locked)."""
         self.history.append(record)
         st = self._stats
@@ -321,13 +330,19 @@ class SchedulerService:
         self._m_decision.observe(record.decision_time_ms)
         self._m_response.observe(record.response_time_ms)
 
-    def _update_depth_gauges(self, now: float) -> None:
+    def _update_depth_gauges_locked(self, now: float) -> None:
         for j, gauge in enumerate(self._m_depth):
             gauge.set(max(0.0, self._busy_until[j] - now))
 
     # ------------------------------------------------------------------
     def _solve_single(
-        self, base, problem, query_obj, degraded, failed, arrival_ms
+        self,
+        base: RetrievalProblem,
+        problem: RetrievalProblem,
+        query_obj: Any,
+        degraded: bool,
+        failed: frozenset[int],
+        arrival_ms: float | None,
     ) -> ServiceRecord:
         with self._lock:
             now, loads = self._admit_locked(arrival_ms)
@@ -340,7 +355,7 @@ class SchedulerService:
                 )
             schedule, cache_hit = self._solve_locked(problem)
             counts = schedule.counts_per_disk()
-            self._advance_horizons(now, loads, counts)
+            self._advance_horizons_locked(now, loads, counts)
             record = ServiceRecord(
                 arrival_ms=now,
                 num_buckets=problem.num_buckets,
@@ -352,8 +367,8 @@ class SchedulerService:
                 cache_hit=cache_hit,
                 batch_size=1,
             )
-            self._record_one(record)
-            self._update_depth_gauges(now)
+            self._record_one_locked(record)
+            self._update_depth_gauges_locked(now)
             return record
 
     # ------------------------------------------------------------------
@@ -384,7 +399,7 @@ class SchedulerService:
             decision_ms = schedule.stats.wall_time_s * 1000.0
 
             counts = schedule.counts_per_disk()
-            self._advance_horizons(now, loads, counts)
+            self._advance_horizons_locked(now, loads, counts)
             finishes = joint.per_query_finish_ms()
             per_assign = joint.per_query_assignments()
 
@@ -405,12 +420,12 @@ class SchedulerService:
                     batch_size=len(requests),
                 )
                 req.record = record
-                self._record_one(record)
+                self._record_one_locked(record)
 
             self._stats.batches += 1
             self._m_batches.inc()
             self._m_batch_size.observe(float(len(requests)))
-            self._update_depth_gauges(now)
+            self._update_depth_gauges_locked(now)
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.registry import MetricsRegistry
+
 from repro.errors import StorageConfigError
 from repro.obs.registry import Histogram
 from repro.service.config import ServiceConfig
-from repro.service.scheduler import SchedulerService
+from repro.service.scheduler import QueryLike, SchedulerService
 from repro.service.stats import ServiceRecord, ServiceStats
 from repro.workloads.queries import ArbitraryQuery, RangeQuery
 
@@ -85,7 +87,11 @@ class ShardedSchedulerService:
         :attr:`registries`.
     """
 
-    def __init__(self, shards: Sequence, config: ServiceConfig | None = None):
+    def __init__(
+        self,
+        shards: Sequence[SchedulerService | tuple],
+        config: ServiceConfig | None = None,
+    ) -> None:
         if config is None:
             config = ServiceConfig()
         services: list[SchedulerService] = []
@@ -111,12 +117,12 @@ class ShardedSchedulerService:
         return len(self.services)
 
     @property
-    def registries(self) -> list:
+    def registries(self) -> list[MetricsRegistry]:
         """Each shard's metrics registry, in shard order."""
         return [svc.registry for svc in self.services]
 
     # ------------------------------------------------------------------
-    def shard_of(self, query) -> int:
+    def shard_of(self, query: QueryLike) -> int:
         """The stable home shard for a query (hash of its sorted coords)."""
         if isinstance(query, (RangeQuery, ArbitraryQuery)):
             coords = query.buckets()
@@ -129,7 +135,7 @@ class ShardedSchedulerService:
 
     def submit(
         self,
-        query,
+        query: QueryLike,
         shard: int | None = None,
         arrival_ms: float | None = None,
     ) -> ServiceRecord:

@@ -1,0 +1,22 @@
+"""Fixture: flow-encapsulation violations (and non-violations)."""
+
+
+def corrupt(net, g, a):
+    g.flow[a] = 1.0            # line 5: direct flow write — flagged
+    g.flow[a ^ 1] -= 1.0       # line 6: residual-twin write — flagged
+    g.cap[a] += 1.0            # line 7: capacity write — flagged
+    g.flow[:] = [0.0]          # line 8: slice store — flagged
+    del g.cap[a]               # line 9: delete — flagged
+    g.flow.append(0.0)         # line 10: mutating method — flagged
+
+
+def observe(net, g, a):
+    x = g.flow[a]              # line 14: read — fine
+    y = g.cap[a] - g.flow[a]   # line 15: residual read — fine
+    head, cap, flow, adj = g.arrays()
+    flow[a] = 1.0              # line 17: sanctioned local view — fine
+    return x + y
+
+
+def snapshot(entry, flow):
+    entry.flow = flow          # line 22: attribute rebind, not arc store

@@ -1,0 +1,34 @@
+"""Fixture: hygiene-rule violations (and non-violations)."""
+
+import json                        # line 3: unused — flagged
+import os.path                     # line 4: unused — flagged
+from typing import List            # line 5: unused — flagged
+
+import threading                   # used below — fine
+
+list = [1, 2, 3]                   # line 9: A001 module binding — flagged
+
+
+def f(x=[]):                       # line 12: mutable default — flagged
+    return x
+
+
+def g(data=dict()):                # line 16: mutable default call — flagged
+    return data
+
+
+def h(input, *, filter=None):      # line 20: two A002 args — flagged twice
+    return input, filter
+
+
+def catcher():
+    try:
+        threading.current_thread()
+    except:                        # line 27: bare except — flagged
+        pass
+
+
+def compare(a, b):
+    if a == None:                  # line 32: E711 — flagged
+        return False
+    return b != True               # line 34: E712 — flagged

@@ -1,0 +1,27 @@
+"""Fixture: integer-capacity violations (and non-violations).
+
+The rule only applies under core/ and maxflow/; the test mounts this
+file at a synthetic ``core/`` path.
+"""
+
+
+def probe(cap, threshold, value):
+    if cap == 1.0:                 # line 9: float equality — flagged
+        return True
+    if threshold != 0.5:           # line 11: float inequality — flagged
+        return False
+    return value == 3              # line 13: int equality — fine
+
+
+def scale(caps, n):
+    half = caps[0] / 2             # line 17: true division on caps — flagged
+    caps[0] //= 2                  # line 18: floor division — fine
+    escape = n / 2                 # line 19: no capacity token — fine
+    return half + escape
+
+
+def set_caps(g, a):
+    g.cap[a] = 1.5                 # line 24: fractional literal — flagged
+    g.cap[a] = 2.0                 # line 25: integral float — fine
+    threshold = 0.25               # line 26: fractional threshold — flagged
+    return threshold

@@ -1,0 +1,28 @@
+"""Fixture: a file every rule should pass without findings."""
+
+import threading
+
+__all__ = ["Worker", "route"]
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = []
+
+    def push(self, job):
+        with self._lock:
+            self._jobs.append(job)
+
+    def drain_locked(self):
+        out = list(self._jobs)
+        self._jobs.clear()
+        return out
+
+
+def route(net, bucket):
+    g = net.graph
+    for a in net.replica_arcs[bucket]:
+        if g.cap[a] - g.flow[a] > 0:
+            return a
+    return None

@@ -1,0 +1,92 @@
+"""registry-completeness on synthetic projects and on the live repo."""
+
+from __future__ import annotations
+
+from repro.lint import run_lint
+from repro.lint.rules_registry import DIFFERENTIAL_EXEMPT, RegistryCompletenessRule
+
+API = """\
+from fake import AlphaSolver, BetaSolver
+
+SOLVERS = {
+    "alpha": AlphaSolver,
+    "beta": BetaSolver,
+}
+"""
+
+SOLVERS_MODULE = """\
+class AlphaSolver:
+    pass
+
+
+class BetaSolver:
+    pass
+
+
+class OrphanSolver:
+    pass
+"""
+
+
+def build_project(tmp_path, *, api=API, solvers=SOLVERS_MODULE, tests=None):
+    core = tmp_path / "src" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "api.py").write_text(api)
+    (core / "solvers.py").write_text(solvers)
+    tests_dir = tmp_path / "tests"
+    tests_dir.mkdir()
+    (tests_dir / "test_differential.py").write_text(
+        tests if tests is not None
+        else 'NAMES = ["alpha", "beta"]\n'
+    )
+    return core
+
+
+class TestSyntheticProject:
+    def test_unregistered_solver_is_flagged(self, tmp_path):
+        core = build_project(tmp_path)
+        findings = run_lint(
+            [core], [RegistryCompletenessRule()], root=tmp_path
+        )
+        assert [f.message for f in findings] == [
+            "class 'OrphanSolver' is not registered in "
+            "core/api.py:SOLVERS — unreachable from the public API"
+        ]
+        assert findings[0].line == 9  # OrphanSolver's class line
+
+    def test_untested_registry_name_is_flagged(self, tmp_path):
+        core = build_project(tmp_path, tests='NAMES = ["alpha"]\n')
+        findings = run_lint(
+            [core], [RegistryCompletenessRule()], root=tmp_path
+        )
+        messages = [f.message for f in findings]
+        assert any(
+            "'beta' never appears in the test suite" in m for m in messages
+        )
+        # beta is not exempt, so it must also be in the differential suite
+        assert any(
+            "'beta' is not covered by the differential" in m
+            for m in messages
+        )
+
+    def test_non_dict_registry_is_flagged(self, tmp_path):
+        core = build_project(
+            tmp_path, api="SOLVERS = dict(alpha=None)\n", solvers="x = 1\n"
+        )
+        findings = run_lint(
+            [core], [RegistryCompletenessRule()], root=tmp_path
+        )
+        assert "not a plain dict literal" in findings[0].message
+
+
+class TestLiveRepo:
+    def test_every_exemption_has_a_reason(self):
+        for name, reason in DIFFERENTIAL_EXEMPT.items():
+            assert isinstance(name, str) and name
+            assert isinstance(reason, str) and len(reason) > 10
+
+    def test_exempt_names_exist_in_live_registry(self):
+        from repro.core.api import SOLVERS
+
+        for name in DIFFERENTIAL_EXEMPT:
+            assert name in SOLVERS

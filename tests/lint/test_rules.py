@@ -1,0 +1,178 @@
+"""Each lint rule fires on its bad fixture — at exact locations — and
+stays silent on the clean one."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.rules_flow import FlowEncapsulationRule
+from repro.lint.rules_hygiene import (
+    BareExceptRule,
+    ConstantComparisonRule,
+    MutableDefaultRule,
+    ShadowedBuiltinRule,
+    UnusedImportRule,
+)
+from repro.lint.rules_locks import LockDisciplineRule
+from repro.lint.rules_numeric import IntegerCapacityRule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+HYGIENE_RULES = [
+    UnusedImportRule(),
+    MutableDefaultRule(),
+    ShadowedBuiltinRule(),
+    BareExceptRule(),
+    ConstantComparisonRule(),
+]
+
+
+def lines_of(findings, rule=None):
+    return [f.line for f in findings if rule is None or f.rule == rule]
+
+
+class TestLockDiscipline:
+    def findings(self):
+        return run_lint(
+            [FIXTURES / "bad_locks.py"], [LockDisciplineRule()],
+            root=FIXTURES,
+        )
+
+    def test_exact_violation_lines(self):
+        assert lines_of(self.findings()) == [25, 28, 33, 38, 51]
+
+    def test_mislocked_call_is_flagged_with_hint(self):
+        # the deliberately mis-locked *_locked call (acceptance criterion)
+        f = next(x for x in self.findings() if x.line == 25)
+        assert f.rule == "lock-discipline"
+        assert "_record_one_locked" in f.message
+        assert "_lock" in f.message
+        assert f.hint
+
+    def test_guarded_mutation_names_the_attribute(self):
+        f = next(x for x in self.findings() if x.line == 28)
+        assert "self._stats" in f.message
+
+    def test_batch_admission_uses_mutex(self):
+        f = next(x for x in self.findings() if x.line == 51)
+        assert "_mutex" in f.message
+
+    def test_exemptions_do_not_fire(self):
+        # __init__ (13-14), _locked bodies (17), with-blocks (21-22, 37,
+        # 48) and unrelated classes (56) must stay silent
+        flagged = set(lines_of(self.findings()))
+        assert flagged.isdisjoint({13, 14, 17, 21, 22, 37, 48, 56})
+
+
+class TestFlowEncapsulation:
+    def findings(self):
+        return run_lint(
+            [FIXTURES / "bad_flow.py"], [FlowEncapsulationRule()],
+            root=FIXTURES,
+        )
+
+    def test_exact_violation_lines(self):
+        assert lines_of(self.findings()) == [5, 6, 7, 8, 9, 10]
+
+    def test_residual_capacity_write_is_flagged(self):
+        # the deliberate direct residual-twin write (acceptance criterion)
+        f = next(x for x in self.findings() if x.line == 6)
+        assert f.rule == "flow-encapsulation"
+        assert ".flow" in f.message
+
+    def test_reads_and_arrays_view_are_fine(self):
+        flagged = set(lines_of(self.findings()))
+        assert flagged.isdisjoint({14, 15, 17, 22})
+
+    def test_owning_files_are_exempt(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        shutil.copy(FIXTURES / "bad_flow.py", core / "network.py")
+        assert run_lint(
+            [core / "network.py"], [FlowEncapsulationRule()], root=tmp_path
+        ) == []
+
+
+class TestIntegerCapacity:
+    @pytest.fixture
+    def mounted(self, tmp_path):
+        # the rule is scoped to core/ and maxflow/ — mount the fixture
+        # inside a synthetic core/ tree
+        core = tmp_path / "core"
+        core.mkdir()
+        shutil.copy(FIXTURES / "bad_numeric.py", core / "bad_numeric.py")
+        return tmp_path
+
+    def test_exact_violation_lines(self, mounted):
+        findings = run_lint(
+            [mounted / "core" / "bad_numeric.py"], [IntegerCapacityRule()],
+            root=mounted,
+        )
+        assert lines_of(findings) == [9, 11, 17, 24, 26]
+        messages = "\n".join(f.message for f in findings)
+        assert "equality against a float literal" in messages
+        assert "true division" in messages
+        assert "non-integral float literal" in messages
+
+    def test_out_of_scope_paths_are_ignored(self):
+        assert run_lint(
+            [FIXTURES / "bad_numeric.py"], [IntegerCapacityRule()],
+            root=FIXTURES,
+        ) == []
+
+    def test_integral_floats_and_floor_division_pass(self, mounted):
+        flagged = set(
+            lines_of(
+                run_lint(
+                    [mounted / "core" / "bad_numeric.py"],
+                    [IntegerCapacityRule()],
+                    root=mounted,
+                )
+            )
+        )
+        assert flagged.isdisjoint({13, 18, 19, 25})
+
+
+class TestHygieneRules:
+    def findings(self):
+        return run_lint(
+            [FIXTURES / "bad_hygiene.py"], HYGIENE_RULES, root=FIXTURES
+        )
+
+    def test_exact_rule_and_line_pairs(self):
+        got = [(f.line, f.rule) for f in self.findings()]
+        assert got == [
+            (3, "unused-import"),
+            (4, "unused-import"),
+            (5, "unused-import"),
+            (9, "shadowed-builtin"),
+            (12, "mutable-default"),
+            (16, "mutable-default"),
+            (20, "shadowed-builtin"),
+            (20, "shadowed-builtin"),
+            (27, "bare-except"),
+            (32, "constant-comparison"),
+            (34, "constant-comparison"),
+        ]
+
+    def test_used_import_not_flagged(self):
+        assert not any(
+            "threading" in f.message for f in self.findings()
+        )
+
+
+class TestCleanFixture:
+    def test_no_rule_fires(self):
+        rules = [
+            LockDisciplineRule(),
+            FlowEncapsulationRule(),
+            IntegerCapacityRule(),
+            *HYGIENE_RULES,
+        ]
+        assert run_lint(
+            [FIXTURES / "good_clean.py"], rules, root=FIXTURES
+        ) == []

@@ -158,6 +158,24 @@ class TestRegistry:
         for name in ENGINES:
             assert get_engine(name).name == name
 
+    def test_registry_names_are_stable(self):
+        # the CLI, bench configs and docs refer to engines by these
+        # strings — renaming one is a breaking change
+        assert sorted(ENGINES) == [
+            "capacity-scaling",
+            "dinic",
+            "edmonds-karp",
+            "ford-fulkerson",
+            "highest-label",
+            "mpm",
+            "parallel-push-relabel",
+            "push-relabel",
+            "relabel-to-front",
+        ]
+        for name in ("ford-fulkerson", "edmonds-karp", "push-relabel"):
+            g, s, t, best = classic_example()
+            assert get_engine(name).solve(g, s, t).value == pytest.approx(best)
+
     def test_unknown_name_raises(self):
         with pytest.raises(KeyError, match="unknown engine"):
             get_engine("simplex")

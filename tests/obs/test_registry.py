@@ -200,6 +200,6 @@ class TestCollect:
         assert registry.names() == ["a_total", "b"]
 
     def test_help_text_stored(self, registry):
-        registry.histogram("h", help="latency")
+        registry.histogram("h", help_text="latency")
         assert isinstance(registry.get("h"), Histogram)
         assert registry.help_for("h") == "latency"

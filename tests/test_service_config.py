@@ -63,13 +63,20 @@ class TestLegacyShim:
         scheduler_mod._legacy_kwargs_warned = False
 
     def test_legacy_kwargs_warn_once(self):
-        system, placement = deployment()
-        with pytest.warns(DeprecationWarning, match="ServiceConfig"):
-            svc = SchedulerService(system, placement, time_fn=FakeClock())
-        assert svc.submit([(0, 0)]).response_time_ms > 0
-        # second construction: latch already set, no second warning
         import warnings
 
+        system, placement = deployment()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            svc = SchedulerService(system, placement, time_fn=FakeClock())
+            SchedulerService(*deployment(), time_fn=FakeClock())
+        # exactly one warning across both legacy constructions, and it
+        # is a DeprecationWarning pointing at ServiceConfig
+        assert len(caught) == 1
+        assert caught[0].category is DeprecationWarning
+        assert "ServiceConfig" in str(caught[0].message)
+        assert svc.submit([(0, 0)]).response_time_ms > 0
+        # and once latched, even an error filter stays silent
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             SchedulerService(*deployment(), time_fn=FakeClock())
