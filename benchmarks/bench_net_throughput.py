@@ -1,0 +1,66 @@
+"""Network front-end throughput: RPC over localhost vs direct submit.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_net_throughput.py`` — a smoke-sized
+  wire-vs-direct comparison asserted via pytest (rides the benchmark
+  suite's conventions).
+* ``python benchmarks/bench_net_throughput.py [--tiny] [--out F]`` —
+  the standalone runner CI uses; prints the comparison and writes the
+  JSON evidence file (``BENCH_net.json`` by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.net_bench import format_net_bench, run_net_bench
+
+FULL = dict(n=6, clients=8, requests_per_client=25, distinct=12)
+TINY = dict(n=4, clients=3, requests_per_client=5, distinct=6)
+
+
+def run(params: dict, out: str | None) -> int:
+    result = run_net_bench(**params)
+    print(format_net_bench(result))
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+def test_net_throughput_smoke():
+    """Tiny-scale sanity: both modes run and the wire stays transparent.
+
+    ``run_net_bench`` itself asserts wire transparency (every record a
+    client received matches the server-side history), so this smoke test
+    is also a correctness gate, not just a liveness check.
+    """
+    result = run_net_bench(**TINY)
+    assert set(result.modes) == {"direct", "net"}
+    total = TINY["clients"] * TINY["requests_per_client"]
+    for m in result.modes.values():
+        assert m.queries == total
+        assert m.throughput_qps > 0
+    # nothing should be shed at smoke scale with default capacity
+    assert result.modes["net"].shed == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke scale (3 clients, N=4)")
+    parser.add_argument("--out", default="BENCH_net.json",
+                        help="JSON evidence file ('' to skip)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    params = dict(TINY if args.tiny else FULL, seed=args.seed)
+    return run(params, args.out or None)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_svc.add_argument("--output", metavar="FILE.json", default=None,
                        help="save the comparison as JSON evidence")
 
+    p_nb = sub.add_parser(
+        "net-bench",
+        help="measure RPC-over-localhost vs direct in-process submit",
+    )
+    p_nb.add_argument("--n", type=int, default=6, help="disks per site")
+    p_nb.add_argument("--clients", type=int, default=4)
+    p_nb.add_argument("--queries", type=int, default=25,
+                      help="requests per client")
+    p_nb.add_argument("--distinct", type=int, default=12,
+                      help="distinct query signatures in the pool")
+    p_nb.add_argument("--solver", default="pr-binary")
+    p_nb.add_argument("--cache-size", type=int, default=64)
+    p_nb.add_argument("--pool-size", type=int, default=1,
+                      help="connections per client")
+    p_nb.add_argument("--max-inflight", type=int, default=64)
+    p_nb.add_argument("--seed", type=int, default=0)
+    p_nb.add_argument("--output", metavar="FILE.json", default=None,
+                      help="save the comparison as JSON evidence")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the scheduler over TCP (asyncio RPC front end)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7411,
+                         help="TCP port (0 picks an ephemeral port and "
+                              "prints it)")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="independent scheduler shards (disjoint "
+                              "deployments)")
+    p_serve.add_argument("--scheme", default="orthogonal",
+                         choices=("rda", "dependent", "orthogonal"))
+    p_serve.add_argument("--n", type=int, default=6, help="disks per site")
+    p_serve.add_argument("--solver", default="pr-binary")
+    p_serve.add_argument("--cache-size", type=int, default=64)
+    p_serve.add_argument("--batch-window-ms", type=float, default=0.0)
+    p_serve.add_argument("--max-inflight", type=int, default=32,
+                         help="admission-control capacity; beyond it "
+                              "requests are shed with OVERLOADED")
+    p_serve.add_argument("--retry-after-ms", type=float, default=50.0,
+                         help="retry hint attached to shed responses")
+    p_serve.add_argument("--seed", type=int, default=0)
+
+    p_req = sub.add_parser(
+        "request", help="send one RPC to a running `repro serve`"
+    )
+    p_req.add_argument("op", choices=("submit", "health", "stats", "metrics",
+                                      "mark-failed", "mark-repaired",
+                                      "shutdown"))
+    p_req.add_argument("--host", default="127.0.0.1")
+    p_req.add_argument("--port", type=int, default=7411)
+    p_req.add_argument("--coords", default=None,
+                       help="submit: buckets as 'i,j;i,j;...'")
+    p_req.add_argument("--range", dest="range_q", metavar="i,j,r,c,N",
+                       default=None, help="submit: a range query instead")
+    p_req.add_argument("--shard", type=int, default=None,
+                       help="explicit shard (default: hash routing)")
+    p_req.add_argument("--disks", default=None,
+                       help="mark-failed/mark-repaired: disk ids '0,3'")
+    p_req.add_argument("--deadline-ms", type=float, default=5000.0,
+                       help="overall per-request deadline")
+    p_req.add_argument("--attempts", type=int, default=4,
+                       help="max attempts for transient errors")
+    p_req.add_argument("--json", action="store_true",
+                       help="print the raw result payload as JSON")
+
     p_lint = sub.add_parser(
         "lint", help="project-specific static analysis (see repro.lint)"
     )
@@ -421,6 +487,156 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_service(args: argparse.Namespace):
+    from repro.decluster.multisite import make_placement
+    from repro.service import (
+        SchedulerService,
+        ServiceConfig,
+        ShardedSchedulerService,
+    )
+    from repro.storage.system import StorageSystem
+
+    def deployment(seed):
+        rng = np.random.default_rng(seed)
+        placement = make_placement(args.scheme, args.n, num_sites=2, rng=rng)
+        system = StorageSystem.from_groups(
+            ["ssd+hdd", "ssd+hdd"], args.n, delays_ms=[1.0, 4.0], rng=rng
+        )
+        return system, placement
+
+    config = ServiceConfig(
+        solver=args.solver,
+        cache_size=args.cache_size,
+        batch_window_ms=args.batch_window_ms,
+    )
+    if args.shards > 1:
+        return ShardedSchedulerService(
+            [deployment(args.seed + k) for k in range(args.shards)],
+            config=config,
+        )
+    return SchedulerService(*deployment(args.seed), config=config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.net import ServerConfig, serve
+
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    service = _build_serve_service(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        retry_after_ms=args.retry_after_ms,
+    )
+
+    def ready(server):
+        print(
+            f"repro serve: listening on {server.host}:{server.port} "
+            f"({args.shards} shard(s), N={args.n}/site, scheme "
+            f"{args.scheme}, solver {args.solver}, max in-flight "
+            f"{args.max_inflight})",
+            flush=True,
+        )
+
+    stats = asyncio.run(serve(service, config, ready=ready))
+    print(
+        f"repro serve: drain complete: {stats.queries} queries, "
+        f"{stats.degraded_queries} degraded, mean response "
+        f"{stats.mean_response_ms:.2f} ms, p95 {stats.p95_response_ms:.2f} ms",
+        flush=True,
+    )
+    return 0
+
+
+def _parse_request_query(args: argparse.Namespace):
+    from repro.workloads.queries import RangeQuery
+
+    if (args.coords is None) == (args.range_q is None):
+        raise ValueError("submit needs exactly one of --coords / --range")
+    if args.coords is not None:
+        coords = []
+        for pair in args.coords.split(";"):
+            i, j = (int(x) for x in pair.split(","))
+            coords.append((i, j))
+        return coords
+    i, j, r, c, n = (int(x) for x in args.range_q.split(","))
+    return RangeQuery(i, j, r, c, n)
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.net import NetError, RetryPolicy, SchedulerClient
+
+    try:
+        query = (
+            _parse_request_query(args) if args.op == "submit" else None
+        )
+        disks = (
+            [int(x) for x in args.disks.split(",")]
+            if args.disks is not None
+            else None
+        )
+    except ValueError as exc:
+        print(f"repro request: {exc}", file=sys.stderr)
+        return 2
+    if args.op in ("mark-failed", "mark-repaired") and not disks:
+        print(f"repro request: {args.op} needs --disks", file=sys.stderr)
+        return 2
+
+    try:
+        with SchedulerClient(
+            args.host,
+            args.port,
+            deadline_ms=args.deadline_ms,
+            retry=RetryPolicy(attempts=max(1, args.attempts)),
+        ) as client:
+            if args.op == "submit":
+                record = client.submit(query, shard=args.shard)
+                if args.json:
+                    out = dataclasses.asdict(record)
+                    out["assignment"] = [
+                        [list(k) if isinstance(k, tuple) else k, v]
+                        for k, v in record.assignment.items()
+                    ]
+                    out["query"] = None
+                    print(json.dumps(out, indent=2, sort_keys=True))
+                else:
+                    print(
+                        f"scheduled {record.num_buckets} buckets: response "
+                        f"{record.response_time_ms:.2f} ms, decision "
+                        f"{record.decision_time_ms:.3f} ms, degraded "
+                        f"{record.degraded}"
+                    )
+                    for label, disk in sorted(record.assignment.items()):
+                        print(f"  bucket {label} -> disk {disk}")
+            elif args.op == "metrics":
+                print(client.metrics_text(), end="")
+            elif args.op == "mark-failed":
+                client.mark_failed(disks, shard=args.shard)
+                print(f"marked failed: disks {disks}")
+            elif args.op == "mark-repaired":
+                client.mark_repaired(disks, shard=args.shard)
+                print(f"marked repaired: disks {disks}")
+            elif args.op == "shutdown":
+                client.shutdown()
+                print("server draining")
+            else:  # health / stats
+                result = (
+                    client.health() if args.op == "health" else client.stats()
+                )
+                print(json.dumps(result, indent=2, sort_keys=True))
+    except NetError as exc:
+        print(f"repro request: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import format_report, lint_repo, rule_catalog
 
@@ -471,6 +687,31 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     print(
         f"pipeline vs legacy throughput: {result.speedup_pipeline:.2f}x"
     )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"saved {args.output}")
+    return 0
+
+
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.net_bench import format_net_bench, run_net_bench
+
+    result = run_net_bench(
+        n=args.n,
+        clients=args.clients,
+        requests_per_client=args.queries,
+        distinct=args.distinct,
+        solver=args.solver,
+        cache_size=args.cache_size,
+        pool_size=args.pool_size,
+        max_inflight=args.max_inflight,
+        seed=args.seed,
+    )
+    print(format_net_bench(result))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
@@ -545,6 +786,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_lint(args)
     if args.command == "service-bench":
         return _cmd_service_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
+    if args.command == "net-bench":
+        return _cmd_net_bench(args)
     if args.command == "profile":
         from repro.bench.profiling import profile_solver
 

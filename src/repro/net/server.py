@@ -1,0 +1,618 @@
+"""The asyncio RPC front end over the scheduler service.
+
+:class:`SchedulerServer` exposes a :class:`~repro.service.SchedulerService`
+or :class:`~repro.service.ShardedSchedulerService` over TCP using the
+length-prefixed JSON protocol in :mod:`repro.net.protocol`.  Three
+properties distinguish it from a naive socket loop:
+
+* **Admission control.**  At most ``max_inflight`` scheduling requests
+  run at once; an arrival beyond that is *shed* with a typed
+  ``OVERLOADED`` error carrying a ``retry_after_ms`` hint instead of
+  queueing unboundedly.  The paper's response-time model assumes the
+  scheduler decides promptly — an unbounded server-side queue would add
+  exactly the waiting time (Table I's ``X_j``) the algorithm exists to
+  minimize, invisibly.
+* **Concurrency without blocking the loop.**  Scheduling runs in the
+  default thread-pool executor (the service layer is thread-safe and
+  serializes on its own solve lock); the event loop only parses frames
+  and writes responses, so ``health``/``metrics`` stay responsive under
+  heavy ``submit`` load and many requests may be in flight on one
+  connection.
+* **Graceful drain.**  ``begin_drain()`` (SIGTERM in ``repro serve``, or
+  the ``shutdown`` RPC) stops accepting connections, rejects *new*
+  requests with ``SHUTTING_DOWN``, lets every in-flight request finish
+  and respond, flushes a final stats snapshot, then closes.
+
+Per-connection/request counters and latency histograms are deposited in
+a :class:`~repro.obs.MetricsRegistry`; the ``metrics`` RPC serves them —
+together with the underlying service's registries — through the existing
+Prometheus text exporter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any
+
+from repro.errors import ReproError
+from repro.net.errors import FrameTooLargeError, ProtocolError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+    query_from_wire,
+    record_to_wire,
+)
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.service.scheduler import SchedulerService
+from repro.service.sharded import ShardedSchedulerService
+from repro.service.stats import ServiceRecord, ServiceStats
+
+__all__ = ["ServerConfig", "SchedulerServer", "OPS"]
+
+#: operations the server understands (``hello`` is the handshake)
+OPS = frozenset(
+    {
+        "hello",
+        "submit",
+        "health",
+        "stats",
+        "metrics",
+        "mark_failed",
+        "mark_repaired",
+        "shutdown",
+    }
+)
+
+_READ_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Transport and admission policy for a :class:`SchedulerServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`SchedulerServer.port` once started).
+    max_inflight:
+        Admission-control capacity: scheduling requests running or
+        executor-queued at once.  Arrivals beyond it are shed with
+        ``OVERLOADED`` rather than queued.
+    retry_after_ms:
+        The hint attached to shed responses; clients use it as a floor
+        for their backoff.
+    max_frame_bytes:
+        Per-frame size limit enforced on both directions.
+    registry:
+        Sink for the server's own connection/request metrics; ``None``
+        creates a private one.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 32
+    retry_after_ms: float = 50.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    registry: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.retry_after_ms < 0:
+            raise ValueError(
+                f"retry_after_ms must be >= 0, got {self.retry_after_ms}"
+            )
+
+
+class SchedulerServer:
+    """Serve a scheduler service over TCP with admission control."""
+
+    def __init__(
+        self,
+        service: SchedulerService | ShardedSchedulerService,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self.registry = (
+            self.config.registry
+            if self.config.registry is not None
+            else MetricsRegistry()
+        )
+        self.final_stats: ServiceStats | None = None
+
+        self._server: asyncio.AbstractServer | None = None
+        self._inflight = 0
+        self._draining = False
+        self._drain_requested = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._request_tasks: set[asyncio.Task[None]] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+        self._m_conns = self.registry.counter(
+            "repro_net_connections_total", "Client connections accepted."
+        )
+        self._m_open = self.registry.gauge(
+            "repro_net_connections_open", "Client connections currently open."
+        )
+        self._m_requests = self.registry.counter(
+            "repro_net_requests_total", "Requests handled (all ops)."
+        )
+        self._m_errors = self.registry.counter(
+            "repro_net_errors_total", "Error responses returned."
+        )
+        self._m_shed = self.registry.counter(
+            "repro_net_shed_total", "Submits rejected by admission control."
+        )
+        self._m_inflight = self.registry.gauge(
+            "repro_net_inflight", "Scheduling requests currently in flight."
+        )
+        self._m_request_ms = self.registry.histogram(
+            "repro_net_request_ms", "Server-side request handling latency (ms)."
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def begin_drain(self) -> None:
+        """Stop accepting; reject new work; let in-flight finish.
+
+        Callable from the event loop (signal handlers, the ``shutdown``
+        RPC).  Idempotent.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        self._drain_requested.set()
+
+    async def drain(self) -> ServiceStats:
+        """Complete a graceful shutdown; returns the final stats snapshot."""
+        self.begin_drain()
+        if self._server is not None:
+            await self._server.wait_closed()
+        # in-flight requests finish and their responses are written
+        while self._request_tasks:
+            await asyncio.gather(
+                *tuple(self._request_tasks), return_exceptions=True
+            )
+        # then the connections themselves are torn down
+        for writer in tuple(self._writers):
+            writer.close()
+        while self._conn_tasks:
+            await asyncio.gather(
+                *tuple(self._conn_tasks), return_exceptions=True
+            )
+        self.final_stats = self.service.stats()
+        self._drained.set()
+        return self.final_stats
+
+    async def serve_until_drained(self) -> ServiceStats:
+        """Run until someone calls :meth:`begin_drain`, then drain."""
+        await self._drain_requested.wait()
+        return await self.drain()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        self._m_conns.inc()
+        self._m_open.inc()
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        write_lock = asyncio.Lock()
+        try:
+            pipelined = await self._handshake(reader, writer, decoder, write_lock)
+            if pipelined is not None:
+                for msg in pipelined:
+                    self._spawn_request(msg, writer, write_lock)
+                await self._read_loop(reader, writer, decoder, write_lock)
+        finally:
+            self._writers.discard(writer)
+            self._m_open.dec()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        decoder: FrameDecoder,
+        write_lock: asyncio.Lock,
+    ) -> list[dict[str, Any]] | None:
+        """Expect ``hello`` first; returns pipelined follow-ups or None."""
+        msgs: list[dict[str, Any]] = []
+        while not msgs:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                return None
+            try:
+                items = decoder.feed(data)
+            except FrameTooLargeError as exc:
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(None, "FRAME_TOO_LARGE", str(exc)),
+                )
+                return None
+            for item in items:
+                if isinstance(item, ProtocolError):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(None, "BAD_REQUEST", str(item)),
+                    )
+                    return None
+                msgs.append(item)
+        try:
+            req_id, op, params = parse_request(msgs[0])
+        except ProtocolError as exc:
+            await self._send(
+                writer, write_lock, error_response(None, "BAD_REQUEST", str(exc))
+            )
+            return None
+        if op != "hello":
+            await self._send(
+                writer,
+                write_lock,
+                error_response(
+                    req_id, "BAD_REQUEST", "first request must be 'hello'"
+                ),
+            )
+            return None
+        version = params.get("version")
+        if version != PROTOCOL_VERSION:
+            await self._send(
+                writer,
+                write_lock,
+                error_response(
+                    req_id,
+                    "UNSUPPORTED_VERSION",
+                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"client sent {version!r}",
+                ),
+            )
+            return None
+        await self._send(
+            writer,
+            write_lock,
+            ok_response(
+                req_id,
+                {
+                    "version": PROTOCOL_VERSION,
+                    "server": "repro-scheduler",
+                    "max_frame_bytes": self.config.max_frame_bytes,
+                    "ops": sorted(OPS),
+                },
+            ),
+        )
+        return msgs[1:]
+
+    async def _read_loop(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        decoder: FrameDecoder,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                return
+            try:
+                items = decoder.feed(data)
+            except FrameTooLargeError as exc:
+                # cannot resync a stream after an oversized header:
+                # report, then close this connection
+                self._m_errors.inc()
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(None, "FRAME_TOO_LARGE", str(exc)),
+                )
+                return
+            for item in items:
+                if isinstance(item, ProtocolError):
+                    # frame boundary was sound, payload was not: the
+                    # connection survives
+                    self._m_errors.inc()
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(None, "BAD_REQUEST", str(item)),
+                    )
+                else:
+                    self._spawn_request(item, writer, write_lock)
+
+    def _spawn_request(
+        self,
+        msg: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        task = asyncio.create_task(self._handle_request(msg, writer, write_lock))
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_request(
+        self,
+        msg: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            req_id, op, params = parse_request(msg)
+        except ProtocolError as exc:
+            self._m_errors.inc()
+            await self._send(
+                writer, write_lock, error_response(None, "BAD_REQUEST", str(exc))
+            )
+            return
+        try:
+            response = await self._dispatch(req_id, op, params)
+        except Exception as exc:  # noqa: BLE001 - fault barrier per request
+            response = error_response(
+                req_id, "INTERNAL", f"{type(exc).__name__}: {exc}"
+            )
+        self._m_requests.inc()
+        if response.get("ok") is not True:
+            self._m_errors.inc()
+        self._m_request_ms.observe((time.perf_counter() - t0) * 1000.0)
+        await self._send(writer, write_lock, response)
+
+    async def _dispatch(
+        self, req_id: int, op: str, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        if op == "submit":
+            return await self._op_submit(req_id, params)
+        if op == "health":
+            return ok_response(req_id, self._health_payload())
+        if op == "stats":
+            return ok_response(req_id, self._stats_payload())
+        if op == "metrics":
+            return ok_response(
+                req_id,
+                {
+                    "content_type": "text/plain; version=0.0.4",
+                    "text": self.metrics_text(),
+                },
+            )
+        if op in ("mark_failed", "mark_repaired"):
+            return self._op_mark(req_id, op, params)
+        if op == "shutdown":
+            # respond first, then start the drain on the next loop tick
+            asyncio.get_running_loop().call_soon(self.begin_drain)
+            return ok_response(req_id, {"draining": True})
+        if op == "hello":
+            return error_response(
+                req_id, "BAD_REQUEST", "hello is only valid as the handshake"
+            )
+        return error_response(req_id, "UNKNOWN_OP", f"unknown op {op!r}")
+
+    async def _op_submit(
+        self, req_id: int, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        if self._draining:
+            return error_response(
+                req_id, "SHUTTING_DOWN", "server is draining; no new work"
+            )
+        if self._inflight >= self.config.max_inflight:
+            self._m_shed.inc()
+            return error_response(
+                req_id,
+                "OVERLOADED",
+                f"{self._inflight} requests in flight "
+                f"(capacity {self.config.max_inflight})",
+                retry_after_ms=self.config.retry_after_ms,
+            )
+        try:
+            query = query_from_wire(params.get("query"))
+            shard = params.get("shard")
+            if shard is not None and (
+                not isinstance(shard, int) or isinstance(shard, bool)
+            ):
+                raise ProtocolError(f"shard must be an int: {shard!r}")
+            arrival_raw = params.get("arrival_ms")
+            if arrival_raw is not None and not isinstance(
+                arrival_raw, (int, float)
+            ):
+                raise ProtocolError(
+                    f"arrival_ms must be a number: {arrival_raw!r}"
+                )
+            arrival_ms = None if arrival_raw is None else float(arrival_raw)
+        except ProtocolError as exc:
+            return error_response(req_id, "BAD_REQUEST", str(exc))
+
+        self._inflight += 1
+        self._m_inflight.set(float(self._inflight))
+        try:
+            record = await asyncio.get_running_loop().run_in_executor(
+                None, partial(self._submit_sync, query, shard, arrival_ms)
+            )
+        except ValueError as exc:  # e.g. out-of-range shard id
+            return error_response(req_id, "BAD_REQUEST", str(exc))
+        except ReproError as exc:
+            return error_response(req_id, "INVALID_QUERY", str(exc))
+        finally:
+            self._inflight -= 1
+            self._m_inflight.set(float(self._inflight))
+        return ok_response(req_id, record_to_wire(record))
+
+    def _submit_sync(
+        self,
+        query: Any,
+        shard: int | None,
+        arrival_ms: float | None,
+    ) -> ServiceRecord:
+        if isinstance(self.service, ShardedSchedulerService):
+            return self.service.submit(
+                query, shard=shard, arrival_ms=arrival_ms
+            )
+        if shard is not None:
+            raise ValueError("shard= requires a sharded service")
+        return self.service.submit(query, arrival_ms=arrival_ms)
+
+    def _op_mark(
+        self, req_id: int, op: str, params: dict[str, Any]
+    ) -> dict[str, Any]:
+        raw = params.get("disks")
+        if (
+            not isinstance(raw, list)
+            or not raw
+            or not all(
+                isinstance(d, int) and not isinstance(d, bool) for d in raw
+            )
+        ):
+            return error_response(
+                req_id, "BAD_REQUEST", "disks must be a non-empty int list"
+            )
+        shard = params.get("shard")
+        if shard is not None and (
+            not isinstance(shard, int) or isinstance(shard, bool)
+        ):
+            return error_response(
+                req_id, "BAD_REQUEST", f"shard must be an int: {shard!r}"
+            )
+        try:
+            if isinstance(self.service, ShardedSchedulerService):
+                if op == "mark_failed":
+                    if shard is None:
+                        self.service.mark_failed_all(raw)
+                    else:
+                        self.service.mark_failed(shard, raw)
+                else:
+                    if shard is None:
+                        self.service.mark_repaired_all(raw)
+                    else:
+                        self.service.mark_repaired(shard, raw)
+            else:
+                if shard is not None:
+                    return error_response(
+                        req_id, "BAD_REQUEST", "shard= requires a sharded service"
+                    )
+                if op == "mark_failed":
+                    self.service.mark_failed(raw)
+                else:
+                    self.service.mark_repaired(raw)
+        except ValueError as exc:
+            return error_response(req_id, "BAD_REQUEST", str(exc))
+        except ReproError as exc:
+            return error_response(req_id, "INVALID_QUERY", str(exc))
+        return ok_response(req_id, {"disks": raw, "shard": shard})
+
+    # ------------------------------------------------------------------
+    # payload builders
+    # ------------------------------------------------------------------
+    def _health_payload(self) -> dict[str, Any]:
+        stats = self.service.stats()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+            "max_inflight": self.config.max_inflight,
+            "queries": stats.queries,
+            "shards": (
+                self.service.num_shards
+                if isinstance(self.service, ShardedSchedulerService)
+                else 1
+            ),
+        }
+
+    def _stats_payload(self) -> dict[str, Any]:
+        stats = self.service.stats()
+        return {
+            "queries": stats.queries,
+            "buckets": stats.buckets,
+            "degraded_queries": stats.degraded_queries,
+            "mean_response_ms": stats.mean_response_ms,
+            "max_response_ms": stats.max_response_ms,
+            "p50_response_ms": stats.p50_response_ms,
+            "p95_response_ms": stats.p95_response_ms,
+            "mean_decision_ms": stats.mean_decision_ms,
+            "cache_hits": stats.cache_hits,
+            "batches": stats.batches,
+            "per_disk_buckets": list(stats.per_disk_buckets),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text for the net layer plus the service registries."""
+        parts = [to_prometheus(self.registry)]
+        if isinstance(self.service, ShardedSchedulerService):
+            for k, registry in enumerate(self.service.registries):
+                parts.append(f"# repro.net: scheduler shard {k}\n")
+                parts.append(to_prometheus(registry))
+        else:
+            parts.append("# repro.net: scheduler\n")
+            parts.append(to_prometheus(self.service.registry))
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: dict[str, Any],
+    ) -> None:
+        frame = encode_frame(
+            payload, max_frame_bytes=self.config.max_frame_bytes
+        )
+        try:
+            async with write_lock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer went away mid-response; the read loop will notice

@@ -9,7 +9,9 @@ different shards proceed fully in parallel.
 
 ``ShardedSchedulerService`` packages that: construct it from ready-made
 services or from ``(system, placement)`` pairs, route queries with a
-stable hash (or an explicit ``shard=``), and read merged statistics —
+stable hash (or an explicit ``shard=``), manage failures per shard or
+fleet-wide (``mark_failed_all``/``mark_repaired_all``), and read merged
+statistics —
 counters sum, ``per_disk_buckets`` concatenates in shard order, and the
 response-time percentiles are recomputed from the shards' combined
 histogram buckets (quantiles do not add).
@@ -140,15 +142,43 @@ class ShardedSchedulerService:
         arrival_ms: float | None = None,
     ) -> ServiceRecord:
         """Route the query to its shard (or ``shard=``) and schedule it."""
-        idx = self.shard_of(query) if shard is None else shard
-        return self.services[idx].submit(query, arrival_ms=arrival_ms)
+        svc = (
+            self.services[self.shard_of(query)]
+            if shard is None
+            else self._shard(shard)
+        )
+        return svc.submit(query, arrival_ms=arrival_ms)
 
     # ------------------------------------------------------------------
+    def _shard(self, shard: int) -> SchedulerService:
+        """Validated shard lookup (explicit error, not ``IndexError``)."""
+        if not isinstance(shard, int) or isinstance(shard, bool):
+            raise ValueError(f"shard id must be an int, got {shard!r}")
+        if not 0 <= shard < len(self.services):
+            raise ValueError(
+                f"shard {shard} out of range [0, {len(self.services)})"
+            )
+        return self.services[shard]
+
     def mark_failed(self, shard: int, disks: Sequence[int]) -> None:
-        self.services[shard].mark_failed(disks)
+        self._shard(shard).mark_failed(disks)
 
     def mark_repaired(self, shard: int, disks: Sequence[int]) -> None:
-        self.services[shard].mark_repaired(disks)
+        self._shard(shard).mark_repaired(disks)
+
+    def mark_failed_all(self, disks: Sequence[int]) -> None:
+        """Broadcast a failure to every shard (shared cabling, site loss).
+
+        Disk ids are local to each shard's deployment; every shard must
+        know them, or its service raises before any state changes there.
+        """
+        for svc in self.services:
+            svc.mark_failed(disks)
+
+    def mark_repaired_all(self, disks: Sequence[int]) -> None:
+        """Broadcast a repair to every shard (inverse of mark_failed_all)."""
+        for svc in self.services:
+            svc.mark_repaired(disks)
 
     # ------------------------------------------------------------------
     def shard_stats(self) -> list[ServiceStats]:

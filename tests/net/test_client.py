@@ -1,0 +1,128 @@
+"""Client-side policy units: backoff shape, error typing, wire mapping."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.errors import (
+    BadRequestError,
+    ConnectError,
+    ConnectionClosedError,
+    DeadlineExceededError,
+    InvalidQueryError,
+    NetError,
+    OverloadedError,
+    RemoteError,
+    ShuttingDownError,
+    UnknownOpError,
+    UnsupportedVersionError,
+    remote_error_from_wire,
+)
+from repro.net.client import RetryPolicy, SchedulerClient
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_within_jitter_band(self):
+        policy = RetryPolicy(base_backoff_ms=10.0, multiplier=2.0, jitter=0.5)
+        rng = random.Random(0)
+        for attempt, raw in enumerate((10.0, 20.0, 40.0, 80.0)):
+            for _ in range(50):
+                got = policy.backoff_ms(attempt, rng)
+                assert raw * 0.5 <= got <= raw
+
+    def test_backoff_caps_at_max(self):
+        policy = RetryPolicy(
+            base_backoff_ms=10.0, multiplier=10.0, max_backoff_ms=50.0,
+            jitter=0.0,
+        )
+        assert policy.backoff_ms(9, random.Random(0)) == 50.0
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = RetryPolicy(base_backoff_ms=8.0, jitter=0.0)
+        assert policy.backoff_ms(0, random.Random(1)) == 8.0
+        assert policy.backoff_ms(1, random.Random(2)) == 16.0
+
+    def test_server_hint_floors_the_backoff(self):
+        policy = RetryPolicy(base_backoff_ms=1.0, jitter=0.0)
+        assert policy.backoff_ms(0, random.Random(0), floor_ms=75.0) == 75.0
+        # a hint below the computed backoff does not lower it
+        assert policy.backoff_ms(0, random.Random(0), floor_ms=0.5) == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestErrorTyping:
+    def test_transient_classification(self):
+        assert OverloadedError("x").transient
+        assert ConnectError("x").transient
+        assert ConnectionClosedError("x").transient
+        assert not BadRequestError("x").transient
+        assert not DeadlineExceededError("x").transient
+        assert not ShuttingDownError("x").transient
+        assert not UnsupportedVersionError("x").transient
+
+    def test_every_remote_error_is_a_net_error(self):
+        for cls in (BadRequestError, UnknownOpError, InvalidQueryError,
+                    OverloadedError, ShuttingDownError,
+                    UnsupportedVersionError):
+            assert issubclass(cls, RemoteError)
+            assert issubclass(cls, NetError)
+
+    @pytest.mark.parametrize(
+        "code,cls",
+        [
+            ("BAD_REQUEST", BadRequestError),
+            ("UNKNOWN_OP", UnknownOpError),
+            ("INVALID_QUERY", InvalidQueryError),
+            ("OVERLOADED", OverloadedError),
+            ("SHUTTING_DOWN", ShuttingDownError),
+            ("UNSUPPORTED_VERSION", UnsupportedVersionError),
+        ],
+    )
+    def test_wire_code_maps_to_typed_exception(self, code, cls):
+        exc = remote_error_from_wire({"code": code, "message": "m"})
+        assert type(exc) is cls
+        assert exc.code == code
+
+    def test_unknown_code_falls_back_to_remote_error(self):
+        exc = remote_error_from_wire({"code": "FUTURE_CODE", "message": "m"})
+        assert type(exc) is RemoteError
+        assert exc.code == "FUTURE_CODE"
+
+    def test_malformed_envelope_falls_back(self):
+        exc = remote_error_from_wire("not a dict")
+        assert isinstance(exc, RemoteError)
+
+    def test_retry_after_hint_survives_the_wire(self):
+        exc = remote_error_from_wire(
+            {"code": "OVERLOADED", "message": "m", "retry_after_ms": 12.5}
+        )
+        assert exc.retry_after_ms == 12.5
+        assert remote_error_from_wire(
+            {"code": "OVERLOADED", "message": "m"}
+        ).retry_after_ms is None
+
+
+class TestSyncClientLifecycle:
+    def test_connect_refused_is_typed_and_transient(self):
+        # nothing listens on this port; attempts=1 avoids retry sleeps
+        from repro.net.client import RetryPolicy as RP
+
+        with SchedulerClient(
+            "127.0.0.1", 1, retry=RP(attempts=1), deadline_ms=2000.0
+        ) as client:
+            with pytest.raises(ConnectError):
+                client.health()
+
+    def test_use_after_close_raises(self):
+        client = SchedulerClient("127.0.0.1", 1)
+        client.close()
+        client.close()  # idempotent
+        with pytest.raises(ConnectionClosedError):
+            client.health()

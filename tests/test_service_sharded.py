@@ -103,6 +103,34 @@ class TestRouting:
         sh.mark_repaired(0, [0])
         assert sh.services[0].failed_disks == frozenset()
 
+    def test_broadcast_failure_hits_every_shard(self):
+        sh = make_sharded(3)
+        sh.mark_failed_all([0, 3])
+        assert all(
+            svc.failed_disks == frozenset({0, 3}) for svc in sh.services
+        )
+        sh.mark_repaired_all([0])
+        assert all(svc.failed_disks == frozenset({3}) for svc in sh.services)
+        sh.mark_repaired_all([3])
+        assert all(svc.failed_disks == frozenset() for svc in sh.services)
+
+    @pytest.mark.parametrize("bad", [-1, 2, 99])
+    def test_out_of_range_shard_is_value_error(self, bad):
+        sh = make_sharded(2)
+        with pytest.raises(ValueError, match="out of range"):
+            sh.submit([(0, 0)], shard=bad, arrival_ms=0.0)
+        with pytest.raises(ValueError, match="out of range"):
+            sh.mark_failed(bad, [0])
+        with pytest.raises(ValueError, match="out of range"):
+            sh.mark_repaired(bad, [0])
+
+    def test_non_int_shard_is_value_error(self):
+        sh = make_sharded(2)
+        with pytest.raises(ValueError, match="must be an int"):
+            sh.mark_failed(True, [0])
+        with pytest.raises(ValueError, match="must be an int"):
+            sh.submit([(0, 0)], shard="1", arrival_ms=0.0)
+
 
 class TestMergedStats:
     def test_counters_sum_and_buckets_concatenate(self):
