@@ -6,9 +6,13 @@ dispatching responses to per-request futures (so many requests can be in
 flight on one connection), an overall per-request deadline, and retry
 with jittered exponential backoff on *transient* failures — load-shed
 (``OVERLOADED``, honouring the server's ``retry_after_ms`` hint as a
-backoff floor), dropped connections and refused connects.  Non-transient
-errors (bad requests, invalid queries, exceeded deadlines) surface
-immediately as the typed exceptions of :mod:`repro.net.errors`.
+backoff floor), refused connects, and — for idempotent ops only —
+dropped connections.  ``submit`` is at-most-once: a connection lost with
+the request outstanding raises instead of re-sending, since the server
+may have already executed the solve and a blind retry would schedule
+the query twice.  Non-transient errors (bad requests, invalid queries,
+exceeded deadlines) surface immediately as the typed exceptions of
+:mod:`repro.net.errors`.
 
 :class:`SchedulerClient` wraps the async client for synchronous callers:
 it runs a private event loop on a daemon thread and proxies every call
@@ -22,6 +26,7 @@ through it, so the two clients cannot drift apart.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import random
 import threading
 import time
@@ -55,6 +60,25 @@ __all__ = ["RetryPolicy", "AsyncSchedulerClient", "SchedulerClient"]
 _T = TypeVar("_T")
 
 _READ_CHUNK = 1 << 16
+
+#: ops safe to re-send after a *dropped connection*, where the client
+#: cannot know whether the server executed the request before the link
+#: died.  ``submit`` is deliberately absent: it advances disk
+#: busy-horizons and appends to stats/history, so re-sending it could
+#: schedule the same query twice and silently skew the response-time
+#: measurements.  (Shed ``OVERLOADED`` responses are different — the
+#: server proved it did nothing — so submit still retries those.)
+_IDEMPOTENT_OPS = frozenset(
+    {
+        "hello",
+        "health",
+        "stats",
+        "metrics",
+        "mark_failed",
+        "mark_repaired",
+        "shutdown",
+    }
+)
 
 QueryLike = Sequence[tuple[int, int]] | RangeQuery | ArbitraryQuery
 
@@ -309,7 +333,16 @@ class AsyncSchedulerClient:
         *,
         deadline_ms: float | None = _UNSET,
     ) -> Any:
-        """One RPC with deadline + retry; returns the ``result`` payload."""
+        """One RPC with deadline + retry; returns the ``result`` payload.
+
+        Only *transient* errors retry, and a lost connection is only
+        transient for idempotent ops: a ``submit`` whose connection died
+        mid-request surfaces :class:`ConnectionClosedError` instead of
+        re-sending (at-most-once), because the server may have already
+        executed the solve.  Refused connects (the request never left)
+        and ``OVERLOADED`` sheds (the server did nothing) retry for
+        every op.
+        """
         budget_ms = (
             self._deadline_ms if deadline_ms is _UNSET else deadline_ms
         )
@@ -332,7 +365,18 @@ class AsyncSchedulerClient:
                 conn = await self._connection(slot)
                 return await conn.call(op, params or {}, remaining_s)
             except NetError as exc:
-                if not exc.transient or attempt + 1 >= self._retry.attempts:
+                # a dropped connection is ambiguous — the server may have
+                # executed the request before the link died — so only
+                # idempotent ops may re-send after one
+                ambiguous = (
+                    isinstance(exc, ConnectionClosedError)
+                    and op not in _IDEMPOTENT_OPS
+                )
+                if (
+                    not exc.transient
+                    or ambiguous
+                    or attempt + 1 >= self._retry.attempts
+                ):
                     raise
                 floor = (
                     exc.retry_after_ms
@@ -537,7 +581,12 @@ class SchedulerClient:
                 asyncio.run_coroutine_threadsafe(
                     self._shutdown_loop(), self._loop
                 ).result(timeout=10.0)
-            except (NetError, TimeoutError, RuntimeError):
+            except (
+                NetError,
+                TimeoutError,
+                concurrent.futures.TimeoutError,  # distinct class on 3.10
+                RuntimeError,
+            ):
                 pass  # loop already dead or tasks uncancellable: give up
             self._loop.call_soon_threadsafe(self._loop.stop)
             self._thread.join(timeout=10.0)

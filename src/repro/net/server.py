@@ -14,10 +14,11 @@ properties distinguish it from a naive socket loop:
   minimize, invisibly.
 * **Concurrency without blocking the loop.**  Scheduling runs in the
   default thread-pool executor (the service layer is thread-safe and
-  serializes on its own solve lock); the event loop only parses frames
-  and writes responses, so ``health``/``metrics`` stay responsive under
-  heavy ``submit`` load and many requests may be in flight on one
-  connection.
+  serializes on its own solve lock); control-plane ops (``health``,
+  ``stats``, ``metrics``, ``mark_*``) also touch that lock, so they run
+  on a small dedicated executor of their own.  The event loop only ever
+  parses frames and writes responses: it stays responsive under heavy
+  ``submit`` load, and many requests may be in flight on one connection.
 * **Graceful drain.**  ``begin_drain()`` (SIGTERM in ``repro serve``, or
   the ``shutdown`` RPC) stops accepting connections, rejects *new*
   requests with ``SHUTTING_DOWN``, lets every in-flight request finish
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any
@@ -141,6 +143,13 @@ class SchedulerServer:
         self._request_tasks: set[asyncio.Task[None]] = set()
         self._conn_tasks: set[asyncio.Task[None]] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        # control-plane ops (health/stats/metrics/mark_*) block on the
+        # service's solve lock, so they must leave the event loop — and
+        # they get their own small pool because the default executor can
+        # be saturated by up to ``max_inflight`` submits
+        self._control_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-net-control"
+        )
 
         self._m_conns = self.registry.counter(
             "repro_net_connections_total", "Client connections accepted."
@@ -208,20 +217,28 @@ class SchedulerServer:
     async def drain(self) -> ServiceStats:
         """Complete a graceful shutdown; returns the final stats snapshot."""
         self.begin_drain()
-        if self._server is not None:
-            await self._server.wait_closed()
         # in-flight requests finish and their responses are written
         while self._request_tasks:
             await asyncio.gather(
                 *tuple(self._request_tasks), return_exceptions=True
             )
-        # then the connections themselves are torn down
+        # then the connections themselves are torn down (a live read loop
+        # may still have spawned late requests — keep awaiting both sets)
         for writer in tuple(self._writers):
             writer.close()
-        while self._conn_tasks:
+        while self._conn_tasks or self._request_tasks:
             await asyncio.gather(
-                *tuple(self._conn_tasks), return_exceptions=True
+                *tuple(self._conn_tasks),
+                *tuple(self._request_tasks),
+                return_exceptions=True,
             )
+        # wait_closed() must come LAST: on Python >= 3.12 it waits for
+        # every connection-handler task, and a handler parked in read()
+        # only wakes once its writer is closed above — awaiting it first
+        # hangs the drain forever with a single idle connected client
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._control_executor.shutdown(wait=True)
         self.final_stats = self.service.stats()
         self._drained.set()
         return self.final_stats
@@ -273,6 +290,7 @@ class SchedulerServer:
     ) -> list[dict[str, Any]] | None:
         """Expect ``hello`` first; returns pipelined follow-ups or None."""
         msgs: list[dict[str, Any]] = []
+        trailing_errors: list[ProtocolError] = []
         while not msgs:
             data = await reader.read(_READ_CHUNK)
             if not data:
@@ -287,14 +305,21 @@ class SchedulerServer:
                 )
                 return None
             for item in items:
-                if isinstance(item, ProtocolError):
+                if not isinstance(item, ProtocolError):
+                    msgs.append(item)
+                elif not msgs:
+                    # malformed before any hello: reject and close
                     await self._send(
                         writer,
                         write_lock,
                         error_response(None, "BAD_REQUEST", str(item)),
                     )
                     return None
-                msgs.append(item)
+                else:
+                    # malformed frame pipelined *behind* a valid hello:
+                    # answer the handshake first, then the error — the
+                    # connection survives, exactly as in _read_loop
+                    trailing_errors.append(item)
         try:
             req_id, op, params = parse_request(msgs[0])
         except ProtocolError as exc:
@@ -337,6 +362,11 @@ class SchedulerServer:
                 },
             ),
         )
+        for err in trailing_errors:
+            self._m_errors.inc()
+            await self._send(
+                writer, write_lock, error_response(None, "BAD_REQUEST", str(err))
+            )
         return msgs[1:]
 
     async def _read_loop(
@@ -420,20 +450,36 @@ class SchedulerServer:
     ) -> dict[str, Any]:
         if op == "submit":
             return await self._op_submit(req_id, params)
+        # health/stats/metrics/mark_* acquire the service's solve lock,
+        # which an executor-offloaded submit may hold for a whole solve;
+        # run them on the control executor so the event loop never blocks
+        loop = asyncio.get_running_loop()
         if op == "health":
-            return ok_response(req_id, self._health_payload())
+            payload = await loop.run_in_executor(
+                self._control_executor, self._health_payload
+            )
+            return ok_response(req_id, payload)
         if op == "stats":
-            return ok_response(req_id, self._stats_payload())
+            payload = await loop.run_in_executor(
+                self._control_executor, self._stats_payload
+            )
+            return ok_response(req_id, payload)
         if op == "metrics":
+            text = await loop.run_in_executor(
+                self._control_executor, self.metrics_text
+            )
             return ok_response(
                 req_id,
                 {
                     "content_type": "text/plain; version=0.0.4",
-                    "text": self.metrics_text(),
+                    "text": text,
                 },
             )
         if op in ("mark_failed", "mark_repaired"):
-            return self._op_mark(req_id, op, params)
+            return await loop.run_in_executor(
+                self._control_executor,
+                partial(self._op_mark, req_id, op, params),
+            )
         if op == "shutdown":
             # respond first, then start the drain on the next loop tick
             asyncio.get_running_loop().call_soon(self.begin_drain)

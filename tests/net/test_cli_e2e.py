@@ -10,12 +10,15 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
 from pathlib import Path
 
 import pytest
+
+from repro.net.protocol import PROTOCOL_VERSION, encode_frame, make_request
 
 REPO = Path(__file__).resolve().parents[2]
 
@@ -94,6 +97,23 @@ class TestServeCli:
         assert proc.returncode == 0, out
         assert "drain complete" in out
         assert "2 queries" in out
+
+    def test_sigterm_drains_with_idle_connected_client(self, server):
+        # regression for Python >= 3.12, where Server.wait_closed()
+        # waits for connection handlers: an idle handshaken client held
+        # open across the SIGTERM used to hang the drain forever
+        proc, port = server
+        with socket.create_connection(("127.0.0.1", port)) as sock:
+            sock.sendall(
+                encode_frame(
+                    make_request(0, "hello", {"version": PROTOCOL_VERSION})
+                )
+            )
+            assert sock.recv(1 << 16)  # the handshake reply
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "drain complete" in out
 
     def test_request_against_dead_server_fails_cleanly(self):
         result = run_request(1, "health", "--attempts", "1")

@@ -1,8 +1,11 @@
-"""Client-side policy units: backoff shape, error typing, wire mapping."""
+"""Client-side policy units: backoff shape, error typing, wire mapping,
+and retry idempotency across dropped connections."""
 
 from __future__ import annotations
 
 import random
+import socket
+import threading
 
 import pytest
 
@@ -21,6 +24,13 @@ from repro.net.errors import (
     remote_error_from_wire,
 )
 from repro.net.client import RetryPolicy, SchedulerClient
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    ok_response,
+)
 
 
 class TestRetryPolicy:
@@ -107,6 +117,100 @@ class TestErrorTyping:
         assert remote_error_from_wire(
             {"code": "OVERLOADED", "message": "m"}
         ).retry_after_ms is None
+
+
+class DroppyServer:
+    """Handshakes, then drops the connection on the first ``drop_ops``
+    non-hello requests — *after* reading them, so the client cannot know
+    whether they were executed (the ambiguous connection-loss case)."""
+
+    def __init__(self, drop_ops: int = 1) -> None:
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self.requests_seen: list[str] = []
+        self._drops_left = drop_ops
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # server closed
+            with conn:
+                decoder = FrameDecoder(MAX_FRAME_BYTES)
+                alive = True
+                while alive:
+                    try:
+                        data = conn.recv(1 << 16)
+                    except OSError:
+                        break
+                    if not data:
+                        break
+                    for msg in decoder.feed(data):
+                        req_id, op = msg["id"], msg["op"]
+                        if op == "hello":
+                            conn.sendall(
+                                encode_frame(
+                                    ok_response(
+                                        req_id,
+                                        {
+                                            "version": PROTOCOL_VERSION,
+                                            "server": "droppy",
+                                            "max_frame_bytes": MAX_FRAME_BYTES,
+                                            "ops": [],
+                                        },
+                                    )
+                                )
+                            )
+                            continue
+                        self.requests_seen.append(op)
+                        if self._drops_left > 0:
+                            self._drops_left -= 1
+                            alive = False  # drop without answering
+                            break
+                        conn.sendall(
+                            encode_frame(ok_response(req_id, {"status": "ok"}))
+                        )
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestConnectionLossIdempotency:
+    def _client(self, port):
+        return SchedulerClient(
+            "127.0.0.1",
+            port,
+            retry=RetryPolicy(attempts=3, base_backoff_ms=5.0),
+            deadline_ms=10_000.0,
+            seed=0,
+        )
+
+    def test_idempotent_op_retries_through_dropped_connection(self):
+        srv = DroppyServer(drop_ops=1)
+        try:
+            with self._client(srv.port) as client:
+                assert client.health()["status"] == "ok"
+            # the drop cost one attempt; the retry re-sent and succeeded
+            assert srv.requests_seen == ["health", "health"]
+        finally:
+            srv.close()
+
+    def test_submit_is_at_most_once_after_connection_loss(self):
+        # a dropped connection is ambiguous — the server may well have
+        # executed the solve before the link died.  Re-sending submit
+        # would advance disk busy-horizons twice and double-count stats,
+        # so the client must surface the loss instead of retrying.
+        srv = DroppyServer(drop_ops=1)
+        try:
+            with self._client(srv.port) as client:
+                with pytest.raises(ConnectionClosedError):
+                    client.submit([(0, 0)])
+            assert srv.requests_seen == ["submit"]
+        finally:
+            srv.close()
 
 
 class TestSyncClientLifecycle:

@@ -105,6 +105,25 @@ class BlockableService(SchedulerService):
         return super().submit(query, arrival_ms=arrival_ms)
 
 
+class BlockableStatsService(SchedulerService):
+    """A service whose stats() waits on an event before snapshotting.
+
+    A stand-in for a ``stats``/``health`` call stuck behind the solve
+    lock while a long solve holds it.
+    """
+
+    def __init__(self, seed=0, **cfg):
+        super().__init__(*deployment(seed), config=ServiceConfig(**cfg))
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def stats(self):
+        self.entered.set()
+        if not self.release.wait(timeout=30):
+            raise RuntimeError("blockable stats never released")
+        return super().stats()
+
+
 # ----------------------------------------------------------------------
 # differential: the wire must not change any schedule
 # ----------------------------------------------------------------------
@@ -297,6 +316,50 @@ class TestGracefulDrain:
             stats = bg.stop()
         assert stats is not None and stats.queries == 1
 
+    def test_drain_completes_with_idle_connected_client(self):
+        # regression: on Python >= 3.12, Server.wait_closed() waits for
+        # every connection handler, and a handler sits in read() until
+        # its writer is closed — so drain must tear connections down
+        # *before* waiting on it, or one idle client hangs it forever
+        with BackgroundServer(make_service(seed=12)) as bg:
+            with socket.create_connection((bg.host, bg.port)) as sock:
+                sock.sendall(hello_frame())
+                assert read_frame(sock)["ok"] is True
+                # the client now idles; the drain must still complete
+                stats = bg.stop(timeout_s=15.0)
+                assert stats is not None
+                # and the server closed the idle connection on its way out
+                assert sock.recv(1) == b""
+
+    def test_slow_stats_does_not_freeze_the_event_loop(self):
+        # regression: health/stats/metrics/mark_* acquire the service's
+        # solve lock; they must run off the event loop thread, where a
+        # long solve would otherwise freeze every connection's framing
+        service = BlockableStatsService(seed=13)
+        results: list = []
+        with BackgroundServer(service) as bg:
+            c1 = SchedulerClient(bg.host, bg.port, deadline_ms=60_000.0)
+            c2 = SchedulerClient(
+                bg.host, bg.port, retry=RetryPolicy(attempts=1)
+            )
+            t = threading.Thread(target=lambda: results.append(c1.stats()))
+            try:
+                t.start()
+                assert service.entered.wait(timeout=10)
+                # while stats blocks off-loop, the loop must still
+                # handshake a new connection and answer ops that never
+                # touch the service (here: a typed UNKNOWN_OP error)
+                t0 = time.monotonic()
+                with pytest.raises(UnknownOpError):
+                    c2.request("nop", deadline_ms=5000.0)
+                assert time.monotonic() - t0 < 5.0
+            finally:
+                service.release.set()
+                t.join(timeout=10)
+                c1.close()
+                c2.close()
+        assert results and results[0]["queries"] == 0
+
     def test_new_connections_refused_while_draining(self):
         service = make_service(seed=7)
         with BackgroundServer(service) as bg:
@@ -385,6 +448,29 @@ class TestWireEdgeCases:
                 resp = read_frame(sock)
                 assert resp["ok"] is False
                 assert resp["id"] is None
+                assert resp["error"]["code"] == "BAD_REQUEST"
+                # the same connection still serves valid requests
+                sock.sendall(encode_frame(make_request(1, "health")))
+                resp = read_frame(sock)
+                assert resp["id"] == 1 and resp["ok"] is True
+
+    def test_hello_answered_before_trailing_malformed_frame(self):
+        # a pipelining client may land a valid hello and a malformed
+        # frame in one read chunk; the handshake must still be answered
+        # (then the malformed frame earns BAD_REQUEST, and the
+        # connection survives — same semantics as the post-handshake
+        # read loop)
+        with BackgroundServer(make_service(seed=8)) as bg:
+            with socket.create_connection((bg.host, bg.port)) as sock:
+                bad = b"{definitely not json"
+                sock.sendall(
+                    hello_frame() + struct.pack(">I", len(bad)) + bad
+                )
+                resp = read_frame(sock)
+                assert resp["ok"] is True  # the handshake reply
+                assert resp["result"]["version"] == PROTOCOL_VERSION
+                resp = read_frame(sock)
+                assert resp["ok"] is False
                 assert resp["error"]["code"] == "BAD_REQUEST"
                 # the same connection still serves valid requests
                 sock.sendall(encode_frame(make_request(1, "health")))
