@@ -63,9 +63,15 @@ class SweepResult:
     @property
     def monotone_nondecreasing(self) -> bool:
         """True if the response never improves as the parameter grows —
-        expected when sweeping any delay or load upward."""
+        expected when sweeping any delay or load upward.
+
+        Exact comparison: every optimal response time is a finish time
+        ``D_j + X_j + k*C_j`` computed by the same expression, so with the
+        integer flow kernel any strict decrease is a real regression, not
+        rounding noise.
+        """
         values = [p.response_time_ms for p in self.points]
-        return all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+        return all(a <= b for a, b in zip(values, values[1:]))
 
 
 def _resolve(problem: RetrievalProblem, solver: str) -> SweepPoint:

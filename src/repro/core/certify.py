@@ -27,8 +27,6 @@ from repro.maxflow.push_relabel import push_relabel
 
 __all__ = ["CertificateResult", "verify_schedule", "certify_optimal"]
 
-_EPS = 1e-6
-
 
 @dataclass(frozen=True)
 class CertificateResult:
@@ -54,8 +52,10 @@ def verify_schedule(
             "schedule was built for a different problem"
         )
     schedule.validate()
+    # exact comparison: both sides are the max over identical
+    # finish_time(j, k) float expressions, so they match bit-for-bit
     recomputed = schedule.recompute_response_time()
-    if abs(recomputed - schedule.response_time_ms) > _EPS:
+    if recomputed != schedule.response_time_ms:
         raise InfeasibleScheduleError(
             f"reported response {schedule.response_time_ms} ms does not "
             f"match the cost model ({recomputed} ms)"
@@ -74,7 +74,7 @@ def _largest_finish_below(problem: RetrievalProblem, T: float) -> float | None:
     for j in problem.replica_disks():
         for k in range(1, problem.num_buckets + 1):
             t = sys_.finish_time(j, k)
-            if t >= T - _EPS:
+            if t >= T:
                 break  # finish times increase with k
             if best is None or t > best:
                 best = t
@@ -112,7 +112,7 @@ def certify_optimal(
     net = RetrievalNetwork(problem)
     net.set_deadline_capacities(candidate)
     value = push_relabel(net.graph, net.source, net.sink).value
-    if value >= problem.num_buckets - _EPS:
+    if value >= problem.num_buckets:
         return CertificateResult(
             True, False, T, candidate,
             reason=(
@@ -123,7 +123,7 @@ def certify_optimal(
     return CertificateResult(
         True, True, T, candidate,
         reason=(
-            f"max flow at {candidate:.6g} ms is {value:.6g} < "
+            f"max flow at {candidate:.6g} ms is {value} < "
             f"|Q| = {problem.num_buckets}: T is the least feasible "
             f"candidate"
         ),

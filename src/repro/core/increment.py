@@ -20,11 +20,6 @@ from repro.errors import InfeasibleScheduleError
 
 __all__ = ["MinCostIncrementer"]
 
-#: relative tolerance for "same cost" ties (costs are sums of catalogue
-#: floats; exact equality is what the paper's doubles did, but we guard
-#: against representation noise)
-_TIE_EPS = 1e-9
-
 
 class MinCostIncrementer:
     """Stateful Algorithm 3 bound to one retrieval network.
@@ -80,7 +75,7 @@ class MinCostIncrementer:
             cap = g.cap[arcs[j]]
             if in_deg[j] <= cap:
                 continue  # Algorithm 3 lines 3-5: delete exhausted edge
-            cost = sys_.finish_time(j, int(cap) + 1)
+            cost = sys_.finish_time(j, cap + 1)
             survivors.append(j)
             costs.append(cost)
             if cost < min_cost:
@@ -93,8 +88,11 @@ class MinCostIncrementer:
                 "is saturated (flow < |Q| implies a corrupt instance)"
             )
 
+        # exact-equality ties: every candidate cost for a given disk is the
+        # same float expression D_j + X_j + k*C_j, so equal costs compare
+        # equal bit-for-bit — the paper's doubles did the same
         for j, cost in zip(survivors, costs):
-            if cost <= min_cost + _TIE_EPS:
+            if cost == min_cost:
                 net.increment_sink_cap(j)
         self.steps += 1
         return min_cost

@@ -23,8 +23,6 @@ from repro.graph.flownetwork import FlowNetwork
 
 __all__ = ["RetrievalNetwork"]
 
-_EPS = 1e-9
-
 
 class RetrievalNetwork:
     """The mutable max-flow instance for one :class:`RetrievalProblem`."""
@@ -44,20 +42,30 @@ class RetrievalNetwork:
         self.replica_arcs: list[list[int]] = []
         #: disk→sink arc ids, indexed by disk
         self.sink_arcs: list[int] = []
-        #: per-disk replica multiplicity within this query (Algorithm 3's
-        #: ``in_degree``)
-        self.disk_in_degree: list[int] = [0] * N
 
         for i, reps in enumerate(problem.replicas):
             bv = self.bucket_vertex(i)
-            self.source_arcs.append(g.add_arc(self.source, bv, 1.0))
+            self.source_arcs.append(g.add_arc(self.source, bv, 1))
             arcs = []
             for d in sorted(set(reps)):
-                arcs.append(g.add_arc(bv, self.disk_vertex(d), 1.0))
-                self.disk_in_degree[d] += 1
+                arcs.append(g.add_arc(bv, self.disk_vertex(d), 1))
             self.replica_arcs.append(arcs)
         for j in range(N):
-            self.sink_arcs.append(g.add_arc(self.disk_vertex(j), self.sink, 0.0))
+            self.sink_arcs.append(g.add_arc(self.disk_vertex(j), self.sink, 0))
+
+    @property
+    def disk_in_degree(self) -> list[int]:
+        """Per-disk replica multiplicity within this query (Algorithm 3's
+        ``in_degree``).
+
+        Read straight from the graph's O(1) in-degree cache: the only
+        original arcs entering a disk vertex are the deduplicated
+        bucket→disk replica arcs, so no separate copy needs maintaining.
+        """
+        return [
+            self.graph.in_degree(self.disk_vertex(j))
+            for j in range(self.problem.num_disks)
+        ]
 
     # ------------------------------------------------------------------
     # vertex arithmetic
@@ -118,11 +126,10 @@ class RetrievalNetwork:
         over: dict[int, int] = {}
         for j, a in enumerate(self.sink_arcs):
             excess = g.flow[a] - g.cap[a]
-            if excess > 0.5:
-                units = int(round(excess))
-                over[self.disk_vertex(j)] = units
-                g.flow[a] -= units
-                g.flow[a ^ 1] += units
+            if excess > 0:
+                over[self.disk_vertex(j)] = excess
+                g.flow[a] -= excess
+                g.flow[a ^ 1] += excess
         if not over:
             if invariants.ENABLED:
                 invariants.check_clamped_network(self, "clamp_flow_to_sink_caps")
@@ -132,14 +139,14 @@ class RetrievalNetwork:
             if not over:
                 break
             for a in arcs:
-                if g.flow[a] > 0.5:
+                if g.flow[a] > 0:
                     need = over.get(g.head[a], 0)
                     if need:
-                        g.flow[a] -= 1.0
-                        g.flow[a ^ 1] += 1.0
+                        g.flow[a] -= 1
+                        g.flow[a ^ 1] += 1
                         sa = self.source_arcs[i]
-                        g.flow[sa] -= 1.0
-                        g.flow[sa ^ 1] += 1.0
+                        g.flow[sa] -= 1
+                        g.flow[sa ^ 1] += 1
                         cancelled += 1
                         if need == 1:
                             del over[g.head[a]]
@@ -154,29 +161,32 @@ class RetrievalNetwork:
     # capacity management
     # ------------------------------------------------------------------
     def sink_caps(self) -> list[int]:
-        """Current disk→sink capacities (integral by construction)."""
-        return [int(self.graph.cap[a]) for a in self.sink_arcs]
+        """Current disk→sink capacities (exact ints by construction)."""
+        return [self.graph.cap[a] for a in self.sink_arcs]
 
     def set_uniform_sink_caps(self, cap: int) -> None:
         """Set every disk→sink capacity to ``cap`` (basic problem)."""
         for a in self.sink_arcs:
-            self.graph.cap[a] = float(cap)
+            self.graph.cap[a] = cap
 
     def set_deadline_capacities(self, deadline_ms: float) -> None:
         """Capacities for candidate response time ``deadline_ms``
-        (Algorithm 6 lines 14-15)."""
+        (Algorithm 6 lines 14-15).
+
+        ``capacity_at`` is the single float→int boundary of the stack:
+        it maps the float deadline to an exact integer bucket count."""
         sys_ = self.problem.system
         for j, a in enumerate(self.sink_arcs):
-            self.graph.cap[a] = float(sys_.capacity_at(j, deadline_ms))
+            self.graph.cap[a] = sys_.capacity_at(j, deadline_ms)
 
     def increment_all_sink_caps(self) -> None:
         """Raise every disk→sink capacity by one (Algorithm 1 lines 6-7)."""
         for a in self.sink_arcs:
-            self.graph.cap[a] += 1.0
+            self.graph.cap[a] += 1
 
     def increment_sink_cap(self, j: int) -> None:
         """Raise disk ``j``'s disk→sink capacity by one (Algorithm 3)."""
-        self.graph.cap[self.sink_arcs[j]] += 1.0
+        self.graph.cap[self.sink_arcs[j]] += 1
 
     # ------------------------------------------------------------------
     # flow management
@@ -190,21 +200,21 @@ class RetrievalNetwork:
         """
         g = self.graph
         for a in self.source_arcs:
-            g.flow[a] = 1.0
-            g.flow[a ^ 1] = -1.0
+            g.flow[a] = 1
+            g.flow[a ^ 1] = -1
 
     # ------------------------------------------------------------------
     # flow inspection
     # ------------------------------------------------------------------
-    def flow_value(self) -> float:
+    def flow_value(self) -> int:
         """Net flow into the sink."""
         g = self.graph
         return -sum(g.flow[a] for a in g.adj[self.sink])
 
     def counts_per_disk(self) -> list[int]:
-        """Buckets currently routed through each disk."""
+        """Buckets currently routed through each disk (exact ints)."""
         g = self.graph
-        return [int(round(g.flow[a])) for a in self.sink_arcs]
+        return [g.flow[a] for a in self.sink_arcs]
 
     def assignment(self) -> dict[int, int]:
         """Extract bucket → disk from the current (integral) flow.
@@ -216,7 +226,7 @@ class RetrievalNetwork:
         for i, arcs in enumerate(self.replica_arcs):
             chosen = None
             for a in arcs:
-                if g.flow[a] > 0.5:
+                if g.flow[a] > 0:
                     chosen = self.disk_of_vertex(g.head[a])
                     break
             if chosen is None:

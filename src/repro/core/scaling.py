@@ -39,8 +39,6 @@ from repro.obs.trace import active_trace
 
 __all__ = ["Prober", "binary_scaling_solve", "incremental_solve"]
 
-_EPS = 1e-6
-
 
 class Prober(abc.ABC):
     """Strategy: run max-flow to completion at the current capacities.
@@ -58,8 +56,9 @@ class Prober(abc.ABC):
         """Bind to a network before the first probe."""
 
     @abc.abstractmethod
-    def probe(self) -> float:
-        """Solve max-flow at the current capacities; return flow value."""
+    def probe(self) -> int:
+        """Solve max-flow at the current capacities; return the exact
+        integer flow value."""
 
     @abc.abstractmethod
     def harvest(self, stats: SolverStats) -> None:
@@ -81,7 +80,7 @@ def _probe(
     t: float,
     phase: str,
     monitor: invariants.ProbeMonitor | None = None,
-) -> float:
+) -> int:
     """One feasibility probe; records a trace event when tracing is on.
 
     ``monitor`` (armed sanitizer only) validates the post-probe flow and
@@ -96,7 +95,7 @@ def _probe(
     flow = prober.probe()
     wall = time.perf_counter() - start
     p1, r1, a1 = prober.op_counts()
-    feasible = flow >= num_buckets - _EPS
+    feasible = flow >= num_buckets
     if trace is not None:
         trace.record(
             phase=phase,
@@ -153,7 +152,7 @@ def binary_scaling_solve(
     if warm:
         net.clamp_flow_to_sink_caps()
     flow = _probe(prober, stats, Q, tmin, "anchor", monitor)
-    if flow >= Q - _EPS:
+    if flow >= Q:
         tmax, tmin = tmin, 0.0
         g.reset_flow()
     saved = g.save_flow()
@@ -163,7 +162,7 @@ def binary_scaling_solve(
         tmid = tmin + (tmax - tmin) * 0.5
         net.set_deadline_capacities(tmid)
         flow = _probe(prober, stats, Q, tmid, "binary", monitor)
-        if flow >= Q - _EPS:
+        if flow >= Q:
             # feasible but maybe not optimal: back off to the stored flow
             if prober.conserves_flow:
                 g.restore_flow(saved)
@@ -217,7 +216,7 @@ def incremental_solve(
 
     t_cur = entry_deadline
     flow = _probe(prober, stats, Q, t_cur, "increment", monitor)
-    while flow < Q - _EPS:
+    while flow < Q:
         t_cur = inc.increment()
         stats.increments += 1
         flow = _probe(prober, stats, Q, t_cur, "increment", monitor)

@@ -76,7 +76,7 @@ def solve_min_work(
             disk = net.disk_of_vertex(net.graph.head[a])
             costs[a] = sys_.disk(disk).block_time_ms
     result = min_cost_max_flow(net.graph, net.source, net.sink, costs)
-    if result.value < problem.num_buckets - 1e-6:
+    if result.value < problem.num_buckets:
         raise InfeasibleScheduleError(
             "min-cost pass lost flow — capacities at the reported optimum "
             "do not admit |Q| (corrupt baseline schedule?)"
@@ -95,7 +95,9 @@ def solve_min_work(
         problem, assignment, net.response_time(), stats,
         solver=f"{solver}+min-work",
     )
-    if schedule.response_time_ms > T + 1e-6:
+    # capacity_at is the exact inverse of finish_time, so the min-cost
+    # flow's response time can never exceed T through rounding alone
+    if schedule.response_time_ms > T:
         raise InfeasibleScheduleError(
             "min-work schedule exceeded the optimal response time"
         )

@@ -17,7 +17,13 @@ from repro.graph.validation import (
     is_valid_flow,
     min_cut_reachable,
 )
-from repro.graph.io import from_dimacs, to_dimacs, to_networkx
+from repro.graph.io import (
+    from_dimacs,
+    from_json,
+    to_dimacs,
+    to_json,
+    to_networkx,
+)
 from repro.graph.stats import GraphStats, graph_stats, to_dot
 
 __all__ = [
@@ -33,6 +39,8 @@ __all__ = [
     "is_valid_flow",
     "min_cut_reachable",
     "from_dimacs",
+    "from_json",
     "to_dimacs",
+    "to_json",
     "to_networkx",
 ]

@@ -26,8 +26,17 @@ vector-shaped (capacity re-scaling of the disk→sink arcs in
 :mod:`repro.core.network`) use NumPy on views exported by
 :meth:`FlowNetwork.arrays`.
 
-Capacities are floats throughout; the retrieval problem only ever uses
-integral capacities, which floats represent exactly up to 2**53.
+Capacities and flows are **Python ints, exactly** — the integer kernel
+contract (see ``docs/ALGORITHMS.md``).  The paper's networks are purely
+integral (unit source→bucket and bucket→disk arcs; disk→sink capacities
+``floor((t - D_j - X_j) / C_j)``), so nothing is lost, and every layer
+above gains exact comparisons: no epsilon tolerances, no ``round()``
+repair, and no boundary-feasibility flips when a probe deadline lands
+exactly on a disk finish time.  Small-int compares and adds are also
+faster than float boxing in the scalar hot loops.  Constructors accept
+integral floats (``1.0``) for compatibility and reject fractional values
+loudly; the ``float-flow`` lint rule keeps float arithmetic from creeping
+back into any ``flow``/``cap`` slot under ``src/``.
 """
 
 from __future__ import annotations
@@ -41,6 +50,25 @@ from repro.errors import InvalidArcError, InvalidVertexError
 __all__ = ["Arc", "FlowNetwork"]
 
 
+def _exact_int(value: object, what: str) -> int:
+    """Coerce ``value`` to an int, rejecting anything non-integral.
+
+    Accepts ints and integral floats (legacy callers wrote ``1.0``);
+    raises :class:`InvalidArcError` for fractional, non-finite or
+    non-numeric values.  This is the only tolerance-free gate through
+    which a capacity or flow may enter the kernel.
+    """
+    if type(value) is int:
+        return value
+    try:
+        as_int = int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise InvalidArcError(f"{what} must be an integer, got {value!r}") from exc
+    if as_int != value or isinstance(value, bool):
+        raise InvalidArcError(f"{what} must be integral, got {value!r}")
+    return as_int
+
+
 @dataclass(frozen=True)
 class Arc:
     """An immutable snapshot of one arc, for inspection and debugging.
@@ -52,11 +80,11 @@ class Arc:
     index: int
     tail: int
     head: int
-    cap: float
-    flow: float
+    cap: int
+    flow: int
 
     @property
-    def residual(self) -> float:
+    def residual(self) -> int:
         """Remaining capacity ``cap - flow`` of this arc."""
         return self.cap - self.flow
 
@@ -67,7 +95,7 @@ class Arc:
 
 
 class FlowNetwork:
-    """Directed graph with paired arcs, capacities and a flow assignment.
+    """Directed graph with paired arcs, integer capacities and flows.
 
     Parameters
     ----------
@@ -82,17 +110,20 @@ class FlowNetwork:
     index.  :meth:`add_arc` returns the forward arc id.
     """
 
-    __slots__ = ("n", "head", "cap", "flow", "adj", "_tail")
+    __slots__ = ("n", "head", "cap", "flow", "adj", "_tail", "_in_deg")
 
     def __init__(self, n: int = 0) -> None:
         if n < 0:
             raise InvalidVertexError(f"vertex count must be >= 0, got {n}")
         self.n: int = n
         self.head: list[int] = []
-        self.cap: list[float] = []
-        self.flow: list[float] = []
+        self.cap: list[int] = []
+        self.flow: list[int] = []
         self.adj: list[list[int]] = [[] for _ in range(n)]
         self._tail: list[int] = []
+        #: per-vertex count of original arcs entering the vertex,
+        #: maintained by add_arc so in_degree() is O(1)
+        self._in_deg: list[int] = [0] * n
 
     # ------------------------------------------------------------------
     # construction
@@ -100,6 +131,7 @@ class FlowNetwork:
     def add_vertex(self) -> int:
         """Append a new vertex and return its id."""
         self.adj.append([])
+        self._in_deg.append(0)
         self.n += 1
         return self.n - 1
 
@@ -109,28 +141,31 @@ class FlowNetwork:
             raise InvalidVertexError(f"cannot add {count} vertices")
         return [self.add_vertex() for _ in range(count)]
 
-    def add_arc(self, u: int, v: int, cap: float) -> int:
-        """Add arc ``u -> v`` with capacity ``cap``; return its (even) id.
+    def add_arc(self, u: int, v: int, cap: int) -> int:
+        """Add arc ``u -> v`` with integer capacity ``cap``; return its (even) id.
 
         The residual twin ``v -> u`` with capacity 0 is created implicitly
-        at id ``add_arc(...) + 1``.
+        at id ``add_arc(...) + 1``.  Integral floats are accepted for
+        compatibility; fractional capacities raise.
         """
         self._check_vertex(u)
         self._check_vertex(v)
+        cap = _exact_int(cap, f"capacity on arc {u}->{v}")
         if cap < 0:
             raise InvalidArcError(f"negative capacity {cap} on arc {u}->{v}")
         a = len(self.head)
         self.head.append(v)
-        self.cap.append(float(cap))
-        self.flow.append(0.0)
+        self.cap.append(cap)
+        self.flow.append(0)
         self._tail.append(u)
         self.adj[u].append(a)
 
         self.head.append(u)
-        self.cap.append(0.0)
-        self.flow.append(0.0)
+        self.cap.append(0)
+        self.flow.append(0)
         self._tail.append(v)
         self.adj[v].append(a + 1)
+        self._in_deg[v] += 1
         return a
 
     # ------------------------------------------------------------------
@@ -151,7 +186,7 @@ class FlowNetwork:
         self._check_arc(a)
         return self._tail[a]
 
-    def residual(self, a: int) -> float:
+    def residual(self, a: int) -> int:
         """Residual capacity ``cap[a] - flow[a]`` of arc ``a``."""
         self._check_arc(a)
         return self.cap[a] - self.flow[a]
@@ -178,28 +213,30 @@ class FlowNetwork:
         return [a for a in self.adj[v] if a % 2 == 0]
 
     def in_degree(self, v: int) -> int:
-        """Number of original arcs entering ``v``.
+        """Number of original arcs entering ``v`` — O(1).
 
         Used by the paper's ``IncrementMinCost`` (Algorithm 3, lines 3-5):
         a disk vertex whose in-degree is already matched by its sink-arc
-        capacity cannot usefully receive a larger capacity.
+        capacity cannot usefully receive a larger capacity.  The count is
+        maintained incrementally by :meth:`add_arc` instead of re-scanning
+        ``adj[v]`` for residual twins on every call.
         """
         self._check_vertex(v)
-        # residual twins leaving v correspond to original arcs entering v
-        return sum(1 for a in self.adj[v] if a % 2 == 1)
+        return self._in_deg[v]
 
     # ------------------------------------------------------------------
     # flow manipulation
     # ------------------------------------------------------------------
-    def push(self, a: int, delta: float) -> None:
+    def push(self, a: int, delta: int) -> None:
         """Push ``delta`` units along arc ``a`` (and pull on its twin).
 
-        Raises if the push would exceed residual capacity (beyond a tiny
-        floating tolerance); engines that have already checked the residual
-        update the lists directly for speed.
+        Raises if the push would exceed residual capacity — exactly, with
+        no floating tolerance; engines that have already checked the
+        residual update the lists directly for speed.
         """
         self._check_arc(a)
-        if delta > self.cap[a] - self.flow[a] + 1e-9:
+        delta = _exact_int(delta, f"push delta on arc {a}")
+        if delta > self.cap[a] - self.flow[a]:
             raise InvalidArcError(
                 f"push of {delta} exceeds residual {self.cap[a] - self.flow[a]}"
                 f" on arc {a}"
@@ -207,14 +244,15 @@ class FlowNetwork:
         self.flow[a] += delta
         self.flow[a ^ 1] -= delta
 
-    def set_capacity(self, a: int, cap: float) -> None:
+    def set_capacity(self, a: int, cap: int) -> None:
         """Set the capacity of arc ``a`` (forward arcs only)."""
         self._check_arc(a)
         if a % 2 == 1:
             raise InvalidArcError("cannot set capacity of a residual twin")
+        cap = _exact_int(cap, f"capacity on arc {a}")
         if cap < 0:
             raise InvalidArcError(f"negative capacity {cap}")
-        self.cap[a] = float(cap)
+        self.cap[a] = cap
 
     def reset_flow(self) -> None:
         """Zero every flow value — the 'black box starts from scratch' case.
@@ -224,13 +262,13 @@ class FlowNetwork:
         """
         flow = self.flow
         for i in range(len(flow)):
-            flow[i] = 0.0
+            flow[i] = 0
 
-    def save_flow(self) -> list[float]:
+    def save_flow(self) -> list[int]:
         """Snapshot the flow assignment (Algorithm 6's ``StoreFlows``)."""
         return list(self.flow)
 
-    def restore_flow(self, saved: list[float]) -> None:
+    def restore_flow(self, saved: list[int]) -> None:
         """Restore a snapshot taken by :meth:`save_flow` (``RestoreFlows``).
 
         Mutates in place (never rebinds) so views handed out by
@@ -256,6 +294,7 @@ class FlowNetwork:
         g.flow = list(self.flow)
         g._tail = list(self._tail)
         g.adj = [list(lst) for lst in self.adj]
+        g._in_deg = list(self._in_deg)
         return g
 
     def vertices(self) -> range:
@@ -279,7 +318,7 @@ class FlowNetwork:
     # ------------------------------------------------------------------
     # bulk views
     # ------------------------------------------------------------------
-    def arrays(self) -> tuple[list[int], list[float], list[float], list[list[int]]]:
+    def arrays(self) -> tuple[list[int], list[int], list[int], list[list[int]]]:
         """Expose the raw parallel lists ``(head, cap, flow, adj)``.
 
         Max-flow engines bind these to locals once per solve; mutating them
@@ -289,7 +328,7 @@ class FlowNetwork:
 
 
 def build_network(
-    n: int, arcs: Iterable[tuple[int, int, float]]
+    n: int, arcs: Iterable[tuple[int, int, int]]
 ) -> tuple[FlowNetwork, list[int]]:
     """Convenience builder: create a network and add ``arcs``.
 

@@ -21,7 +21,7 @@ class GraphStats:
     num_arcs: int
     max_out_degree: int
     mean_out_degree: float
-    total_capacity: float
+    total_capacity: int
     saturated_arcs: int
     flow_carrying_arcs: int
 
@@ -35,14 +35,14 @@ class GraphStats:
 def graph_stats(g: FlowNetwork) -> GraphStats:
     """Compute a :class:`GraphStats` snapshot (forward arcs only)."""
     out_deg = [0] * g.n
-    total_cap = 0.0
+    total_cap = 0
     saturated = carrying = 0
     for arc in g.arcs():
         out_deg[arc.tail] += 1
         total_cap += arc.cap
-        if arc.flow > 1e-9:
+        if arc.flow > 0:
             carrying += 1
-            if arc.residual <= 1e-9:
+            if arc.residual <= 0:
                 saturated += 1
     return GraphStats(
         num_vertices=g.n,
@@ -78,10 +78,10 @@ def to_dot(
             lines.append(f"  {v} [{', '.join(attrs)}];")
     for arc in g.arcs():
         if show_flow:
-            label = f"{arc.flow:g}/{arc.cap:g}"
+            label = f"{arc.flow:d}/{arc.cap:d}"
         else:
-            label = f"{arc.cap:g}"
-        style = ", penwidth=2" if (show_flow and arc.flow > 1e-9) else ""
+            label = f"{arc.cap:d}"
+        style = ", penwidth=2" if (show_flow and arc.flow > 0) else ""
         lines.append(
             f'  {arc.tail} -> {arc.head} [label="{label}"{style}];'
         )

@@ -4,6 +4,10 @@ These checks are the safety net for every engine in :mod:`repro.maxflow`
 and for Algorithm 6's store/restore machinery: after any solve (and in
 property tests, after *every* probe) we can assert that the arrays still
 describe a legal flow.
+
+With the integer kernel, every check is **exact**: capacities, flows and
+excesses are ints, so there is no tolerance band — a single unit of
+violation is a violation.
 """
 
 from __future__ import annotations
@@ -22,17 +26,15 @@ __all__ = [
     "min_cut_reachable",
 ]
 
-_EPS = 1e-6
 
-
-def excess_of(g: FlowNetwork, v: int) -> float:
+def excess_of(g: FlowNetwork, v: int) -> int:
     """Net flow *into* vertex ``v`` (inflow minus outflow).
 
     For a valid flow this is zero everywhere except the source (negative)
     and sink (positive); for a preflow it is non-negative away from the
     source.
     """
-    total = 0.0
+    total = 0
     for a in g.out_arcs(v):
         # flow on an arc leaving v counts against v's excess; residual twins
         # carry the negated inflow, so summing -flow over out-arcs gives the
@@ -41,7 +43,7 @@ def excess_of(g: FlowNetwork, v: int) -> float:
     return total
 
 
-def flow_value(g: FlowNetwork, s: int, t: int) -> float:
+def flow_value(g: FlowNetwork, s: int, t: int) -> int:
     """Value of the current flow: net flow into the sink ``t``."""
     del s  # kept for signature symmetry with the max-flow engines
     return excess_of(g, t)
@@ -50,11 +52,11 @@ def flow_value(g: FlowNetwork, s: int, t: int) -> float:
 def _capacity_violations(g: FlowNetwork) -> list[str]:
     bad = []
     for a in range(g.num_arc_slots):
-        if g.flow[a] > g.cap[a] + _EPS:
+        if g.flow[a] > g.cap[a]:
             bad.append(
                 f"arc {a} ({g.tail(a)}->{g.head[a]}): flow {g.flow[a]} > cap {g.cap[a]}"
             )
-        if g.flow[a] + g.flow[a ^ 1] > _EPS or g.flow[a] + g.flow[a ^ 1] < -_EPS:
+        if g.flow[a] + g.flow[a ^ 1] != 0:
             bad.append(f"arc {a}: antisymmetry broken (f + f_twin != 0)")
     return bad
 
@@ -72,14 +74,15 @@ def assert_valid_flow(g: FlowNetwork, s: int, t: int) -> None:
     """Raise :class:`FlowValidationError` unless the assignment is a flow.
 
     Checks capacity constraints, antisymmetry of twins, and conservation
-    (Equation 1 of the paper) at every vertex except ``s`` and ``t``.
+    (Equation 1 of the paper) at every vertex except ``s`` and ``t`` —
+    all by exact integer comparison.
     """
     problems = _capacity_violations(g)
     for v in g.vertices():
         if v in (s, t):
             continue
         ex = excess_of(g, v)
-        if abs(ex) > _EPS:
+        if ex != 0:
             problems.append(f"vertex {v}: excess {ex} != 0")
     if problems:
         raise FlowValidationError("; ".join(problems[:10]))
@@ -96,7 +99,7 @@ def assert_valid_preflow(g: FlowNetwork, s: int, t: int) -> None:
         if v == s:
             continue
         ex = excess_of(g, v)
-        if ex < -_EPS:
+        if ex < 0:
             problems.append(f"vertex {v}: negative excess {ex}")
     if problems:
         raise FlowValidationError("; ".join(problems[:10]))
@@ -114,7 +117,7 @@ def min_cut_reachable(g: FlowNetwork, s: int) -> set[int]:
     while queue:
         v = queue.popleft()
         for a in adj[v]:
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if w not in seen:
                     seen.add(w)

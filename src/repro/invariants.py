@@ -68,8 +68,7 @@ def check_antisymmetry(graph, context: str) -> None:
     """Every arc and its residual twin must carry opposite flow."""
     flow = graph.flow
     for a in range(0, len(flow), 2):
-        paired = flow[a] + flow[a + 1]
-        if paired > 1e-9 or paired < -1e-9:
+        if flow[a] + flow[a + 1] != 0:
             raise InvariantViolation(
                 f"{context}: antisymmetry broken on arc {a} "
                 f"(flow {flow[a]} + twin {flow[a + 1]} != 0)"
@@ -90,7 +89,7 @@ def check_clamped_network(network, context: str) -> None:
     """After clamping, the warm flow must sit within every capacity."""
     g = network.graph
     for j, a in enumerate(network.sink_arcs):
-        if g.flow[a] > g.cap[a] + 1e-9:
+        if g.flow[a] > g.cap[a]:
             raise InvariantViolation(
                 f"{context}: disk {j} still overloaded after clamp "
                 f"(flow {g.flow[a]} > cap {g.cap[a]})"
@@ -135,7 +134,10 @@ class ProbeMonitor:
             self._min_feasible_t = min(self._min_feasible_t, t)
         else:
             self._max_infeasible_t = max(self._max_infeasible_t, t)
-        if self._min_feasible_t < self._max_infeasible_t - 1e-9:
+        # exact: probes at the same float deadline compare equal, and
+        # capacity_at is the exact inverse of finish_time, so any strict
+        # inversion is a genuine monotonicity break
+        if self._min_feasible_t < self._max_infeasible_t:
             raise InvariantViolation(
                 "probe monotonicity broken: "
                 f"t={self._min_feasible_t} probed feasible but "

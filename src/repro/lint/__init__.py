@@ -13,6 +13,9 @@ rule                          contract
                               in the two network-owning files
 ``integer-capacity``          no float ``==``, ``/`` or fractional
                               literals in capacity arithmetic
+``float-flow``                no float literal, ``/`` result,
+                              ``float()`` cast or epsilon comparison
+                              reaches a flow/cap slot anywhere in src/
 ``registry-completeness``     every solver/engine registered and tested
 ``unused-import`` et al.      hygiene (mirrors the ruff CI gate)
 ============================  =========================================

@@ -17,7 +17,7 @@ from repro.lint.rules_hygiene import (
     UnusedImportRule,
 )
 from repro.lint.rules_locks import LockDisciplineRule
-from repro.lint.rules_numeric import IntegerCapacityRule
+from repro.lint.rules_numeric import FloatFlowRule, IntegerCapacityRule
 from repro.lint.rules_registry import RegistryCompletenessRule
 
 __all__ = ["default_rules", "format_report", "lint_repo", "rule_catalog"]
@@ -29,6 +29,7 @@ def default_rules() -> list[Rule]:
         LockDisciplineRule(),
         FlowEncapsulationRule(),
         IntegerCapacityRule(),
+        FloatFlowRule(),
         UnusedImportRule(),
         MutableDefaultRule(),
         ShadowedBuiltinRule(),

@@ -17,7 +17,8 @@ class MaxFlowResult:
     Attributes
     ----------
     value:
-        The flow value reached (net inflow to the sink).
+        The flow value reached (net inflow to the sink) — an exact int
+        under the integer kernel contract.
     augmentations:
         Number of augmenting paths (path-based engines) — 0 for
         push–relabel engines.
@@ -28,7 +29,7 @@ class MaxFlowResult:
         work split for the parallel engine).
     """
 
-    value: float
+    value: int
     augmentations: int = 0
     pushes: int = 0
     relabels: int = 0

@@ -16,12 +16,10 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["capacity_scaling_ff", "CapacityScalingEngine"]
 
-_EPS = 1e-9
-
 
 def _augment_with_threshold(
-    g: FlowNetwork, s: int, t: int, delta: float
-) -> float:
+    g: FlowNetwork, s: int, t: int, delta: int
+) -> int:
     """DFS for an augmenting path with residuals >= delta; push bottleneck."""
     head, cap, flow, adj = g.arrays()
     visited = bytearray(g.n)
@@ -36,7 +34,7 @@ def _augment_with_threshold(
         while i < len(arcs):
             a = arcs[i]
             i += 1
-            if cap[a] - flow[a] >= delta - _EPS:
+            if cap[a] - flow[a] >= delta:
                 w = head[a]
                 if not visited[w]:
                     frame[1] = i
@@ -57,7 +55,7 @@ def _augment_with_threshold(
                 stack.pop()
                 if path:
                     path.pop()
-    return 0.0
+    return 0
 
 
 def capacity_scaling_ff(
@@ -66,17 +64,17 @@ def capacity_scaling_ff(
     """Maximum flow via Δ-scaling augmenting paths."""
     if not warm_start:
         g.reset_flow()
-    max_cap = max((c for c in g.cap if c > 0), default=0.0)
-    delta = 1.0
+    max_cap = max((c for c in g.cap if c > 0), default=0)
+    delta = 1
     while delta * 2 <= max_cap:
         delta *= 2
     augments = 0
     phases = 0
-    while delta >= 1.0 - _EPS:
+    while delta >= 1:
         phases += 1
-        while _augment_with_threshold(g, s, t, delta) > 0.0:
+        while _augment_with_threshold(g, s, t, delta) > 0:
             augments += 1
-        delta /= 2
+        delta //= 2
     value = -sum(g.flow[a] for a in g.adj[t])
     return MaxFlowResult(
         value=value, augmentations=augments, extra={"phases": phases}

@@ -16,8 +16,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["dinic", "DinicEngine"]
 
-_EPS = 1e-9
-
 
 def _build_levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
     """BFS level graph on residual arcs; None if t unreachable."""
@@ -28,7 +26,7 @@ def _build_levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
     while queue:
         v = queue.popleft()
         for a in adj[v]:
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if level[w] < 0:
                     level[w] = level[v] + 1
@@ -38,10 +36,10 @@ def _build_levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
 
 def _blocking_flow(
     g: FlowNetwork, s: int, t: int, level: list[int], it: list[int]
-) -> float:
+) -> int:
     """Send a blocking flow through the level graph (iterative DFS)."""
     head, cap, flow, adj = g.arrays()
-    total = 0.0
+    total = 0
     while True:
         # find one augmenting path within the level graph
         path: list[int] = []
@@ -51,7 +49,7 @@ def _blocking_flow(
             advanced = False
             while it[v] < len(arcs):
                 a = arcs[it[v]]
-                if cap[a] - flow[a] > _EPS and level[head[a]] == level[v] + 1:
+                if cap[a] - flow[a] > 0 and level[head[a]] == level[v] + 1:
                     path.append(a)
                     v = head[a]
                     advanced = True

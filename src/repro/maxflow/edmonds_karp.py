@@ -15,10 +15,8 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["edmonds_karp", "EdmondsKarpEngine"]
 
-_EPS = 1e-9
 
-
-def _bfs_augment(g: FlowNetwork, s: int, t: int) -> float:
+def _bfs_augment(g: FlowNetwork, s: int, t: int) -> int:
     """One BFS phase: find a shortest augmenting path, push its bottleneck."""
     head, cap, flow, adj = g.arrays()
     parent_arc = [-1] * g.n
@@ -27,7 +25,7 @@ def _bfs_augment(g: FlowNetwork, s: int, t: int) -> float:
     while queue:
         v = queue.popleft()
         for a in adj[v]:
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if parent_arc[w] == -1:
                     parent_arc[w] = a
@@ -36,13 +34,15 @@ def _bfs_augment(g: FlowNetwork, s: int, t: int) -> float:
                         break
                     queue.append(w)
     if parent_arc[t] == -1:
-        return 0.0
-    # walk back to find bottleneck
-    delta = float("inf")
+        return 0
+    # walk back to find bottleneck (-1 sentinel: "no arc seen yet")
+    delta = -1
     v = t
     while v != s:
         a = parent_arc[v]
-        delta = min(delta, cap[a] - flow[a])
+        r = cap[a] - flow[a]
+        if delta < 0 or r < delta:
+            delta = r
         v = g.tail(a)
     v = t
     while v != s:
@@ -60,7 +60,7 @@ def edmonds_karp(
     if not warm_start:
         g.reset_flow()
     augments = 0
-    while _bfs_augment(g, s, t) > 0.0:
+    while _bfs_augment(g, s, t) > 0:
         augments += 1
     from repro.graph.validation import flow_value
 

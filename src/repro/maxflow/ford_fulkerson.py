@@ -14,6 +14,9 @@ example in ``tests/core/test_paper_example.py``).
 find one unit-augmenting path from an arbitrary start vertex (a bucket) to
 the sink.  :class:`FordFulkersonEngine` wraps it into a standard s-t
 max-flow solver for the generic engine registry.
+
+All arithmetic is exact integer arithmetic on the int kernel: residual
+tests are ``> 0``, bottlenecks are int mins, and the flow value is an int.
 """
 
 from __future__ import annotations
@@ -22,8 +25,6 @@ from repro.graph.flownetwork import FlowNetwork
 from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["augment_unit_from", "ford_fulkerson", "FordFulkersonEngine"]
-
-_EPS = 1e-9
 
 
 def augment_unit_from(g: FlowNetwork, start: int, t: int) -> bool:
@@ -54,15 +55,15 @@ def augment_unit_from(g: FlowNetwork, start: int, t: int) -> bool:
         while i < len(arcs):
             a = arcs[i]
             i += 1
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if not visited[w]:
                     frame[1] = i
                     path.append(a)
                     if w == t:
                         for b in path:
-                            flow[b] += 1.0
-                            flow[b ^ 1] -= 1.0
+                            flow[b] += 1
+                            flow[b ^ 1] -= 1
                         return True
                     visited[w] = 1
                     stack.append([w, 0])
@@ -77,7 +78,7 @@ def augment_unit_from(g: FlowNetwork, start: int, t: int) -> bool:
     return False
 
 
-def _augment_max_from(g: FlowNetwork, s: int, t: int) -> float:
+def _augment_max_from(g: FlowNetwork, s: int, t: int) -> int:
     """Find one augmenting path s→t and push its bottleneck; 0 if none."""
     head, cap, flow, adj = g.arrays()
     visited = bytearray(g.n)
@@ -92,7 +93,7 @@ def _augment_max_from(g: FlowNetwork, s: int, t: int) -> float:
         while i < len(arcs):
             a = arcs[i]
             i += 1
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if not visited[w]:
                     frame[1] = i
@@ -113,7 +114,7 @@ def _augment_max_from(g: FlowNetwork, s: int, t: int) -> float:
                 stack.pop()
                 if path:
                     path.pop()
-    return 0.0
+    return 0
 
 
 def ford_fulkerson(
@@ -127,13 +128,8 @@ def ford_fulkerson(
     """
     if not warm_start:
         g.reset_flow()
-    value = 0.0
     augments = 0
-    while True:
-        delta = _augment_max_from(g, s, t)
-        if delta <= 0.0:
-            break
-        value += delta
+    while _augment_max_from(g, s, t) > 0:
         augments += 1
     # When warm-starting, the pre-existing flow also counts toward value.
     from repro.graph.validation import flow_value

@@ -17,8 +17,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["highest_label", "HighestLabelEngine"]
 
-_EPS = 1e-9
-
 
 def highest_label(
     g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
@@ -37,14 +35,14 @@ def highest_label(
     # cancel preserved flow on arcs into the source (residual s->w arcs
     # break the height-validity invariant; cf. PushRelabelState.initialize)
     for b in adj[s]:
-        if b % 2 == 1 and flow[b ^ 1] > _EPS:
-            flow[b ^ 1] = 0.0
-            flow[b] = 0.0
+        if b % 2 == 1 and flow[b ^ 1] > 0:
+            flow[b ^ 1] = 0
+            flow[b] = 0
 
     # exact excesses from any preserved assignment, then saturate source
-    excess = [0.0] * n
+    excess = [0] * n
     for v in range(n):
-        ev = 0.0
+        ev = 0
         for a in adj[v]:
             ev -= flow[a]
         excess[v] = ev
@@ -52,11 +50,11 @@ def highest_label(
         if a % 2 == 1:
             continue
         delta = cap[a] - flow[a]
-        if delta > _EPS:
+        if delta > 0:
             flow[a] += delta
             flow[a ^ 1] -= delta
             excess[head[a]] += delta
-    excess[s] = 0.0
+    excess[s] = 0
 
     height = [0] * n
     height[s] = n
@@ -67,7 +65,7 @@ def highest_label(
     in_bucket = bytearray(n)
     highest = 0
     for v in range(n):
-        if v != s and v != t and excess[v] > _EPS:
+        if v != s and v != t and excess[v] > 0:
             buckets[0].append(v)
             in_bucket[v] = 1
 
@@ -79,12 +77,12 @@ def highest_label(
             break
         v = buckets[highest].pop()
         in_bucket[v] = 0
-        if v == s or v == t or excess[v] <= _EPS:
+        if v == s or v == t or excess[v] <= 0:
             continue
         hv = height[v]
         if hv != highest:
             # stale entry (vertex was relabelled since queued): requeue
-            if hv <= two_n and excess[v] > _EPS and not in_bucket[v]:
+            if hv <= two_n and excess[v] > 0 and not in_bucket[v]:
                 buckets[hv].append(v)
                 in_bucket[v] = 1
                 if hv > highest:
@@ -94,10 +92,10 @@ def highest_label(
         deg = len(arcs)
         i = current[v]
         ev = excess[v]
-        while ev > _EPS:
+        while ev > 0:
             if i < deg:
                 a = arcs[i]
-                if cap[a] - flow[a] > _EPS:
+                if cap[a] - flow[a] > 0:
                     w = head[a]
                     if hv == height[w] + 1:
                         delta = ev if ev < cap[a] - flow[a] else cap[a] - flow[a]
@@ -114,7 +112,7 @@ def highest_label(
                 relabels += 1
                 new_h = two_n
                 for a in arcs:
-                    if cap[a] - flow[a] > _EPS:
+                    if cap[a] - flow[a] > 0:
                         hw = height[head[a]]
                         if hw + 1 < new_h:
                             new_h = hw + 1
@@ -125,7 +123,7 @@ def highest_label(
                     break  # stranded (impossible for valid preflows)
         excess[v] = ev
         current[v] = i if i < deg else 0
-        if ev > _EPS and height[v] < two_n and not in_bucket[v]:
+        if ev > 0 and height[v] < two_n and not in_bucket[v]:
             buckets[height[v]].append(v)
             in_bucket[v] = 1
         if height[v] > highest:

@@ -18,7 +18,8 @@ from repro.maxflow.base import MaxFlowResult
 
 __all__ = ["min_cost_max_flow"]
 
-_EPS = 1e-9
+#: infinity sentinel for *cost-space* Dijkstra distances.  Costs (response
+#: times) stay float by design; flows and capacities below are exact ints.
 _INF = float("inf")
 
 
@@ -54,7 +55,7 @@ def min_cost_max_flow(
     g.reset_flow()
 
     potential = [0.0] * n  # all forward costs >= 0 and flow = 0: valid
-    total_flow = 0.0
+    total_flow = 0
     total_cost = 0.0
     augments = 0
 
@@ -71,7 +72,7 @@ def min_cost_max_flow(
                 continue
             done[v] = 1
             for a in adj[v]:
-                if cap[a] - flow[a] > _EPS:
+                if cap[a] - flow[a] > 0:
                     w = head[a]
                     if done[w]:
                         continue
@@ -85,12 +86,14 @@ def min_cost_max_flow(
         for v in range(n):
             if dist[v] < _INF:
                 potential[v] += dist[v]
-        # bottleneck along the shortest path
-        delta = _INF
+        # bottleneck along the shortest path (-1 sentinel: no arc yet)
+        delta = -1
         v = t
         while v != s:
             a = parent_arc[v]
-            delta = min(delta, cap[a] - flow[a])
+            r = cap[a] - flow[a]
+            if delta < 0 or r < delta:
+                delta = r
             v = g.tail(a)
         v = t
         while v != s:

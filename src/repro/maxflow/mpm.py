@@ -17,9 +17,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["mpm", "MpmEngine"]
 
-_EPS = 1e-9
-_INF = float("inf")
-
 
 def _levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
     head, cap, flow, adj = g.arrays()
@@ -29,7 +26,7 @@ def _levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
     while dq:
         v = dq.popleft()
         for a in adj[v]:
-            if cap[a] - flow[a] > _EPS:
+            if cap[a] - flow[a] > 0:
                 w = head[a]
                 if level[w] < 0:
                     level[w] = level[v] + 1
@@ -37,34 +34,34 @@ def _levels(g: FlowNetwork, s: int, t: int) -> list[int] | None:
     return level if level[t] >= 0 else None
 
 
-def _blocking_flow_mpm(g: FlowNetwork, s: int, t: int, level: list[int]) -> float:
+def _blocking_flow_mpm(g: FlowNetwork, s: int, t: int, level: list[int]) -> int:
     head, cap, flow, adj = g.arrays()
     n = g.n
     # level-graph arcs per vertex (forward = level+1 only)
     out_arcs: list[list[int]] = [[] for _ in range(n)]
     in_arcs: list[list[int]] = [[] for _ in range(n)]
-    in_pot = [0.0] * n
-    out_pot = [0.0] * n
+    in_pot = [0] * n
+    out_pot = [0] * n
     for v in range(n):
         if level[v] < 0:
             continue
         for a in adj[v]:
             w = head[a]
-            if cap[a] - flow[a] > _EPS and level[w] == level[v] + 1:
+            if cap[a] - flow[a] > 0 and level[w] == level[v] + 1:
                 out_arcs[v].append(a)
                 in_arcs[w].append(a)
                 out_pot[v] += cap[a] - flow[a]
                 in_pot[w] += cap[a] - flow[a]
     alive = [level[v] >= 0 for v in range(n)]
 
-    def potential(v: int) -> float:
+    def potential(v: int) -> int:
         if v == s:
             return out_pot[v]
         if v == t:
             return in_pot[v]
         return min(in_pot[v], out_pot[v])
 
-    def push_dir(start: int, amount: float, towards_sink: bool) -> None:
+    def push_dir(start: int, amount: int, towards_sink: bool) -> None:
         """Propagate ``amount`` from ``start`` through the level graph —
         forward to the sink or backward to the source.  MPM's invariant
         (``amount`` <= every alive vertex's potential) guarantees each
@@ -77,16 +74,16 @@ def _blocking_flow_mpm(g: FlowNetwork, s: int, t: int, level: list[int]) -> floa
             reverse=not towards_sink,
         )
         for v in order:
-            need = excess.get(v, 0.0)
-            if need <= _EPS or v == terminal:
+            need = excess.get(v, 0)
+            if need <= 0 or v == terminal:
                 continue
             arcs = out_arcs[v] if towards_sink else in_arcs[v]
             for a in arcs:
-                if need <= _EPS:
+                if need <= 0:
                     break
                 w = head[a] if towards_sink else g.tail(a)
                 residual = cap[a] - flow[a]
-                if residual <= _EPS or not alive[w]:
+                if residual <= 0 or not alive[w]:
                     continue
                 delta = need if need < residual else residual
                 flow[a] += delta
@@ -94,7 +91,7 @@ def _blocking_flow_mpm(g: FlowNetwork, s: int, t: int, level: list[int]) -> floa
                 out_pot[g.tail(a)] -= delta
                 in_pot[head[a]] -= delta
                 need -= delta
-                excess[w] = excess.get(w, 0.0) + delta
+                excess[w] = excess.get(w, 0) + delta
             excess[v] = need
 
     def delete_vertex(r: int) -> None:
@@ -108,18 +105,18 @@ def _blocking_flow_mpm(g: FlowNetwork, s: int, t: int, level: list[int]) -> floa
             if alive[v]:
                 out_pot[v] -= cap[a] - flow[a]
 
-    total = 0.0
+    total = 0
     while True:
         # min-potential alive vertex
-        best, best_p = -1, _INF
+        best, best_p = -1, -1
         for v in range(n):
             if alive[v]:
                 p = potential(v)
-                if p < best_p:
+                if best < 0 or p < best_p:
                     best, best_p = v, p
         if best < 0 or not alive[s] or not alive[t]:
             break
-        if best_p <= _EPS:
+        if best_p <= 0:
             delete_vertex(best)
             continue
         r = best

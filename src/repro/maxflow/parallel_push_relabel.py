@@ -44,8 +44,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["ParallelStats", "parallel_push_relabel", "ParallelPushRelabelEngine"]
 
-_EPS = 1e-9
-
 
 @dataclass
 class ParallelStats:
@@ -83,7 +81,7 @@ class _SharedState:
         self.t = t
         n = g.n
         self.n = n
-        self.excess = [0.0] * n
+        self.excess = [0] * n
         self.height = [0] * n
         self.vlocks = [threading.Lock() for _ in range(n)]
         self.queue: deque[int] = deque()
@@ -179,7 +177,7 @@ def _exact_heights(g: FlowNetwork, s: int, t: int) -> list[int]:
         v = dq.popleft()
         hv1 = height[v] + 1
         for a in adj[v]:
-            if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+            if cap[a ^ 1] - flow[a ^ 1] > 0:
                 w = head[a]
                 if height[w] > hv1:
                     height[w] = hv1
@@ -194,7 +192,7 @@ def _exact_heights(g: FlowNetwork, s: int, t: int) -> list[int]:
             v = dq.popleft()
             dv1 = dist_s[v] + 1
             for a in adj[v]:
-                if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+                if cap[a ^ 1] - flow[a ^ 1] > 0:
                     w = head[a]
                     if dist_s[w] > dv1:
                         dist_s[w] = dv1
@@ -230,19 +228,19 @@ def _worker(state: _SharedState, tid: int, stats: ParallelStats) -> None:
         while True:
             if state.gr_request:
                 # heights are about to change wholesale; requeue and park
-                if excess[v] > _EPS:
+                if excess[v] > 0:
                     state.enqueue(v)
                 break
             height = state.height  # re-read: global relabel swaps the list
             ev = excess[v]
-            if ev <= _EPS:
+            if ev <= 0:
                 break
             # find the lowest-height residual neighbour ([31] §3: push goes
             # to the lowest neighbour, relabel lifts just above it)
             best_arc = -1
             best_h = two_n + 1
             for a in adj[v]:
-                if cap[a] - flow[a] > _EPS:
+                if cap[a] - flow[a] > 0:
                     h = height[head[a]]
                     if h < best_h:
                         best_h = h
@@ -259,8 +257,8 @@ def _worker(state: _SharedState, tid: int, stats: ParallelStats) -> None:
                         residual = cap[best_arc] - flow[best_arc]
                         ev = excess[v]
                         if (
-                            residual > _EPS
-                            and ev > _EPS
+                            residual > 0
+                            and ev > 0
                             and height[v] > height[w]
                         ):
                             delta = ev if ev < residual else residual
@@ -269,7 +267,7 @@ def _worker(state: _SharedState, tid: int, stats: ParallelStats) -> None:
                             excess[v] = ev - delta
                             excess[w] += delta
                             pushes += 1
-                            if w != s and w != t and excess[w] > _EPS:
+                            if w != s and w != t and excess[w] > 0:
                                 state.enqueue(w)
                         # else: a concurrent update invalidated the plan;
                         # loop re-reads and retries (the [31] retry path)
@@ -319,13 +317,13 @@ def parallel_push_relabel(
     # cancel preserved flow on arcs into the source (residual s->w arcs
     # break the height-validity invariant; cf. PushRelabelState.initialize)
     for b in adj[s]:
-        if b % 2 == 1 and flow[b ^ 1] > _EPS:
-            flow[b ^ 1] = 0.0
-            flow[b] = 0.0
+        if b % 2 == 1 and flow[b ^ 1] > 0:
+            flow[b ^ 1] = 0
+            flow[b] = 0
 
     # exact excesses from the preserved assignment (cf. PushRelabelState)
     for v in range(state.n):
-        ev = 0.0
+        ev = 0
         for a in adj[v]:
             ev -= flow[a]
         state.excess[v] = ev
@@ -335,16 +333,16 @@ def parallel_push_relabel(
         if a % 2 == 1:
             continue
         delta = cap[a] - flow[a]
-        if delta > _EPS:
+        if delta > 0:
             w = head[a]
             flow[a] += delta
             flow[a ^ 1] -= delta
             state.excess[w] += delta
-    state.excess[s] = 0.0
+    state.excess[s] = 0
 
     state.height = _exact_heights(g, s, t)
     for v in range(state.n):
-        if v != s and v != t and state.excess[v] > _EPS:
+        if v != s and v != t and state.excess[v] > 0:
             state.enqueue(v)
 
     stats = ParallelStats(

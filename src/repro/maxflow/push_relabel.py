@@ -40,8 +40,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["PushRelabelState", "push_relabel", "PushRelabelEngine"]
 
-_EPS = 1e-9
-
 
 class PushRelabelState:
     """Re-entrant push–relabel machinery bound to one network.
@@ -94,7 +92,7 @@ class PushRelabelState:
         self.global_relabel_interval = global_relabel_interval
         self.gap_heuristic = gap_heuristic
 
-        self.excess: list[float] = [0.0] * n
+        self.excess: list[int] = [0] * n
         self.height: list[int] = [0] * n
         self.current: list[int] = [0] * n
         self.queue: deque[int] = deque()
@@ -133,9 +131,9 @@ class PushRelabelState:
         # transformation.  (Retrieval networks have no arcs into s; this
         # matters for the generic engine API.)
         for b in adj[s]:
-            if b % 2 == 1 and flow[b ^ 1] > _EPS:
-                flow[b ^ 1] = 0.0
-                flow[b] = 0.0
+            if b % 2 == 1 and flow[b ^ 1] > 0:
+                flow[b ^ 1] = 0
+                flow[b] = 0
 
         # Exact excesses from the preserved assignment: net inflow per
         # vertex.  For a valid starting *flow* this is zero away from s/t
@@ -143,9 +141,9 @@ class PushRelabelState:
         # makes warm starts from any valid *preflow* safe.  The sink excess
         # must reflect flow already delivered in earlier probes, otherwise
         # Algorithm 5's `excess[t] == |Q|` test cannot see it.
-        excess = [0.0] * n
+        excess = [0] * n
         for v in range(n):
-            ev = 0.0
+            ev = 0
             for a in adj[v]:
                 ev -= flow[a]
             excess[v] = ev
@@ -156,7 +154,7 @@ class PushRelabelState:
         for a in adj[s]:
             if a % 2 == 1:
                 continue
-            if flow[a] > cap[a] + 1e-6:
+            if flow[a] > cap[a]:
                 # A caller lowered a source-arc capacity without restoring a
                 # compatible flow; refuse to solve a corrupted instance.
                 raise ValueError(
@@ -164,16 +162,16 @@ class PushRelabelState:
                     "compatible flow before re-initializing (see DESIGN.md)"
                 )
             delta = cap[a] - flow[a]
-            if delta > _EPS:
+            if delta > 0:
                 v = head[a]
                 flow[a] += delta
                 flow[a ^ 1] -= delta
                 excess[v] += delta
 
         # Algorithm 5 line 14: the source's (negative) excess is irrelevant.
-        excess[s] = 0.0
+        excess[s] = 0
         for v in range(n):
-            if v != s and v != t and excess[v] > _EPS:
+            if v != s and v != t and excess[v] > 0:
                 self.queue.append(v)
                 self.in_queue[v] = 1
 
@@ -187,7 +185,7 @@ class PushRelabelState:
         self._rebuild_height_count()
 
     # ------------------------------------------------------------------
-    def run(self) -> float:
+    def run(self) -> int:
         """Discharge until no active vertices remain; return flow value.
 
         Must be preceded by :meth:`initialize`.
@@ -208,17 +206,17 @@ class PushRelabelState:
             if v == s or v == t:
                 continue
             ev = excess[v]
-            if ev <= _EPS:
+            if ev <= 0:
                 continue
             arcs = adj[v]
             deg = len(arcs)
             hv = height[v]
             i = current[v]
-            while ev > _EPS:
+            while ev > 0:
                 if i < deg:
                     a = arcs[i]
                     residual = cap[a] - flow[a]
-                    if residual > _EPS:
+                    if residual > 0:
                         w = head[a]
                         if hv == height[w] + 1:
                             delta = ev if ev < residual else residual
@@ -238,7 +236,7 @@ class PushRelabelState:
                     old_h = hv
                     new_h = two_n
                     for a in arcs:
-                        if cap[a] - flow[a] > _EPS:
+                        if cap[a] - flow[a] > 0:
                             hw = height[head[a]]
                             if hw + 1 < new_h:
                                 new_h = hw + 1
@@ -264,7 +262,7 @@ class PushRelabelState:
                         relabels_since_gr = 0
                         self._rebuild_height_count()
                         # heights changed globally: requeue v and restart
-                        if ev > _EPS and not in_queue[v]:
+                        if ev > 0 and not in_queue[v]:
                             queue.append(v)
                             in_queue[v] = 1
                         break
@@ -278,7 +276,7 @@ class PushRelabelState:
             # reached via break paths above
             excess[v] = ev
             current[v] = i if i < deg else 0
-            if ev > _EPS and height[v] < two_n and not in_queue[v]:
+            if ev > 0 and height[v] < two_n and not in_queue[v]:
                 queue.append(v)
                 in_queue[v] = 1
 
@@ -325,7 +323,7 @@ class PushRelabelState:
             for a in adj[v]:
                 # arc a: v -> w; its twin w -> v is the arc whose residual
                 # capacity lets flow travel w -> v toward the sink.
-                if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+                if cap[a ^ 1] - flow[a ^ 1] > 0:
                     w = head[a]
                     if height[w] > hv1:
                         height[w] = hv1
@@ -342,7 +340,7 @@ class PushRelabelState:
                 v = dq.popleft()
                 dv1 = dist_s[v] + 1
                 for a in adj[v]:
-                    if cap[a ^ 1] - flow[a ^ 1] > _EPS:
+                    if cap[a ^ 1] - flow[a ^ 1] > 0:
                         w = head[a]
                         if dist_s[w] > dv1:
                             dist_s[w] = dv1

@@ -15,8 +15,6 @@ from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 
 __all__ = ["relabel_to_front", "RelabelToFrontEngine"]
 
-_EPS = 1e-9
-
 
 def relabel_to_front(
     g: FlowNetwork, s: int, t: int, *, warm_start: bool = False
@@ -34,14 +32,14 @@ def relabel_to_front(
     # cancel preserved flow on arcs into the source (residual s->w arcs
     # break the height-validity invariant; cf. PushRelabelState.initialize)
     for b in adj[s]:
-        if b % 2 == 1 and flow[b ^ 1] > _EPS:
-            flow[b ^ 1] = 0.0
-            flow[b] = 0.0
+        if b % 2 == 1 and flow[b ^ 1] > 0:
+            flow[b ^ 1] = 0
+            flow[b] = 0
 
     # exact excesses from any preserved assignment, then saturate source
-    excess = [0.0] * n
+    excess = [0] * n
     for v in range(n):
-        ev = 0.0
+        ev = 0
         for a in adj[v]:
             ev -= flow[a]
         excess[v] = ev
@@ -49,11 +47,11 @@ def relabel_to_front(
         if a % 2 == 1:
             continue
         delta = cap[a] - flow[a]
-        if delta > _EPS:
+        if delta > 0:
             flow[a] += delta
             flow[a ^ 1] -= delta
             excess[head[a]] += delta
-    excess[s] = 0.0
+    excess[s] = 0
 
     height = [0] * n
     height[s] = n
@@ -67,12 +65,12 @@ def relabel_to_front(
         v = order[i]
         old_h = height[v]
         # discharge v completely
-        while excess[v] > _EPS:
+        while excess[v] > 0:
             arcs = adj[v]
             if current[v] < len(arcs):
                 a = arcs[current[v]]
                 w = head[a]
-                if cap[a] - flow[a] > _EPS and height[v] == height[w] + 1:
+                if cap[a] - flow[a] > 0 and height[v] == height[w] + 1:
                     delta = min(excess[v], cap[a] - flow[a])
                     flow[a] += delta
                     flow[a ^ 1] -= delta
@@ -85,7 +83,7 @@ def relabel_to_front(
                 # relabel
                 new_h = two_n
                 for a in arcs:
-                    if cap[a] - flow[a] > _EPS:
+                    if cap[a] - flow[a] > 0:
                         hw = height[head[a]]
                         if hw + 1 < new_h:
                             new_h = hw + 1

@@ -21,6 +21,7 @@ from repro.errors import ReproError
 __all__ = [
     "NetError",
     "ProtocolError",
+    "NonIntegralFieldError",
     "FrameTooLargeError",
     "HandshakeError",
     "ConnectError",
@@ -50,6 +51,18 @@ class NetError(ReproError):
 
 class ProtocolError(NetError):
     """The byte stream or an envelope violates the wire protocol."""
+
+
+class NonIntegralFieldError(ProtocolError):
+    """A numeric wire field that must be integral carries a fraction.
+
+    Counts and coordinates (bucket counts, grid indices, shard ids) are
+    exact integers end to end under the integer kernel contract; a value
+    like ``2.5`` is rejected at decode time instead of being silently
+    truncated.  The server maps this to an ``INVALID_QUERY`` envelope —
+    the frame and request were well-formed, the *value* was not — rather
+    than ``BAD_REQUEST``.
+    """
 
 
 class FrameTooLargeError(ProtocolError):

@@ -44,7 +44,11 @@ import json
 import struct
 from typing import Any
 
-from repro.net.errors import FrameTooLargeError, ProtocolError
+from repro.net.errors import (
+    FrameTooLargeError,
+    NonIntegralFieldError,
+    ProtocolError,
+)
 from repro.service.stats import ServiceRecord
 from repro.workloads.queries import ArbitraryQuery, RangeQuery
 
@@ -212,18 +216,39 @@ def parse_request(msg: dict[str, Any]) -> tuple[int, str, dict[str, Any]]:
 # ----------------------------------------------------------------------
 # value codecs
 # ----------------------------------------------------------------------
+def _exact_wire_int(v: Any, what: str) -> int:
+    """Decode a wire number that must be an exact integer.
+
+    Accepts ints and integral floats (some JSON encoders emit ``3.0``);
+    fractional numerics raise :class:`NonIntegralFieldError` — counts and
+    coordinates are never silently truncated — and non-numerics raise
+    plain :class:`ProtocolError`.
+    """
+    if isinstance(v, int) and not isinstance(v, bool):
+        return v
+    if isinstance(v, float):
+        as_int = int(v)
+        if as_int == v:
+            return as_int
+        raise NonIntegralFieldError(
+            f"{what} must be integral, got non-integral number {v!r}"
+        )
+    raise ProtocolError(f"{what} must be an int: {v!r}")
+
+
 def _coord_pairs(raw: Any, what: str) -> list[tuple[int, int]]:
     if not isinstance(raw, list) or not raw:
         raise ProtocolError(f"{what} must be a non-empty list of [i, j] pairs")
     coords: list[tuple[int, int]] = []
     for item in raw:
-        if (
-            not isinstance(item, (list, tuple))
-            or len(item) != 2
-            or not all(isinstance(x, int) and not isinstance(x, bool) for x in item)
-        ):
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
             raise ProtocolError(f"{what} entries must be [i, j] int pairs")
-        coords.append((item[0], item[1]))
+        coords.append(
+            (
+                _exact_wire_int(item[0], f"{what} entry"),
+                _exact_wire_int(item[1], f"{what} entry"),
+            )
+        )
     return coords
 
 
@@ -253,10 +278,7 @@ def query_to_wire(
 
 
 def _wire_int(obj: dict[str, Any], key: str, what: str) -> int:
-    v = obj.get(key)
-    if not isinstance(v, int) or isinstance(v, bool):
-        raise ProtocolError(f"{what} field {key!r} must be an int: {v!r}")
-    return v
+    return _exact_wire_int(obj.get(key), f"{what} field {key!r}")
 
 
 def query_from_wire(
@@ -335,14 +357,14 @@ def record_from_wire(obj: Any) -> ServiceRecord:
         }
         return ServiceRecord(
             arrival_ms=float(obj["arrival_ms"]),
-            num_buckets=int(obj["num_buckets"]),
+            num_buckets=_wire_int(obj, "num_buckets", "record"),
             response_time_ms=float(obj["response_time_ms"]),
             assignment=assignment,
             degraded=bool(obj["degraded"]),
             decision_time_ms=float(obj["decision_time_ms"]),
             query=query_from_wire(obj["query"]),
             cache_hit=bool(obj["cache_hit"]),
-            batch_size=int(obj["batch_size"]),
+            batch_size=_wire_int(obj, "batch_size", "record"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed record envelope: {exc}") from exc

@@ -40,7 +40,11 @@ from functools import partial
 from typing import Any
 
 from repro.errors import ReproError
-from repro.net.errors import FrameTooLargeError, ProtocolError
+from repro.net.errors import (
+    FrameTooLargeError,
+    NonIntegralFieldError,
+    ProtocolError,
+)
 from repro.net.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -521,6 +525,10 @@ class SchedulerServer:
                     f"arrival_ms must be a number: {arrival_raw!r}"
                 )
             arrival_ms = None if arrival_raw is None else float(arrival_raw)
+        except NonIntegralFieldError as exc:
+            # envelope and types were fine; the *value* was fractional
+            # where the integer kernel demands exactness
+            return error_response(req_id, "INVALID_QUERY", str(exc))
         except ProtocolError as exc:
             return error_response(req_id, "BAD_REQUEST", str(exc))
 

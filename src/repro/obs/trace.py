@@ -59,7 +59,8 @@ class ProbeEvent:
         Candidate response time probed (ms); for ``result``, the final
         optimal response time.
     flow:
-        Flow value the probe reached (``|Q|`` when feasible).
+        Exact integer flow value the probe reached (``|Q|`` when
+        feasible).
     feasible:
         Whether the probe proved ``t`` feasible (``flow >= |Q|``).
     pushes, relabels, augmentations:
@@ -71,7 +72,7 @@ class ProbeEvent:
     seq: int
     phase: str
     t: float
-    flow: float
+    flow: int
     feasible: bool
     pushes: int = 0
     relabels: int = 0
@@ -87,7 +88,8 @@ class ProbeEvent:
             seq=int(d["seq"]),
             phase=str(d["phase"]),
             t=float(d["t"]),
-            flow=float(d["flow"]),
+            # int() accepts legacy JSONL rows that serialized flow as 12.0
+            flow=int(d["flow"]),
             feasible=bool(d["feasible"]),
             pushes=int(d.get("pushes", 0)),
             relabels=int(d.get("relabels", 0)),
@@ -109,7 +111,7 @@ class ProbeTrace:
         *,
         phase: str,
         t: float,
-        flow: float,
+        flow: int,
         feasible: bool,
         pushes: int = 0,
         relabels: int = 0,
@@ -120,7 +122,7 @@ class ProbeTrace:
             seq=len(self.events),
             phase=phase,
             t=float(t),
-            flow=float(flow),
+            flow=int(flow),
             feasible=bool(feasible),
             pushes=int(pushes),
             relabels=int(relabels),
@@ -135,7 +137,7 @@ class ProbeTrace:
         return self.record(
             phase="result",
             t=schedule.response_time_ms,
-            flow=float(schedule.problem.num_buckets),
+            flow=schedule.problem.num_buckets,
             feasible=True,
             wall_s=schedule.stats.wall_time_s,
         )

@@ -33,7 +33,7 @@ class CacheEntry:
     """One cached topology and the flow it last carried."""
 
     network: RetrievalNetwork
-    flow: list[float] | None = None
+    flow: list[int] | None = None
     hits: int = 0
 
     extra: dict = field(default_factory=dict)
@@ -106,7 +106,7 @@ class NetworkCache:
         self,
         signature: Signature,
         network: RetrievalNetwork,
-        flow: list[float] | None,
+        flow: list[int] | None,
     ) -> None:
         """Insert or refresh an entry; evicts the LRU tail on overflow."""
         if self.size == 0:

@@ -179,14 +179,28 @@ class StorageSystem:
     def capacity_at(self, disk_id: int, deadline_ms: float) -> int:
         """Buckets disk ``j`` can serve by ``deadline``:
         ``floor((t - D_j - X_j) / C_j)``, clamped at 0 (Algorithm 6 line 15).
+
+        This is the single float→int boundary of the flow stack, and it is
+        exact *by construction*: instead of an epsilon fudge on the float
+        division, the initial guess is corrected against
+        :meth:`finish_time` until ``finish_time(j, k) <= t <
+        finish_time(j, k+1)``.  That makes ``capacity_at`` the exact
+        inverse of ``finish_time`` — a deadline landing precisely on
+        ``D_j + X_j + k*C_j`` admits exactly ``k`` buckets, never ``k-1``
+        or ``k+1`` through rounding drift.
         """
         d = self.disk(disk_id)
         site = self.sites[self._site_of[disk_id]]
         budget = deadline_ms - site.delay_ms - d.initial_load_ms
         if budget <= 0:
             return 0
-        # guard float-epsilon: a deadline exactly k*C must admit k buckets
-        return int((budget + 1e-9) // d.block_time_ms)
+        k = int(budget // d.block_time_ms)
+        # fixups are O(1): float division is off by at most one ulp-step
+        while self.finish_time(disk_id, k + 1) <= deadline_ms:
+            k += 1
+        while k > 0 and self.finish_time(disk_id, k) > deadline_ms:
+            k -= 1
+        return k
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,115 @@
+"""The integer kernel contract at the FlowNetwork boundary.
+
+Caps and flows are exact Python ints end to end; ``_exact_int`` is the
+single tolerance-free gate through which values enter the kernel, and
+``push`` rejects over-residual pushes with ``>`` — not ``> cap + 1e-9``.
+The per-vertex in-degree cache (satellite of the same PR) must stay
+consistent with a recount under any interleaving of ``add_vertex`` /
+``add_arc``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import InvalidArcError
+from repro.graph import FlowNetwork
+
+
+class TestExactIntGate:
+    @pytest.mark.parametrize("bad", [0.5, 1.0000001, float("nan"), float("inf"), "3", None, True])
+    def test_add_arc_rejects_non_integral_capacity(self, bad):
+        g = FlowNetwork(2)
+        with pytest.raises(InvalidArcError):
+            g.add_arc(0, 1, bad)
+
+    def test_add_arc_accepts_integral_float(self):
+        """Legacy ``1.0`` still enters — as an exact int."""
+        g = FlowNetwork(2)
+        a = g.add_arc(0, 1, 3.0)
+        assert type(g.cap[a]) is int and g.cap[a] == 3
+
+    @pytest.mark.parametrize("bad", [0.5, 2.5, True])
+    def test_push_rejects_non_integral_delta(self, bad):
+        g = FlowNetwork(2)
+        a = g.add_arc(0, 1, 5)
+        with pytest.raises(InvalidArcError):
+            g.push(a, bad)
+
+    @pytest.mark.parametrize("bad", [1.5, float("inf")])
+    def test_set_capacity_rejects_non_integral(self, bad):
+        g = FlowNetwork(2)
+        a = g.add_arc(0, 1, 5)
+        with pytest.raises(InvalidArcError):
+            g.set_capacity(a, bad)
+
+
+class TestExactResidualCheck:
+    def test_push_exactly_to_residual_is_accepted(self):
+        """The boundary case the float kernel needed an epsilon for."""
+        g = FlowNetwork(2)
+        a = g.add_arc(0, 1, 7)
+        g.push(a, 7)
+        assert g.flow[a] == 7 and g.cap[a] - g.flow[a] == 0
+
+    def test_one_unit_over_residual_is_rejected(self):
+        g = FlowNetwork(2)
+        a = g.add_arc(0, 1, 7)
+        g.push(a, 6)
+        with pytest.raises(InvalidArcError):
+            g.push(a, 2)
+        # the failed push must not have corrupted the flow
+        assert g.flow[a] == 6 and g.flow[a ^ 1] == -6
+
+    def test_flow_slots_stay_int_through_push_cycle(self):
+        g = FlowNetwork(3)
+        a = g.add_arc(0, 1, 4)
+        b = g.add_arc(1, 2, 4)
+        g.push(a, 4)
+        g.push(b, 4)
+        g.push(a ^ 1, 3)
+        for slot in (*g.cap, *g.flow):
+            assert type(slot) is int
+        for slot in g.save_flow():
+            assert type(slot) is int
+
+
+class TestInDegreeCache:
+    def recount(self, g: FlowNetwork) -> list[int]:
+        counts = [0] * g.n
+        for arc in g.arcs():
+            counts[arc.head] += 1
+        return counts
+
+    def test_cache_matches_recount_under_random_growth(self):
+        rnd = random.Random(7)
+        g = FlowNetwork(3)
+        for _ in range(200):
+            if rnd.random() < 0.15:
+                g.add_vertex()
+            else:
+                u, v = rnd.sample(range(g.n), 2)
+                g.add_arc(u, v, rnd.randrange(0, 5))
+        assert [g.in_degree(v) for v in g.vertices()] == self.recount(g)
+
+    def test_parallel_arcs_each_count(self):
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, 1)
+        g.add_arc(0, 1, 1)
+        assert g.in_degree(1) == 2
+
+    def test_residual_twins_do_not_count(self):
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, 1)
+        assert g.in_degree(0) == 0
+
+    def test_copy_preserves_cache(self):
+        g = FlowNetwork(3)
+        g.add_arc(0, 2, 1)
+        g.add_arc(1, 2, 1)
+        h = g.copy()
+        h.add_arc(0, 2, 1)
+        assert g.in_degree(2) == 2
+        assert h.in_degree(2) == 3

@@ -4,8 +4,17 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.errors import GraphError
-from repro.graph import FlowNetwork, from_dimacs, to_dimacs, to_networkx
+from repro.graph import (
+    FlowNetwork,
+    from_dimacs,
+    from_json,
+    to_dimacs,
+    to_json,
+    to_networkx,
+)
 
 
 def sample() -> tuple[FlowNetwork, int, int]:
@@ -58,6 +67,90 @@ class TestDimacs:
     def test_parse_rejects_malformed(self, bad):
         with pytest.raises(GraphError):
             from_dimacs(bad)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_caps_and_flow(self):
+        g, s, t = sample()
+        g.push(0, 2)  # 0->1 saturated
+        g.push(2, 2)  # 1->3 carries it onward
+        g2, s2, t2 = from_json(to_json(g, s, t))
+        assert (s2, t2) == (s, t)
+        assert g2.n == g.n and g2.num_arcs == g.num_arcs
+        assert [(a.tail, a.head, a.cap, a.flow) for a in g2.arcs()] == [
+            (a.tail, a.head, a.cap, a.flow) for a in g.arcs()
+        ]
+
+    def test_payload_is_native_ints(self):
+        """No ``1.0`` anywhere: every cap/flow serializes as a JSON int."""
+        g, s, t = sample()
+        g.push(0, 1)
+        payload = json.loads(to_json(g, s, t))
+        for row in payload["arcs"]:
+            assert all(type(x) is int for x in row), row
+        assert "." not in to_json(g, s, t)
+
+    def test_decoded_values_are_exact_ints(self):
+        g, s, t = from_json(to_json(*sample()))
+        for a in g.arcs():
+            assert type(a.cap) is int and type(a.flow) is int
+
+    def test_legacy_integral_floats_accepted(self):
+        """Float-era payloads (``1.0`` caps) decode to the same network."""
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        payload["arcs"] = [
+            [u, v, float(c), float(f)] for u, v, c, f in payload["arcs"]
+        ]
+        g2, _, _ = from_json(json.dumps(payload))
+        assert [(a.tail, a.head, a.cap, a.flow) for a in g2.arcs()] == [
+            (a.tail, a.head, a.cap, a.flow) for a in g.arcs()
+        ]
+        assert all(type(a.cap) is int for a in g2.arcs())
+
+    @pytest.mark.parametrize("bad_cap", [0.5, 2.0000001, -1.5])
+    def test_fractional_capacity_rejected(self, bad_cap):
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        payload["arcs"][0][2] = bad_cap
+        with pytest.raises(GraphError, match="integral"):
+            from_json(json.dumps(payload))
+
+    def test_fractional_flow_rejected(self):
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        payload["arcs"][0][3] = 0.5
+        with pytest.raises(GraphError, match="integral"):
+            from_json(json.dumps(payload))
+
+    def test_flow_over_capacity_rejected(self):
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        payload["arcs"][0][3] = payload["arcs"][0][2] + 1
+        with pytest.raises(GraphError, match="outside"):
+            from_json(json.dumps(payload))
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda p: p.update(version=99),
+            lambda p: p.update(arcs="nope"),
+            lambda p: p.update(n="four"),
+            lambda p: p["arcs"].append([0, 1]),
+        ],
+    )
+    def test_malformed_payload_rejected(self, mangle):
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        mangle(payload)
+        with pytest.raises(GraphError):
+            from_json(json.dumps(payload))
+
+    def test_not_json_rejected(self):
+        with pytest.raises(GraphError, match="JSON"):
+            from_json("{truncated")
+        with pytest.raises(GraphError, match="object"):
+            from_json("[1, 2]")
 
 
 class TestNetworkxBridge:

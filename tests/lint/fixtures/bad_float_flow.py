@@ -1,0 +1,30 @@
+"""Fixture: float-flow violations (and non-violations).
+
+Unlike integer-capacity, the float-flow rule applies everywhere under
+src/ — no synthetic core/ mount is needed.
+"""
+
+_EPS = 1e-9
+
+
+def float_era(g, a, total):
+    if g.cap[a] - g.flow[a] > _EPS:    # line 11: epsilon residual — flagged
+        g.flow[a] += 0.5               # line 12: float into flow — flagged
+    if g.flow[a] > 0.5:                # line 13: 0.5 test — flagged
+        g.push(a, 1.0)                 # line 14: float into push — flagged
+    cap = total / 2                    # line 15: division into cap — flagged
+    g.caps.append(1.5)                 # line 16: float append — flagged
+    g.set_capacity(a, float(total))    # line 17: float() cast — flagged
+    return cap
+
+
+def respects_the_kernel(g, a, t, deadline):
+    g.flow[a] += 1                     # int arithmetic — fine
+    g.push(a, 2)                       # int push — fine
+    cap = int(t // 2)                  # floor division — fine
+    if g.cap[a] - g.flow[a] > 0:       # exact residual test — fine
+        response = t / 2.0             # floats off the flow side — fine
+        if response > deadline - 1e-9:  # epsilon off the flow side — fine
+            return response
+    legacy_cap = int(float("4"))       # repro-lint: ignore=float-flow
+    return cap + legacy_cap

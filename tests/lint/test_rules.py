@@ -18,7 +18,7 @@ from repro.lint.rules_hygiene import (
     UnusedImportRule,
 )
 from repro.lint.rules_locks import LockDisciplineRule
-from repro.lint.rules_numeric import IntegerCapacityRule
+from repro.lint.rules_numeric import FloatFlowRule, IntegerCapacityRule
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -135,6 +135,40 @@ class TestIntegerCapacity:
             )
         )
         assert flagged.isdisjoint({13, 18, 19, 25})
+
+
+class TestFloatFlow:
+    def findings(self):
+        return run_lint(
+            [FIXTURES / "bad_float_flow.py"], [FloatFlowRule()],
+            root=FIXTURES,
+        )
+
+    def test_exact_violation_lines(self):
+        assert lines_of(self.findings()) == [11, 12, 13, 14, 15, 16, 17]
+
+    def test_every_float_era_pattern_is_named(self):
+        messages = "\n".join(f.message for f in self.findings())
+        assert "epsilon/float comparison" in messages
+        assert "assigned into a flow/cap slot" in messages
+        assert "push()" in messages
+        assert "append()" in messages
+        assert "set_capacity()" in messages
+
+    def test_kernel_respecting_code_passes(self):
+        """Int flow arithmetic, floats on the response-time side, and the
+        pragma-suppressed compat cast all stay silent (lines 21-30)."""
+        assert all(f.line <= 17 for f in self.findings())
+
+    def test_applies_everywhere_no_mount_needed(self):
+        """The rule has no core//maxflow/ scoping — it fired on a bare
+        fixtures/ path above, unlike integer-capacity."""
+        assert FloatFlowRule().applies_to("anything/at/all.py")
+        assert self.findings() != []
+
+    def test_hint_points_at_the_contract(self):
+        hint = self.findings()[0].hint
+        assert "exact Python ints" in hint
 
 
 class TestHygieneRules:

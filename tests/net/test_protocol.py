@@ -8,7 +8,11 @@ import struct
 
 import pytest
 
-from repro.net.errors import FrameTooLargeError, ProtocolError
+from repro.net.errors import (
+    FrameTooLargeError,
+    NonIntegralFieldError,
+    ProtocolError,
+)
 from repro.net.protocol import (
     HEADER_BYTES,
     MAX_FRAME_BYTES,
@@ -220,6 +224,64 @@ class TestQueryCodec:
     def test_malformed_queries_rejected(self, obj):
         with pytest.raises(ProtocolError):
             query_from_wire(obj)
+
+
+class TestNonIntegralRejection:
+    """Counts and coordinates are exact integers on the wire.
+
+    A fractional value raises the *typed*
+    :class:`NonIntegralFieldError` (a ProtocolError subclass the server
+    maps to ``INVALID_QUERY``) instead of being silently truncated by
+    ``int(...)`` as the float-era codec did.
+    """
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            {"kind": "coords", "coords": [[0.5, 1]]},
+            {"kind": "coords", "coords": [[0, 1.25]]},
+            {"kind": "range", "i": 0, "j": 0, "r": 1.5, "c": 1,
+             "grid_size": 4},
+            {"kind": "range", "i": 0, "j": 0, "r": 1, "c": 1,
+             "grid_size": 4.5},
+            {"kind": "arbitrary", "coords": [[2.5, 0]], "grid_size": 4},
+        ],
+    )
+    def test_fractional_query_fields_raise_typed_error(self, obj):
+        with pytest.raises(NonIntegralFieldError):
+            query_from_wire(obj)
+
+    def test_integral_floats_still_accepted(self):
+        """Legacy clients send ``2.0``-style counts; those decode exactly."""
+        q = query_from_wire({"kind": "coords", "coords": [[0.0, 1.0]]})
+        assert q == [(0, 1)]
+        assert all(type(x) is int for pair in q for x in pair)
+        r = query_from_wire(
+            {"kind": "range", "i": 0.0, "j": 1.0, "r": 2.0, "c": 1.0,
+             "grid_size": 4.0}
+        )
+        assert isinstance(r, RangeQuery) and r.grid_size == 4
+
+    @pytest.mark.parametrize("field", ["num_buckets", "batch_size"])
+    def test_fractional_record_counts_rejected(self, field):
+        rec = ServiceRecord(
+            arrival_ms=0.0,
+            num_buckets=1,
+            response_time_ms=1.0,
+            assignment={(0, 0): 0},
+            degraded=False,
+            decision_time_ms=0.1,
+            query=[(0, 0)],
+            cache_hit=False,
+            batch_size=1,
+        )
+        wire = record_to_wire(rec)
+        wire[field] = 1.5
+        with pytest.raises(NonIntegralFieldError, match=field):
+            record_from_wire(wire)
+
+    def test_typed_error_is_a_protocol_error(self):
+        assert issubclass(NonIntegralFieldError, ProtocolError)
 
 
 class TestRecordCodec:

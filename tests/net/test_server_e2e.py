@@ -504,6 +504,28 @@ class TestWireEdgeCases:
                 # the connection survived all three errors
                 assert client.health()["status"] == "ok"
 
+    def test_fractional_coordinate_is_invalid_query_not_truncated(self):
+        """A ``2.5`` coordinate must come back as a typed INVALID_QUERY.
+
+        The float-era codec silently ran it through ``int()``, scheduling
+        bucket (2, 0) for a query that never asked for it.
+        """
+        with BackgroundServer(make_service(seed=8)) as bg:
+            with SchedulerClient(
+                bg.host, bg.port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                with pytest.raises(InvalidQueryError, match="integral"):
+                    client.request(
+                        "submit",
+                        {"query": {"kind": "coords", "coords": [[2.5, 0]]}},
+                    )
+                # integral floats from legacy clients still schedule
+                client.request(
+                    "submit",
+                    {"query": {"kind": "coords", "coords": [[2.0, 0.0]]}},
+                )
+                assert client.health()["status"] == "ok"
+
     def test_concurrent_requests_multiplex_one_connection(self):
         queries = make_queries(21, 10)
 
