@@ -11,8 +11,15 @@ hammered through
     :class:`~repro.net.SchedulerClient` against a
     :class:`~repro.net.BackgroundServer` on localhost — framing, JSON
     envelopes, admission control and the event loop all included.
+``fleet`` (``workers >= 1``)
+    The same wire path, but the server hosts ``workers`` scheduler
+    shards over a ``workers``-lane :class:`~repro.fleet.SolveFleet`
+    process pool — N solve locks and solves off the GIL.  This is the
+    scaling configuration `repro net-bench --workers N` measures;
+    near-linear scaling with N requires N free cores (on a single-core
+    box the fleet mode only measures the process-shipping overhead).
 
-Both modes report sustained requests/sec and p50/p95 submit latency;
+All modes report sustained requests/sec and p50/p95 submit latency;
 ``overhead_p50_ms`` is the per-request cost of the wire.  A correctness
 cross-check rides along: every record returned over the wire must match
 (assignment and response time) the record the server-side service wrote
@@ -35,6 +42,7 @@ from repro.net.client import SchedulerClient
 from repro.net.run import BackgroundServer
 from repro.net.server import ServerConfig
 from repro.service import SchedulerService, ServiceConfig
+from repro.service.sharded import ShardedSchedulerService
 from repro.service.stats import ServiceRecord
 
 __all__ = [
@@ -71,6 +79,7 @@ class NetBenchResult:
     distinct_signatures: int
     solver: str
     pool_size: int
+    workers: int = 0
     modes: dict = field(default_factory=dict)
 
     @property
@@ -89,11 +98,22 @@ class NetBenchResult:
             return 0.0
         return direct.throughput_qps / net.throughput_qps
 
+    @property
+    def speedup_fleet_vs_net(self) -> float:
+        """Fleet-mode throughput relative to the single-service net mode."""
+        net = self.modes.get("net")
+        fleet = self.modes.get("fleet")
+        if not net or not fleet or not net.throughput_qps:
+            return 0.0
+        return fleet.throughput_qps / net.throughput_qps
+
     def to_dict(self) -> dict:
         out = asdict(self)
         out["modes"] = {k: asdict(v) for k, v in self.modes.items()}
         out["overhead_p50_ms"] = round(self.overhead_p50_ms, 4)
         out["slowdown_net_vs_direct"] = round(self.slowdown_net, 3)
+        if "fleet" in self.modes:
+            out["speedup_fleet_vs_net"] = round(self.speedup_fleet_vs_net, 3)
         return out
 
 
@@ -122,6 +142,30 @@ def _check_wire_transparency(
                 f"wire record diverged from the service record at arrival "
                 f"{record.arrival_ms}"
             )
+
+
+def _check_fleet_transparency(
+    service: "ShardedSchedulerService", outputs: list[ServiceRecord]
+) -> None:
+    """Sharded variant: wire records match the pooled shard histories.
+
+    Shard clocks are independent, so arrival times cannot key records
+    the way the single-service check does; instead the multiset of
+    ``(num_buckets, response_time_ms)`` pairs must agree exactly.
+    """
+    history = [r for svc in service.services for r in svc.history]
+    if len(history) != len(outputs):
+        raise AssertionError(
+            f"shards recorded {len(history)} queries but clients hold "
+            f"{len(outputs)} records"
+        )
+    got = sorted((r.num_buckets, r.response_time_ms) for r in outputs)
+    want = sorted((r.num_buckets, r.response_time_ms) for r in history)
+    if got != want:
+        raise AssertionError(
+            "wire records diverged from the shard histories "
+            "(num_buckets/response_time multisets differ)"
+        )
 
 
 def _hammer_clients(
@@ -196,8 +240,14 @@ def run_net_bench(
     pool_size: int = 1,
     max_inflight: int = 64,
     seed: int = 0,
+    workers: int = 0,
 ) -> NetBenchResult:
-    """Measure direct vs over-the-wire submit on the same workload."""
+    """Measure direct vs over-the-wire submit on the same workload.
+
+    ``workers >= 1`` adds the ``fleet`` mode: the same wire workload
+    against ``workers`` scheduler shards sharing a ``workers``-lane
+    process fleet (``solve_backend="process"``).
+    """
     streams = make_workload(
         n, clients, requests_per_client, distinct=distinct, seed=seed
     )
@@ -209,6 +259,7 @@ def run_net_bench(
         distinct_signatures=distinct,
         solver=solver,
         pool_size=pool_size,
+        workers=workers,
     )
 
     def build_service() -> SchedulerService:
@@ -241,6 +292,43 @@ def run_net_bench(
         shed = int(bg.server.registry.counter("repro_net_shed_total").value)
     _check_wire_transparency(net_service, outputs)
     result.modes["net"] = _mode_result("net", total, wall, lats, shed=shed)
+
+    # fleet: N shards over an N-lane process fleet, same wire workload
+    if workers >= 1:
+        fleet_service = ShardedSchedulerService(
+            [_build_deployment(n, seed + k) for k in range(workers)],
+            config=ServiceConfig(
+                solver=solver,
+                cache_size=cache_size,
+                solve_backend="process",
+                fleet_workers=workers,
+            ),
+        )
+        try:
+            with BackgroundServer(
+                fleet_service, ServerConfig(max_inflight=max_inflight)
+            ) as bg:
+                pool = [
+                    SchedulerClient(
+                        bg.host, bg.port, pool_size=pool_size,
+                        deadline_ms=60_000.0,
+                    )
+                    for _ in range(len(streams))
+                ]
+                try:
+                    wall, lats, outputs = _hammer_clients(streams, pool)
+                finally:
+                    for client in pool:
+                        client.close()
+                shed = int(
+                    bg.server.registry.counter("repro_net_shed_total").value
+                )
+            _check_fleet_transparency(fleet_service, outputs)
+        finally:
+            fleet_service.close()
+        result.modes["fleet"] = _mode_result(
+            "fleet", total, wall, lats, shed=shed
+        )
     return result
 
 
@@ -253,7 +341,7 @@ def format_net_bench(result: NetBenchResult) -> str:
         f"{'mode':<8} {'qps':>9} {'p50 ms':>9} {'p95 ms':>9} "
         f"{'mean ms':>9} {'shed':>5}",
     ]
-    for mode in ("direct", "net"):
+    for mode in ("direct", "net", "fleet"):
         m = result.modes.get(mode)
         if m is None:
             continue
@@ -265,4 +353,10 @@ def format_net_bench(result: NetBenchResult) -> str:
         f"wire overhead: p50 {result.overhead_p50_ms:+.3f} ms, "
         f"throughput x{result.slowdown_net:.2f} slower than direct"
     )
+    if "fleet" in result.modes:
+        lines.append(
+            f"fleet ({result.workers} workers): "
+            f"x{result.speedup_fleet_vs_net:.2f} vs net "
+            f"(needs {result.workers} free cores for linear scaling)"
+        )
     return "\n".join(lines)

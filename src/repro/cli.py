@@ -166,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_nb.add_argument("--pool-size", type=int, default=1,
                       help="connections per client")
     p_nb.add_argument("--max-inflight", type=int, default=64)
+    p_nb.add_argument("--workers", type=int, default=0,
+                      help="also run the 'fleet' mode: N scheduler shards "
+                           "over an N-lane process pool (0 skips it)")
     p_nb.add_argument("--seed", type=int, default=0)
     p_nb.add_argument("--output", metavar="FILE.json", default=None,
                       help="save the comparison as JSON evidence")
@@ -187,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--solver", default="pr-binary")
     p_serve.add_argument("--cache-size", type=int, default=64)
     p_serve.add_argument("--batch-window-ms", type=float, default=0.0)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="solve-fleet worker processes (with the "
+                              "process backend); >1 implies "
+                              "--solve-backend process")
+    p_serve.add_argument("--solve-backend", default=None,
+                         choices=("thread", "process"),
+                         help="where solves run (default: thread, or the "
+                              "REPRO_SOLVE_BACKEND env var; process when "
+                              "--workers > 1)")
     p_serve.add_argument("--max-inflight", type=int, default=32,
                          help="admission-control capacity; beyond it "
                               "requests are shed with OVERLOADED")
@@ -504,10 +516,15 @@ def _build_serve_service(args: argparse.Namespace):
         )
         return system, placement
 
+    backend = args.solve_backend
+    if backend is None and args.workers > 1:
+        backend = "process"
     config = ServiceConfig(
         solver=args.solver,
         cache_size=args.cache_size,
         batch_window_ms=args.batch_window_ms,
+        solve_backend=backend,
+        fleet_workers=args.workers,
     )
     if args.shards > 1:
         return ShardedSchedulerService(
@@ -525,6 +542,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     service = _build_serve_service(args)
     config = ServerConfig(
         host=args.host,
@@ -533,16 +553,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_after_ms=args.retry_after_ms,
     )
 
+    backend = service.services[0].solve_backend if hasattr(
+        service, "services") else service.solve_backend
+
     def ready(server):
         print(
             f"repro serve: listening on {server.host}:{server.port} "
             f"({args.shards} shard(s), N={args.n}/site, scheme "
-            f"{args.scheme}, solver {args.solver}, max in-flight "
-            f"{args.max_inflight})",
+            f"{args.scheme}, solver {args.solver}, backend {backend}"
+            f"{f' x{args.workers}' if backend == 'process' else ''}, "
+            f"max in-flight {args.max_inflight})",
             flush=True,
         )
 
-    stats = asyncio.run(serve(service, config, ready=ready))
+    try:
+        stats = asyncio.run(serve(service, config, ready=ready))
+    finally:
+        service.close()
     print(
         f"repro serve: drain complete: {stats.queries} queries, "
         f"{stats.degraded_queries} degraded, mean response "
@@ -710,6 +737,7 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
         pool_size=args.pool_size,
         max_inflight=args.max_inflight,
         seed=args.seed,
+        workers=args.workers,
     )
     print(format_net_bench(result))
     if args.output:

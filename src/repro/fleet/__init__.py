@@ -1,0 +1,57 @@
+"""repro.fleet — multi-process solve execution (breaking the GIL).
+
+The paper's parallel push–relabel claims (Figure 10) assume threads that
+actually run concurrently; CPython's are serialized by the GIL.  This
+package is the reproduction's escape hatch, with three layers:
+
+* :mod:`repro.fleet.codec` — problems and schedules as exact JSON-safe
+  payloads that cross process boundaries without drift;
+* :mod:`repro.fleet.pool` — :class:`SolveFleet`, signature-affine lanes
+  of worker processes with warm per-worker caches and crash recovery;
+* :mod:`repro.fleet.backends` — the ``thread``/``process`` backend
+  registry the service layer and CI matrix select from;
+* :mod:`repro.fleet.parallel` — a true multi-process
+  ``parallel_push_relabel`` variant: partition by bucket vertex range,
+  solve slices in workers, merge arc-wise, finish warm.
+"""
+
+from repro.fleet.backends import (
+    BACKENDS,
+    SOLVE_BACKEND_ENV,
+    ProcessSolveBackend,
+    SolveBackend,
+    ThreadSolveBackend,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.fleet.codec import (
+    CodecError,
+    decode_problem,
+    decode_schedule,
+    encode_problem,
+    encode_schedule,
+    problem_from_json,
+    problem_to_json,
+)
+from repro.fleet.parallel import partitioned_push_relabel
+from repro.fleet.pool import SolveFleet, WorkerCrashedError
+
+__all__ = [
+    "BACKENDS",
+    "SOLVE_BACKEND_ENV",
+    "CodecError",
+    "ProcessSolveBackend",
+    "SolveBackend",
+    "SolveFleet",
+    "ThreadSolveBackend",
+    "WorkerCrashedError",
+    "decode_problem",
+    "decode_schedule",
+    "encode_problem",
+    "encode_schedule",
+    "make_backend",
+    "partitioned_push_relabel",
+    "problem_from_json",
+    "problem_to_json",
+    "resolve_backend_name",
+]

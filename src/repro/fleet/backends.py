@@ -1,0 +1,163 @@
+"""Solve backends: where a service's solves actually execute.
+
+``thread``
+    In the calling thread (the historical behaviour).  The service's
+    own warm-start cache applies; scheduling throughput is bounded by
+    one core under CPython's GIL.
+``process``
+    In a :class:`~repro.fleet.pool.SolveFleet` worker process routed by
+    replica signature.  Solves leave the GIL entirely; the warm cache
+    lives in the worker.
+
+The registry is a plain dict literal so ``repro lint``'s
+registry-completeness rule can statically verify that every concrete
+``*Backend`` class in this package is registered and that every
+registered name is exercised by at least one test.
+
+Backend selection flows through :func:`resolve_backend_name` so a CI
+matrix can flip the whole fast suite with ``REPRO_SOLVE_BACKEND=process``
+and zero code changes.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule
+from repro.fleet.pool import SolveFleet
+
+__all__ = [
+    "BACKENDS",
+    "SOLVE_BACKEND_ENV",
+    "SolveBackend",
+    "ThreadSolveBackend",
+    "ProcessSolveBackend",
+    "make_backend",
+    "resolve_backend_name",
+]
+
+#: environment variable consulted when a config leaves the backend unset
+SOLVE_BACKEND_ENV = "REPRO_SOLVE_BACKEND"
+
+
+class SolveBackend(abc.ABC):
+    """Strategy object deciding where one service's solves run."""
+
+    #: registry name, overridden by subclasses
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(
+        self, problem: RetrievalProblem
+    ) -> tuple[RetrievalSchedule, bool]:
+        """Solve one problem; returns ``(schedule, cache_hit)``."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; default: nothing)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+class ThreadSolveBackend(SolveBackend):
+    """Solve in the calling thread via :func:`repro.core.solve`.
+
+    Stateless on purpose: the scheduler service keeps its own
+    warm-start cache for the thread backend, so this object only
+    encapsulates the solver choice for standalone callers.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, *, solver: str = "pr-binary", solver_kwargs: dict | None = None
+    ) -> None:
+        self.solver = solver
+        self.solver_kwargs = dict(solver_kwargs or {})
+
+    def solve(
+        self, problem: RetrievalProblem
+    ) -> tuple[RetrievalSchedule, bool]:
+        from repro.core.api import solve as core_solve
+
+        return (
+            core_solve(problem, solver=self.solver, **self.solver_kwargs),
+            False,
+        )
+
+
+class ProcessSolveBackend(SolveBackend):
+    """Solve in a :class:`~repro.fleet.pool.SolveFleet` worker process.
+
+    Parameters
+    ----------
+    fleet:
+        The lanes to route into.  With ``owns_fleet=True`` (default),
+        :meth:`close` shuts the fleet down; pass ``False`` when several
+        services share one fleet (the sharded service does this).
+    """
+
+    name = "process"
+
+    def __init__(self, fleet: SolveFleet, *, owns_fleet: bool = True) -> None:
+        self.fleet = fleet
+        self._owns_fleet = owns_fleet
+
+    def solve(
+        self, problem: RetrievalProblem
+    ) -> tuple[RetrievalSchedule, bool]:
+        return self.fleet.solve(problem)
+
+    def close(self) -> None:
+        if self._owns_fleet:
+            self.fleet.close()
+
+
+#: registry name → backend class (kept a dict literal for the lint rule)
+BACKENDS = {
+    "thread": ThreadSolveBackend,
+    "process": ProcessSolveBackend,
+}
+
+
+def resolve_backend_name(name: str | None) -> str:
+    """An explicit name, else ``$REPRO_SOLVE_BACKEND``, else ``thread``."""
+    resolved = name or os.environ.get(SOLVE_BACKEND_ENV) or "thread"
+    if resolved not in BACKENDS:
+        raise ValueError(
+            f"unknown solve backend {resolved!r}; choose from {sorted(BACKENDS)}"
+        )
+    return resolved
+
+
+def make_backend(
+    name: str | None,
+    *,
+    solver: str = "pr-binary",
+    solver_kwargs: dict | None = None,
+    fleet: SolveFleet | None = None,
+    fleet_workers: int = 1,
+    cache_size: int = 64,
+) -> SolveBackend:
+    """Build a backend by registry name (``None`` → env → ``thread``).
+
+    For ``process``: an existing ``fleet`` is adopted without ownership
+    (shared-fleet mode); otherwise a fresh ``fleet_workers``-lane fleet
+    is created and owned by the returned backend.
+    """
+    resolved = resolve_backend_name(name)
+    if resolved == "thread":
+        return ThreadSolveBackend(solver=solver, solver_kwargs=solver_kwargs)
+    if fleet is not None:
+        return ProcessSolveBackend(fleet, owns_fleet=False)
+    return ProcessSolveBackend(
+        SolveFleet(
+            fleet_workers,
+            solver=solver,
+            solver_kwargs=solver_kwargs,
+            cache_size=cache_size,
+        ),
+        owns_fleet=True,
+    )

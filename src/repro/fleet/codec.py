@@ -1,0 +1,283 @@
+"""Cross-process codec: problems and schedules as JSON-safe payloads.
+
+A :class:`~repro.core.RetrievalProblem` closes over live
+:class:`~repro.storage.StorageSystem` objects (mutable disks, NumPy
+views); pickling those wholesale would ship object graphs whose identity
+semantics do not survive a process boundary.  Instead the fleet ships
+*values*: plain dicts of JSON scalars that reconstruct the problem
+exactly on the far side, in the spirit of :mod:`repro.graph.io`'s
+integer JSON round-trip.
+
+Exactness contract
+------------------
+* replica disk ids, bucket counts, stats counters: native ints, and the
+  decoder rejects fractional values with :class:`CodecError` (a
+  :class:`~repro.errors.GraphError`) instead of rounding;
+* ``C_j``/``D_j``/``X_j``/response times: Python floats, which JSON
+  round-trips bit-for-bit (``repr``-based encoding), so the worker's
+  ``finish_time``/``capacity_at`` arithmetic is performed on the *same*
+  floats the coordinator holds and the returned makespan compares
+  ``==`` against an in-process solve.
+
+Every payload is also valid JSON text: :func:`problem_to_json` /
+:func:`problem_from_json` round-trip through ``json.dumps`` for tests
+and debugging, while the executor transport pickles the dicts directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.problem import RetrievalProblem
+from repro.core.schedule import RetrievalSchedule, SolverStats
+from repro.errors import GraphError
+from repro.storage.disk import Disk, DiskSpec
+from repro.storage.site import Site
+from repro.storage.system import StorageSystem
+
+__all__ = [
+    "CodecError",
+    "PAYLOAD_VERSION",
+    "encode_problem",
+    "decode_problem",
+    "encode_schedule",
+    "decode_schedule",
+    "problem_to_json",
+    "problem_from_json",
+]
+
+#: schema version of the fleet payloads; bumped on incompatible changes
+PAYLOAD_VERSION = 1
+
+
+class CodecError(GraphError):
+    """A fleet payload failed to encode or decode exactly."""
+
+
+def _exact_int(value: Any, what: str) -> int:
+    """Coerce a payload number to an int, rejecting non-integral values."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CodecError(f"{what} must be a number, got {value!r}")
+    as_int = int(value)
+    if as_int != value:
+        raise CodecError(f"{what} must be integral, got {value!r}")
+    return as_int
+
+
+def _float(value: Any, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CodecError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def _jsonable_label(label: Any) -> Any:
+    """Tuples nest to lists for JSON; everything else passes through."""
+    if isinstance(label, tuple):
+        return [_jsonable_label(x) for x in label]
+    return label
+
+
+def _label_from_wire(label: Any) -> Any:
+    """Inverse of :func:`_jsonable_label` (lists come back as tuples)."""
+    if isinstance(label, list):
+        return tuple(_label_from_wire(x) for x in label)
+    return label
+
+
+# ----------------------------------------------------------------------
+# problems
+# ----------------------------------------------------------------------
+def encode_problem(problem: RetrievalProblem) -> dict[str, Any]:
+    """The problem — system state included — as a JSON-safe dict."""
+    sys_ = problem.system
+    sites = []
+    for site in sys_.sites:
+        disks = [
+            {
+                "disk_id": d.disk_id,
+                "name": d.spec.name,
+                "producer": d.spec.producer,
+                "model": d.spec.model,
+                "kind": d.spec.kind,
+                "rpm": d.spec.rpm,
+                "block_time_ms": d.spec.block_time_ms,
+                "initial_load_ms": d.initial_load_ms,
+            }
+            for d in site.disks
+        ]
+        sites.append(
+            {"site_id": site.site_id, "delay_ms": site.delay_ms, "disks": disks}
+        )
+    return {
+        "version": PAYLOAD_VERSION,
+        "sites": sites,
+        "replicas": [list(reps) for reps in problem.replicas],
+        "labels": [_jsonable_label(x) for x in problem.labels],
+    }
+
+
+def decode_problem(payload: dict[str, Any]) -> RetrievalProblem:
+    """Reconstruct the exact problem a coordinator encoded."""
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"problem payload must be a dict, got {type(payload).__name__}"
+        )
+    version = payload.get("version", PAYLOAD_VERSION)
+    if version != PAYLOAD_VERSION:
+        raise CodecError(
+            f"unsupported fleet payload version {version!r} "
+            f"(expected {PAYLOAD_VERSION})"
+        )
+    raw_sites = payload.get("sites")
+    if not isinstance(raw_sites, list) or not raw_sites:
+        raise CodecError("'sites' must be a non-empty list")
+    sites: list[Site] = []
+    for s in raw_sites:
+        if not isinstance(s, dict):
+            raise CodecError(f"site entry must be a dict, got {s!r}")
+        raw_disks = s.get("disks")
+        if not isinstance(raw_disks, list):
+            raise CodecError("site 'disks' must be a list")
+        disks = []
+        for d in raw_disks:
+            if not isinstance(d, dict):
+                raise CodecError(f"disk entry must be a dict, got {d!r}")
+            rpm = d.get("rpm")
+            spec = DiskSpec(
+                name=str(d.get("name")),
+                producer=str(d.get("producer")),
+                model=str(d.get("model")),
+                kind=str(d.get("kind")),
+                rpm=None if rpm is None else _exact_int(rpm, "disk 'rpm'"),
+                block_time_ms=_float(
+                    d.get("block_time_ms"), "disk 'block_time_ms'"
+                ),
+            )
+            disks.append(
+                Disk(
+                    disk_id=_exact_int(d.get("disk_id"), "disk 'disk_id'"),
+                    spec=spec,
+                    initial_load_ms=_float(
+                        d.get("initial_load_ms"), "disk 'initial_load_ms'"
+                    ),
+                )
+            )
+        sites.append(
+            Site(
+                site_id=_exact_int(s.get("site_id"), "site 'site_id'"),
+                delay_ms=_float(s.get("delay_ms"), "site 'delay_ms'"),
+                disks=disks,
+            )
+        )
+    system = StorageSystem(sites)
+
+    raw_reps = payload.get("replicas")
+    if not isinstance(raw_reps, list) or not raw_reps:
+        raise CodecError("'replicas' must be a non-empty list of disk-id lists")
+    replicas = []
+    for i, reps in enumerate(raw_reps):
+        if not isinstance(reps, list):
+            raise CodecError(f"replicas[{i}] must be a list, got {reps!r}")
+        replicas.append(
+            tuple(_exact_int(d, f"replicas[{i}] disk id") for d in reps)
+        )
+    raw_labels = payload.get("labels", [])
+    if not isinstance(raw_labels, list):
+        raise CodecError("'labels' must be a list")
+    labels = tuple(_label_from_wire(x) for x in raw_labels)
+    return RetrievalProblem(system, tuple(replicas), labels=labels)
+
+
+def problem_to_json(problem: RetrievalProblem) -> str:
+    """JSON text form of :func:`encode_problem` (sorted keys, compact)."""
+    return json.dumps(
+        encode_problem(problem), separators=(",", ":"), sort_keys=True
+    )
+
+
+def problem_from_json(text: str) -> RetrievalProblem:
+    """Decode :func:`problem_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"not valid JSON: {exc}") from exc
+    return decode_problem(payload)
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+#: SolverStats counter fields shipped across the boundary, in order
+_STATS_COUNTERS = ("probes", "increments", "pushes", "relabels", "augmentations")
+
+
+def encode_schedule(schedule: RetrievalSchedule) -> dict[str, Any]:
+    """The solver's answer as a JSON-safe dict (no problem attached).
+
+    ``extra`` is filtered to JSON scalars — rich objects like probe
+    traces stay in the worker; the deterministic counters all travel.
+    """
+    stats = schedule.stats
+    return {
+        "version": PAYLOAD_VERSION,
+        "solver": schedule.solver,
+        "response_time_ms": schedule.response_time_ms,
+        "assignment": [[i, d] for i, d in sorted(schedule.assignment.items())],
+        "stats": {name: getattr(stats, name) for name in _STATS_COUNTERS},
+        "wall_time_s": stats.wall_time_s,
+        "extra": {
+            k: v
+            for k, v in stats.extra.items()
+            if isinstance(v, (bool, int, float, str)) or v is None
+        },
+    }
+
+
+def decode_schedule(
+    payload: dict[str, Any], problem: RetrievalProblem
+) -> RetrievalSchedule:
+    """Rebuild the schedule against the coordinator's own ``problem``.
+
+    Validation runs in ``RetrievalSchedule.__post_init__`` — a corrupted
+    assignment (bucket routed off its replica set) raises rather than
+    being accepted.
+    """
+    if not isinstance(payload, dict):
+        raise CodecError(
+            f"schedule payload must be a dict, got {type(payload).__name__}"
+        )
+    raw_assign = payload.get("assignment")
+    if not isinstance(raw_assign, list):
+        raise CodecError("'assignment' must be a list of [bucket, disk] pairs")
+    assignment: dict[int, int] = {}
+    for row in raw_assign:
+        if not isinstance(row, list) or len(row) != 2:
+            raise CodecError(f"assignment row must be [bucket, disk]: {row!r}")
+        assignment[_exact_int(row[0], "assignment bucket")] = _exact_int(
+            row[1], "assignment disk"
+        )
+    raw_stats = payload.get("stats")
+    if not isinstance(raw_stats, dict):
+        raise CodecError("'stats' must be a dict of counters")
+    counters = {
+        name: _exact_int(raw_stats.get(name, 0), f"stats counter {name!r}")
+        for name in _STATS_COUNTERS
+    }
+    raw_extra = payload.get("extra", {})
+    if not isinstance(raw_extra, dict):
+        raise CodecError("'extra' must be a dict")
+    stats = SolverStats(
+        wall_time_s=_float(payload.get("wall_time_s", 0.0), "'wall_time_s'"),
+        extra=dict(raw_extra),
+        **counters,
+    )
+    return RetrievalSchedule(
+        problem=problem,
+        assignment=assignment,
+        response_time_ms=_float(
+            payload.get("response_time_ms"), "'response_time_ms'"
+        ),
+        stats=stats,
+        solver=str(payload.get("solver", "?")),
+    )

@@ -1,0 +1,181 @@
+"""Multi-process partitioned push–relabel with an explicit merge step.
+
+The threaded Hong & He engine (:mod:`repro.maxflow.parallel_push_relabel`)
+reproduces the paper's parallel *schedule* but cannot exceed 1x CPU-bound
+speedup under the GIL.  This variant escapes to processes by exploiting
+the retrieval network's structure (Figure 4): the bucket vertex range is
+split into ``K`` contiguous slices, and each worker process solves an
+independent capacity slice of the full network —
+
+* source→bucket arcs outside the worker's slice are capped at 0, so a
+  worker routes only its own buckets;
+* every disk→sink capacity is split into ``K`` integer shares (floor
+  plus round-robin remainder, offset by disk id so no lane collects all
+  the remainders) that sum exactly to the original capacity.
+
+Sub-instances travel as :mod:`repro.graph.io` integer JSON — the same
+codec both directions, so arc ids line up and the **merge step** is
+arc-wise flow summation.  The merged assignment is a valid flow of the
+original network by construction: each source arc carries flow in
+exactly one slice, bucket→disk arcs are reachable from exactly one
+slice, and the sink shares sum to the original capacities.  It is not
+necessarily *maximum* (a unified sink capacity can route what rigid
+shares strand), so a warm-started sequential push–relabel finishes the
+job — flow conservation means it only adds, never redoes, work.  The
+result is the exact integer max flow, ``==``-comparable against any
+sequential engine.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import Executor, ProcessPoolExecutor
+
+from repro.core.network import RetrievalNetwork
+from repro.errors import GraphError
+from repro.fleet.pool import default_mp_context
+from repro.fleet.worker import worker_maxflow
+from repro.graph.io import from_json, to_json
+from repro.maxflow.base import MaxFlowResult
+from repro.maxflow.push_relabel import push_relabel
+
+__all__ = ["partitioned_push_relabel", "bucket_slices", "split_sink_caps"]
+
+
+def bucket_slices(num_buckets: int, num_workers: int) -> list[range]:
+    """Split ``range(num_buckets)`` into ``num_workers`` contiguous runs."""
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    base, rem = divmod(num_buckets, num_workers)
+    slices = []
+    start = 0
+    for k in range(num_workers):
+        size = base + (1 if k < rem else 0)
+        slices.append(range(start, start + size))
+        start += size
+    return slices
+
+
+def split_sink_caps(caps: list[int], num_workers: int) -> list[list[int]]:
+    """Integer shares per worker, summing exactly to each capacity.
+
+    ``shares[k][j] = caps[j] // K`` plus one unit of the remainder when
+    ``(k + j) % K < caps[j] % K`` — the disk-id offset rotates which
+    lanes receive remainders so the extra capacity spreads evenly.
+    """
+    shares = [[0] * len(caps) for _ in range(num_workers)]
+    for j, cap in enumerate(caps):
+        base, rem = divmod(cap, num_workers)
+        for k in range(num_workers):
+            shares[k][j] = base + (1 if (k + j) % num_workers < rem else 0)
+    return shares
+
+
+def _slice_payload(
+    network: RetrievalNetwork, buckets: range, sink_share: list[int]
+) -> str:
+    """One worker's sub-instance: full topology, sliced capacities."""
+    g = network.graph.copy()
+    g.reset_flow()
+    allowed = set(buckets)
+    for i, a in enumerate(network.source_arcs):
+        if i not in allowed:
+            g.set_capacity(a, 0)
+    for j, a in enumerate(network.sink_arcs):
+        g.set_capacity(a, sink_share[j])
+    return to_json(g, network.source, network.sink)
+
+
+def partitioned_push_relabel(
+    network: RetrievalNetwork,
+    *,
+    num_workers: int = 2,
+    executor: Executor | None = None,
+) -> MaxFlowResult:
+    """Max flow of ``network`` at its current capacities, across processes.
+
+    Parameters
+    ----------
+    network:
+        A retrieval network with disk→sink capacities already set (e.g.
+        via :meth:`~repro.core.network.RetrievalNetwork.set_deadline_capacities`).
+        Its flow is overwritten with the computed maximum flow, exactly
+        like the sequential engines.
+    num_workers:
+        Bucket slices / worker processes.
+    executor:
+        An existing executor to run workers on (tests reuse one pool
+        across instances); ``None`` creates a private process pool for
+        this call and tears it down afterwards.
+
+    Returns a :class:`~repro.maxflow.MaxFlowResult` whose ``value`` is
+    the exact integer max flow; ``extra["partition"]`` records the merge
+    accounting (per-slice values, merged pre-finish value, finish work).
+    """
+    problem = network.problem
+    slices = bucket_slices(problem.num_buckets, num_workers)
+    shares = split_sink_caps(network.sink_caps(), num_workers)
+    payloads = [
+        _slice_payload(network, slc, shares[k])
+        for k, slc in enumerate(slices)
+    ]
+
+    own_pool = executor is None
+    pool: Executor = (
+        ProcessPoolExecutor(max_workers=num_workers, mp_context=default_mp_context())
+        if own_pool
+        else executor
+    )
+    try:
+        futures = [pool.submit(worker_maxflow, p) for p in payloads]
+        replies = [json.loads(f.result()) for f in futures]
+    finally:
+        if own_pool:
+            pool.shutdown(wait=True)
+
+    # merge: arc-wise sum of the per-slice flows onto the original graph
+    g = network.graph
+    merged = [0] * g.num_arc_slots
+    slice_values = []
+    pushes = relabels = 0
+    for reply in replies:
+        sub, _s, _t = from_json(reply["network"])
+        if sub.num_arc_slots != g.num_arc_slots:
+            raise GraphError(
+                f"worker returned {sub.num_arc_slots} arc slots, "
+                f"expected {g.num_arc_slots}"
+            )
+        for a in range(g.num_arc_slots):
+            merged[a] += sub.flow[a]
+        slice_values.append(int(reply["value"]))
+        pushes += int(reply["pushes"])
+        relabels += int(reply["relabels"])
+    for a in range(0, g.num_arc_slots, 2):
+        if merged[a] > g.cap[a]:
+            raise GraphError(
+                f"merged flow {merged[a]} exceeds capacity {g.cap[a]} on "
+                f"arc {a} — bucket slices were not disjoint"
+            )
+    # per-slice flows are each antisymmetric, so their sum is a valid
+    # snapshot for restore_flow (which also re-checks the invariant)
+    g.restore_flow(merged)
+    merged_value = network.flow_value()
+
+    # finish: warm-started sequential push-relabel tops the merged flow
+    # up to the true maximum under the *unified* sink capacities
+    finish = push_relabel(g, network.source, network.sink, warm_start=True)
+    return MaxFlowResult(
+        value=finish.value,
+        pushes=pushes + finish.pushes,
+        relabels=relabels + finish.relabels,
+        extra={
+            "partition": {
+                "num_workers": num_workers,
+                "bucket_slices": [[r.start, r.stop] for r in slices],
+                "slice_values": slice_values,
+                "merged_value": merged_value,
+                "finish_pushes": finish.pushes,
+                "finish_relabels": finish.relabels,
+            }
+        },
+    )

@@ -40,6 +40,7 @@ from functools import partial
 from typing import Any
 
 from repro.errors import ReproError
+from repro.fleet.pool import WorkerCrashedError
 from repro.net.errors import (
     FrameTooLargeError,
     NonIntegralFieldError,
@@ -540,6 +541,15 @@ class SchedulerServer:
             )
         except ValueError as exc:  # e.g. out-of-range shard id
             return error_response(req_id, "BAD_REQUEST", str(exc))
+        except WorkerCrashedError as exc:
+            # a fleet worker died mid-solve: the query was valid, the
+            # infrastructure failed.  INTERNAL is non-transient on the
+            # wire, so a client RetryPolicy will NOT re-submit — submit
+            # keeps its at-most-once semantics.  The fleet has already
+            # rebuilt the lane, so later submits succeed.
+            return error_response(
+                req_id, "INTERNAL", f"solve worker crashed: {exc}"
+            )
         except ReproError as exc:
             return error_response(req_id, "INVALID_QUERY", str(exc))
         finally:

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.pool import SolveFleet
 
 __all__ = ["ServiceConfig", "perf_ms"]
 
@@ -49,7 +52,24 @@ class ServiceConfig:
         Capacity of the warm-start network cache (entries keyed by the
         query's replica-set signature).  ``0`` disables caching.  Only
         solvers that support warm starts use the cache; others fall back
-        to cold solves transparently.
+        to cold solves transparently.  Under the ``process`` backend the
+        cache lives *inside* each worker (signature-affine lanes keep it
+        warm); this knob sizes those worker caches instead.
+    solve_backend:
+        Where solves execute: ``"thread"`` (in the calling thread — the
+        historical behaviour) or ``"process"`` (a
+        :class:`~repro.fleet.SolveFleet` worker, escaping the GIL).
+        ``None`` defers to the ``REPRO_SOLVE_BACKEND`` environment
+        variable, defaulting to ``"thread"`` — which is how CI matrixes
+        the whole fast suite over both backends with zero code changes.
+    fleet_workers:
+        Lane count for a ``process`` backend built by this config
+        (ignored when ``fleet`` is provided or the backend is
+        ``thread``).
+    fleet:
+        A pre-built :class:`~repro.fleet.SolveFleet` to share (the
+        sharded service hands every shard the same fleet).  The service
+        does not take ownership — whoever built the fleet closes it.
     """
 
     solver: str = "pr-binary"
@@ -58,6 +78,9 @@ class ServiceConfig:
     registry: MetricsRegistry | None = None
     batch_window_ms: float = 0.0
     cache_size: int = 64
+    solve_backend: str | None = None
+    fleet_workers: int = 1
+    fleet: "SolveFleet | None" = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -66,10 +89,20 @@ class ServiceConfig:
             )
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.fleet_workers < 1:
+            raise ValueError(
+                f"fleet_workers must be >= 1, got {self.fleet_workers}"
+            )
 
     # ------------------------------------------------------------------
     def resolved_time_fn(self) -> Callable[[], float]:
         return self.time_fn if self.time_fn is not None else perf_ms
+
+    def resolved_solve_backend(self) -> str:
+        """The effective backend name (explicit > env > ``thread``)."""
+        from repro.fleet.backends import resolve_backend_name
+
+        return resolve_backend_name(self.solve_backend)
 
     def with_changes(self, **changes: object) -> "ServiceConfig":
         """A copy with the given fields replaced (frozen-friendly)."""

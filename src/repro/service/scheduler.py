@@ -150,6 +150,26 @@ class SchedulerService:
             getattr(solver_cls, "supports_warm_start", False)
         )
 
+        # solve backend: "thread" keeps the historical in-process path;
+        # "process" routes every solve into a SolveFleet worker (the GIL
+        # escape).  Imported lazily so the service layer has no hard
+        # dependency on the fleet machinery for thread-backed configs.
+        backend_name = config.resolved_solve_backend()
+        if backend_name == "process":
+            from repro.fleet.backends import make_backend
+
+            self._backend = make_backend(
+                "process",
+                solver=config.solver,
+                solver_kwargs=dict(config.solver_kwargs),
+                fleet=config.fleet,
+                fleet_workers=config.fleet_workers,
+                cache_size=config.cache_size,
+            )
+        else:
+            self._backend = None
+        self.solve_backend = backend_name
+
         self.registry = (
             config.registry if config.registry is not None else MetricsRegistry()
         )
@@ -185,9 +205,12 @@ class SchedulerService:
             buckets=_BATCH_SIZE_BUCKETS,
         )
 
+        # with a process backend the warm cache lives in the workers
+        # (lane affinity keeps it hot); a service-side copy would only
+        # go stale, so it is disabled
         self._cache = (
             NetworkCache(config.cache_size, self.registry)
-            if config.cache_size > 0 and self._warmable
+            if config.cache_size > 0 and self._warmable and self._backend is None
             else None
         )
         self._batcher = (
@@ -283,6 +306,8 @@ class SchedulerService:
         self, problem: RetrievalProblem
     ) -> "tuple[Any, bool]":
         """Solve one problem under the lock, via the warm-start cache."""
+        if self._backend is not None:
+            return self._backend.solve(problem)
         if self._cache is None:
             return solve(problem, solver=self.solver, **self.solver_kwargs), False
         signature = problem.replicas
@@ -394,6 +419,10 @@ class SchedulerService:
                     )
 
             merged, owner = merge_problems([r.problem for r in requests])
+            # batched admission solves in-process regardless of backend:
+            # merged problems have one-off replica signatures, so worker
+            # cache affinity buys nothing and the shipping cost is pure
+            # overhead on the coalesced (already amortized) path
             schedule = solve(merged, solver=self.solver, **self.solver_kwargs)
             joint = BatchSchedule(schedule, owner, len(requests))
             decision_ms = schedule.stats.wall_time_s * 1000.0
@@ -448,5 +477,19 @@ class SchedulerService:
     # ------------------------------------------------------------------
     @property
     def cache(self) -> NetworkCache | None:
-        """The warm-start network cache (``None`` when disabled)."""
+        """The warm-start network cache (``None`` when disabled).
+
+        Under the ``process`` backend this is ``None``: the warm caches
+        live inside the fleet's worker processes.
+        """
         return self._cache
+
+    def close(self) -> None:
+        """Release the solve backend (worker processes); idempotent.
+
+        Thread-backed services hold nothing worth releasing, so calling
+        this is only *required* for ``solve_backend="process"`` — but it
+        is always safe.
+        """
+        if self._backend is not None:
+            self._backend.close()

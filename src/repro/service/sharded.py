@@ -96,6 +96,24 @@ class ShardedSchedulerService:
     ) -> None:
         if config is None:
             config = ServiceConfig()
+        # one fleet for the whole deployment: with a process backend,
+        # per-shard fleets would multiply worker processes N_shards-fold
+        # and defeat signature→lane cache affinity (the same signature
+        # must hit the same worker no matter which shard routed it)
+        self._fleet = None
+        if (
+            config.resolved_solve_backend() == "process"
+            and config.fleet is None
+        ):
+            from repro.fleet.pool import SolveFleet
+
+            self._fleet = SolveFleet(
+                config.fleet_workers,
+                solver=config.solver,
+                solver_kwargs=dict(config.solver_kwargs),
+                cache_size=config.cache_size,
+            )
+            config = config.with_changes(fleet=self._fleet)
         services: list[SchedulerService] = []
         for shard in shards:
             if isinstance(shard, SchedulerService):
@@ -196,3 +214,11 @@ class ShardedSchedulerService:
         merged.p50_response_ms = merged_quantile(hists, 0.50)
         merged.p95_response_ms = merged_quantile(hists, 0.95)
         return merged
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every shard and the shared solve fleet (idempotent)."""
+        for svc in self.services:
+            svc.close()
+        if self._fleet is not None:
+            self._fleet.close()

@@ -1,0 +1,205 @@
+"""Cross-process codec: exact round-trips and adversarial payloads.
+
+The fleet ships problems and schedules as JSON-safe dicts; these tests
+pin the exactness contract — floats round-trip bit-for-bit, ints are
+validated (fractional values raise :class:`~repro.fleet.CodecError`, a
+:class:`~repro.errors.GraphError`, never silently truncate), and a
+corrupted assignment is rejected by schedule validation rather than
+accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import RetrievalProblem, solve
+from repro.errors import GraphError, InfeasibleScheduleError
+from repro.fleet import (
+    CodecError,
+    decode_problem,
+    decode_schedule,
+    encode_problem,
+    encode_schedule,
+    problem_from_json,
+    problem_to_json,
+)
+from repro.fleet.codec import PAYLOAD_VERSION
+from repro.storage import StorageSystem
+
+from tests.property.test_differential_fuzz import random_generalized
+
+
+def small_problem(seed: int = 0) -> RetrievalProblem:
+    rng = np.random.default_rng(seed)
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], 2, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return RetrievalProblem(sys_, ((0, 2), (1, 3), (0, 1)))
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_problems_reconstruct_exactly(self, seed):
+        rng = np.random.default_rng(0xC0DEC + seed)
+        problem = random_generalized(rng)
+        back = decode_problem(encode_problem(problem))
+
+        assert back.replicas == problem.replicas
+        assert back.labels == problem.labels
+        a, b = problem.system, back.system
+        assert b.num_disks == a.num_disks
+        for j in range(a.num_disks):
+            # finish-time arithmetic must be performed on the *same*
+            # floats: C_j, D_j, X_j all bit-for-bit
+            for k in (1, 2, 5):
+                assert b.finish_time(j, k) == a.finish_time(j, k)
+            assert b.disk(j).initial_load_ms == a.disk(j).initial_load_ms
+            assert b.disk(j).spec == a.disk(j).spec
+
+    def test_json_text_roundtrip(self):
+        problem = small_problem()
+        text = problem_to_json(problem)
+        json.loads(text)  # valid JSON by construction
+        back = problem_from_json(text)
+        assert back.replicas == problem.replicas
+        assert problem_to_json(back) == text  # fixed point
+
+    def test_label_tuples_survive(self):
+        problem = small_problem()
+        labeled = RetrievalProblem(
+            problem.system,
+            problem.replicas,
+            labels=((0, 0), (1, 2), ("row", 3)),
+        )
+        back = decode_problem(encode_problem(labeled))
+        assert back.labels == labeled.labels
+        assert all(type(x) is tuple for x in back.labels)
+
+    def test_huge_integer_loads_survive(self):
+        """Loads beyond 2**53 round-trip without float truncation."""
+        problem = small_problem()
+        payload = encode_problem(problem)
+        big = float(2**60)
+        for site in payload["sites"]:
+            for d in site["disks"]:
+                d["initial_load_ms"] = big
+        back = decode_problem(payload)
+        assert back.system.disk(0).initial_load_ms == big
+
+    def test_fractional_float_loads_are_floats_not_errors(self):
+        """Float fields accept fractions — only int fields are strict."""
+        problem = small_problem()
+        payload = encode_problem(problem)
+        payload["sites"][0]["disks"][0]["initial_load_ms"] = 0.1
+        back = decode_problem(payload)
+        assert back.system.disk(0).initial_load_ms == 0.1
+
+
+class TestProblemAdversarial:
+    def test_fractional_disk_id_rejected_not_truncated(self):
+        payload = encode_problem(small_problem())
+        payload["sites"][0]["disks"][0]["disk_id"] = 0.5
+        with pytest.raises(GraphError, match="integral"):
+            decode_problem(payload)
+
+    def test_fractional_replica_id_rejected(self):
+        payload = encode_problem(small_problem())
+        payload["replicas"][0][0] = 1.5
+        with pytest.raises(CodecError, match="integral"):
+            decode_problem(payload)
+
+    def test_bool_is_not_an_int(self):
+        payload = encode_problem(small_problem())
+        payload["replicas"][0][0] = True
+        with pytest.raises(CodecError, match="number"):
+            decode_problem(payload)
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(CodecError, match="sites"):
+            decode_problem({"version": PAYLOAD_VERSION, "sites": []})
+
+    def test_empty_replicas_rejected(self):
+        payload = encode_problem(small_problem())
+        payload["replicas"] = []
+        with pytest.raises(CodecError, match="replicas"):
+            decode_problem(payload)
+
+    def test_wrong_version_rejected(self):
+        payload = encode_problem(small_problem())
+        payload["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_problem(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(CodecError, match="dict"):
+            decode_problem([1, 2, 3])
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(CodecError, match="JSON"):
+            problem_from_json("{truncated")
+
+    def test_codec_error_is_a_graph_error(self):
+        # callers that already catch GraphError see codec failures too
+        assert issubclass(CodecError, GraphError)
+
+
+class TestScheduleRoundTrip:
+    def test_solved_schedule_reconstructs_exactly(self):
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        back = decode_schedule(encode_schedule(schedule), problem)
+
+        assert back.response_time_ms == schedule.response_time_ms
+        assert back.assignment == schedule.assignment
+        assert back.solver == schedule.solver
+        for name in ("probes", "increments", "pushes", "relabels",
+                     "augmentations"):
+            assert getattr(back.stats, name) == getattr(schedule.stats, name)
+
+    def test_huge_stats_counters_survive(self):
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule)
+        payload["stats"]["pushes"] = 2**63 + 1
+        back = decode_schedule(payload, problem)
+        assert back.stats.pushes == 2**63 + 1
+
+    def test_extra_is_filtered_to_scalars(self):
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary", trace=True)
+        payload = encode_schedule(schedule)
+        for value in payload["extra"].values():
+            assert isinstance(value, (bool, int, float, str)) or value is None
+        json.dumps(payload)  # the whole payload must be JSON-safe
+
+    def test_corrupted_assignment_rejected_by_validation(self):
+        """A bucket routed off its replica set must raise, not pass."""
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule)
+        replicas = set(problem.replicas[0])
+        bad = next(
+            d for d in range(problem.system.num_disks) if d not in replicas
+        )
+        payload["assignment"][0] = [0, bad]
+        with pytest.raises(InfeasibleScheduleError):
+            decode_schedule(payload, problem)
+
+    def test_fractional_assignment_rejected(self):
+        problem = small_problem()
+        payload = encode_schedule(solve(problem, solver="pr-binary"))
+        payload["assignment"][0][1] = 1.5
+        with pytest.raises(CodecError, match="integral"):
+            decode_schedule(payload, problem)
+
+    def test_nan_response_time_roundtrips_as_float(self):
+        # json.dumps(float('nan')) is allowed by the stdlib encoder;
+        # the decoder must not "validate" it into an int path
+        problem = small_problem()
+        payload = encode_schedule(solve(problem, solver="pr-binary"))
+        assert not math.isnan(payload["response_time_ms"])
+        assert type(payload["response_time_ms"]) is float

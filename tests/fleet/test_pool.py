@@ -1,0 +1,154 @@
+"""SolveFleet lanes, routing, and the solve-backend registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RetrievalProblem, solve
+from repro.fleet import (
+    BACKENDS,
+    SOLVE_BACKEND_ENV,
+    ProcessSolveBackend,
+    SolveBackend,
+    SolveFleet,
+    ThreadSolveBackend,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.service import ServiceConfig
+from repro.storage import StorageSystem
+
+
+def small_problem(seed: int = 0) -> RetrievalProblem:
+    rng = np.random.default_rng(seed)
+    sys_ = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], 2, delays_ms=[1.0, 4.0], rng=rng
+    )
+    reps = tuple(
+        tuple(sorted(rng.choice(4, size=2, replace=False).tolist()))
+        for _ in range(3 + seed % 3)
+    )
+    return RetrievalProblem(sys_, reps)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with SolveFleet(2, cache_size=8) as f:
+        yield f
+
+
+class TestLanes:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            SolveFleet(0)
+        with pytest.raises(ValueError, match="cache_size"):
+            SolveFleet(1, cache_size=-1, warmup=False)
+
+    def test_lane_routing_is_stable_and_in_range(self, fleet):
+        for seed in range(10):
+            sig = small_problem(seed).replicas
+            lane = fleet.lane_of(sig)
+            assert 0 <= lane < fleet.num_workers
+            assert fleet.lane_of(sig) == lane  # deterministic
+
+    def test_worker_pids_are_distinct_processes(self, fleet):
+        import os
+
+        pids = fleet.worker_pids()
+        assert len(pids) == fleet.num_workers
+        assert len(set(pids)) == fleet.num_workers
+        assert os.getpid() not in pids
+
+    def test_solve_counts_land_on_the_home_lane(self, fleet):
+        problem = small_problem(3)
+        lane = fleet.lane_of(problem.replicas)
+        before = list(fleet.solves_per_lane)
+        fleet.solve(problem)
+        after = fleet.solves_per_lane
+        assert after[lane] == before[lane] + 1
+        other = 1 - lane
+        assert after[other] == before[other]
+
+    def test_signature_affinity_keeps_the_worker_cache_warm(self, fleet):
+        """The same signature twice: cold then warm, same answer."""
+        problem = small_problem(7)
+        s1, hit1 = fleet.solve(problem)
+        s2, hit2 = fleet.solve(problem)
+        assert hit1 is False and hit2 is True
+        assert s2.response_time_ms == s1.response_time_ms
+        assert s2.assignment == s1.assignment
+
+    def test_closed_fleet_rejects_work(self):
+        f = SolveFleet(1, warmup=False)
+        f.close()
+        f.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            f.solve(small_problem())
+
+
+class TestBackendRegistry:
+    def test_registry_names(self):
+        assert set(BACKENDS) == {"thread", "process"}
+        for cls in BACKENDS.values():
+            assert issubclass(cls, SolveBackend)
+
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv(SOLVE_BACKEND_ENV, raising=False)
+        assert resolve_backend_name(None) == "thread"
+        monkeypatch.setenv(SOLVE_BACKEND_ENV, "process")
+        assert resolve_backend_name(None) == "process"
+        # explicit beats the environment
+        assert resolve_backend_name("thread") == "thread"
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown solve backend"):
+            resolve_backend_name("carrier-pigeon")
+        monkeypatch.setenv(SOLVE_BACKEND_ENV, "bogus")
+        with pytest.raises(ValueError, match="unknown solve backend"):
+            resolve_backend_name(None)
+
+    def test_config_resolves_through_the_registry(self, monkeypatch):
+        monkeypatch.delenv(SOLVE_BACKEND_ENV, raising=False)
+        assert ServiceConfig().resolved_solve_backend() == "thread"
+        cfg = ServiceConfig(solve_backend="process")
+        assert cfg.resolved_solve_backend() == "process"
+        monkeypatch.setenv(SOLVE_BACKEND_ENV, "process")
+        assert ServiceConfig().resolved_solve_backend() == "process"
+
+    def test_config_validates_fleet_workers(self):
+        with pytest.raises(ValueError, match="fleet_workers"):
+            ServiceConfig(fleet_workers=0)
+
+    def test_thread_backend_matches_core_solve(self):
+        problem = small_problem(1)
+        backend = make_backend("thread")
+        schedule, hit = backend.solve(problem)
+        assert hit is False
+        assert schedule.response_time_ms == solve(problem).response_time_ms
+        backend.close()  # no-op, must not raise
+
+    def test_make_backend_adopts_a_shared_fleet_without_ownership(self, fleet):
+        backend = make_backend("process", fleet=fleet)
+        assert isinstance(backend, ProcessSolveBackend)
+        assert backend.fleet is fleet
+        backend.close()
+        # the shared fleet must survive the backend's close
+        schedule, _ = fleet.solve(small_problem(2))
+        assert len(schedule.assignment) == small_problem(2).num_buckets
+
+    def test_make_backend_owns_a_private_fleet(self):
+        backend = make_backend("process", fleet_workers=1, cache_size=0)
+        try:
+            schedule, hit = backend.solve(small_problem(4))
+            assert hit is False
+            assert schedule.solver == "pr-binary"
+        finally:
+            backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.fleet.solve(small_problem(4))
+
+    def test_thread_backend_registered_class_is_instantiable(self):
+        backend = BACKENDS["thread"](solver="pr-binary")
+        assert isinstance(backend, ThreadSolveBackend)
+        assert backend.name == "thread"

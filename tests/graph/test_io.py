@@ -152,6 +152,52 @@ class TestJsonRoundTrip:
         with pytest.raises(GraphError, match="object"):
             from_json("[1, 2]")
 
+    def test_empty_network_roundtrips(self):
+        """The degenerate cases the fleet codec can legally ship."""
+        g = FlowNetwork(2)  # s and t, no arcs at all
+        g2, s2, t2 = from_json(to_json(g, 0, 1))
+        assert (s2, t2) == (0, 1)
+        assert g2.n == 2 and g2.num_arcs == 0
+
+    def test_isolated_vertices_survive_roundtrip(self):
+        g = FlowNetwork(5)
+        g.add_arc(0, 4, 3)
+        g2, _, _ = from_json(to_json(g, 0, 4))
+        assert g2.n == 5 and g2.num_arcs == 1
+
+    def test_max_int_capacities_roundtrip_exactly(self):
+        """Capacities beyond 2**53 must not pass through float anywhere."""
+        big = 2**63 + 3  # not representable as a float
+        g = FlowNetwork(2)
+        g.add_arc(0, 1, big)
+        g.push(0, big - 1)
+        g2, _, _ = from_json(to_json(g, 0, 1))
+        a = g2.arc(0)
+        assert a.cap == big and type(a.cap) is int
+        assert a.flow == big - 1 and type(a.flow) is int
+
+    def test_zero_capacity_arcs_preserved(self):
+        g = FlowNetwork(3)
+        g.add_arc(0, 1, 0)
+        g.add_arc(1, 2, 4)
+        g2, _, _ = from_json(to_json(g, 0, 2))
+        assert [a.cap for a in g2.arcs()] == [0, 4]
+
+    def test_fractional_rejection_is_graph_error_not_truncation(self):
+        """0.5 must raise — never be silently truncated to 0."""
+        g, s, t = sample()
+        payload = json.loads(to_json(g, s, t))
+        payload["arcs"][0][2] = 0.5
+        try:
+            g2, _, _ = from_json(json.dumps(payload))
+        except GraphError:
+            pass
+        else:  # pragma: no cover - the bug this test exists to catch
+            raise AssertionError(
+                f"fractional capacity accepted as {g2.arc(0).cap!r} "
+                f"instead of raising GraphError"
+            )
+
 
 class TestNetworkxBridge:
     def test_capacities_transfer(self):

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.analysis",
+    "repro.fleet",
 ]
 
 

@@ -23,6 +23,21 @@ from repro.storage import StorageSystem
 N = 6
 
 
+@pytest.fixture(autouse=True)
+def _thread_backend(monkeypatch):
+    """Pin this module to the thread backend.
+
+    These tests probe the *service-side* cache (``svc.cache`` internals,
+    hit/miss/eviction accounting), which deliberately does not exist
+    under the process backend — there the cache lives inside each fleet
+    worker and has its own suites (tests/fleet/, the cross-process
+    differential in tests/property/).  Without the pin, a CI matrix leg
+    running ``REPRO_SOLVE_BACKEND=process`` would fail on internals that
+    are absent by design rather than by bug.
+    """
+    monkeypatch.setenv("REPRO_SOLVE_BACKEND", "thread")
+
+
 def deployment(seed=0):
     rng = np.random.default_rng(seed)
     placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
