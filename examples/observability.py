@@ -7,7 +7,8 @@ Three stops:
    actually ran — the anchor probe, the narrowing bisection bracket, the
    min-cost increments — and compare the push work black-box scaling
    spends on the *same* instance (the in-process view of Figures 7-9);
-2. run a repeating query mix through ``SchedulerService`` and read its
+2. run a repeating query mix through an ``api.Scheduler`` handle and
+   read its
    always-on registry: decision/response latency percentiles, per-disk
    backlog gauges, and the warm-start network cache's hit/miss/eviction
    counters; then coalesce a concurrent burst through batched admission
@@ -25,10 +26,11 @@ import threading
 
 import numpy as np
 
+from repro import api
 from repro.core import RetrievalProblem, solve
 from repro.decluster import make_placement
 from repro.obs import read_trace_jsonl, to_prometheus, write_trace_jsonl
-from repro.service import SchedulerService, ServiceConfig
+from repro.service import ServiceConfig
 from repro.storage import StorageSystem
 
 
@@ -76,9 +78,10 @@ def main() -> None:
     #    Real frontends see repeating queries, so draw from a small pool
     #    of signatures — that's what the warm-start cache feeds on.
     # ------------------------------------------------------------------
-    svc = SchedulerService(
-        system, placement, config=ServiceConfig(cache_size=32)
+    sched = api.Scheduler(ServiceConfig(cache_size=32)).local(
+        system, placement
     )
+    svc = sched.service  # the underlying service, for registry access
     query_rng = np.random.default_rng(11)
     pool = []
     for _ in range(8):
@@ -86,9 +89,9 @@ def main() -> None:
         cells = query_rng.choice(N * N, size=k, replace=False)
         pool.append([(int(c) // N, int(c) % N) for c in cells])
     for _ in range(25):
-        svc.submit(pool[int(query_rng.integers(len(pool)))])
+        sched.submit(pool[int(query_rng.integers(len(pool)))])
 
-    st = svc.stats()
+    st = sched.stats()
     decision = svc.registry.get("repro_service_decision_ms").summary()
     response = svc.registry.get("repro_service_response_ms").summary()
     print(f"\nservice after {st.queries} queries:")
@@ -113,12 +116,13 @@ def main() -> None:
     # 2b. Batched admission: a concurrent burst coalesces into one joint
     #     solve_batch schedule; the batch metrics show the coalescing.
     # ------------------------------------------------------------------
-    burst_svc = SchedulerService(
-        system, placement, config=ServiceConfig(batch_window_ms=25.0)
+    burst = api.Scheduler(ServiceConfig(batch_window_ms=25.0)).local(
+        system, placement
     )
-    burst = pool[:6]
+    burst_svc = burst.service
+    queries = pool[:6]
     threads = [
-        threading.Thread(target=burst_svc.submit, args=(q,)) for q in burst
+        threading.Thread(target=burst.submit, args=(q,)) for q in queries
     ]
     for t in threads:
         t.start()
@@ -126,7 +130,7 @@ def main() -> None:
         t.join()
     batches = burst_svc.registry.get("repro_service_batches_total").value
     sizes = burst_svc.registry.get("repro_service_batch_size")
-    print(f"\nbatched admission: {len(burst)} concurrent submits -> "
+    print(f"\nbatched admission: {len(queries)} concurrent submits -> "
           f"{batches:.0f} joint solve(s), mean batch size "
           f"{sizes.total / max(sizes.count, 1):.1f}")
 

@@ -28,6 +28,7 @@ to its own history — serialization must be transparent.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -80,6 +81,10 @@ class NetBenchResult:
     solver: str
     pool_size: int
     workers: int = 0
+    #: cores visible to this run — makes single-core artifacts
+    #: self-describing (fleet numbers without free cores only measure
+    #: process-shipping overhead, not scaling)
+    cpu_count: int = 0
     modes: dict = field(default_factory=dict)
 
     @property
@@ -248,6 +253,13 @@ def run_net_bench(
     against ``workers`` scheduler shards sharing a ``workers``-lane
     process fleet (``solve_backend="process"``).
     """
+    cpu = os.cpu_count() or 1
+    if workers > cpu:
+        raise ValueError(
+            f"workers={workers} exceeds os.cpu_count()={cpu}: a fleet "
+            "larger than the machine cannot scale and would silently "
+            "measure oversubscription, not speedup"
+        )
     streams = make_workload(
         n, clients, requests_per_client, distinct=distinct, seed=seed
     )
@@ -260,6 +272,7 @@ def run_net_bench(
         solver=solver,
         pool_size=pool_size,
         workers=workers,
+        cpu_count=cpu,
     )
 
     def build_service() -> SchedulerService:
@@ -355,7 +368,7 @@ def format_net_bench(result: NetBenchResult) -> str:
     )
     if "fleet" in result.modes:
         lines.append(
-            f"fleet ({result.workers} workers): "
+            f"fleet ({result.workers} workers, {result.cpu_count} cores): "
             f"x{result.speedup_fleet_vs_net:.2f} vs net "
             f"(needs {result.workers} free cores for linear scaling)"
         )

@@ -1,0 +1,225 @@
+"""Open-loop online scheduling harness: arrivals, departures, repair.
+
+Drives the :class:`~repro.online.OnlineScheduler` through a seeded
+Poisson arrival trace (a :class:`~repro.workloads.mixed.WorkloadMix`
+blend on the virtual clock), then drains it and reports what the
+continuous-time mode actually did: admissions, completions, predictive
+sheds, drains, decremental warm-network repairs and released flow
+units, plus predicted-vs-actual response-time statistics.
+
+A correctness cross-check rides along (``verify=True``): every
+completed query's static snapshot — the initial loads it saw and the
+failure set it was admitted under — is re-solved offline, and the
+online record must match the batch optimum **bit for bit** (same
+makespan, same per-disk flow counts).  This is the ISSUE acceptance
+differential packaged as an artifact: the numbers in BENCH_online.json
+are self-verifying.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.bench.service_bench import _build_deployment, _quantile
+from repro.core.api import solve
+from repro.core.degraded import degrade_problem
+from repro.core.problem import RetrievalProblem
+from repro.errors import PredictedOverloadError
+from repro.online.config import OnlineConfig
+from repro.service import SchedulerService, ServiceConfig
+from repro.workloads.mixed import MixComponent, WorkloadMix
+
+__all__ = ["OnlineBenchResult", "format_online_bench", "run_online_bench"]
+
+#: the default blend: interactive viewport ranges with analytical sweeps
+_DEFAULT_MIX = [
+    MixComponent(0.7, 3, "range"),
+    MixComponent(0.3, 2, "arbitrary"),
+]
+
+
+@dataclass
+class OnlineBenchResult:
+    """One open-loop run's measurements (JSON-serialisable via to_dict)."""
+
+    n: int
+    queries: int
+    mean_interarrival_ms: float
+    solver: str
+    cache_size: int
+    max_predicted_response_ms: float | None
+    seed: int
+    admitted: int = 0
+    completed: int = 0
+    shed_predicted: int = 0
+    drains: int = 0
+    released_units: int = 0
+    repairs: int = 0
+    replans: int = 0
+    cache_hits: int = 0
+    final_clock_ms: float = 0.0
+    p50_submit_ms: float = 0.0
+    p95_submit_ms: float = 0.0
+    mean_predicted_ms: float = 0.0
+    mean_response_ms: float = 0.0
+    p95_response_ms: float = 0.0
+    #: completed records re-solved offline and matched bit-for-bit
+    verified_against_offline: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_online_bench(
+    *,
+    n: int = 6,
+    queries: int = 60,
+    mean_interarrival_ms: float = 15.0,
+    solver: str = "pr-binary",
+    cache_size: int = 64,
+    max_predicted_response_ms: float | None = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> OnlineBenchResult:
+    """Run one seeded open-loop trace through the online scheduler.
+
+    ``mean_interarrival_ms`` tunes contention: values below the mean
+    service time overlap queries (drains repair a still-warm network);
+    ``max_predicted_response_ms`` arms predictive admission so the run
+    sheds instead of queueing without bound.
+    """
+    rng = np.random.default_rng(seed)
+    mix = WorkloadMix(list(_DEFAULT_MIX))
+    events = mix.stream(n, queries, mean_interarrival_ms, rng)
+
+    system, placement = _build_deployment(n, seed)
+    service = SchedulerService(
+        system,
+        placement,
+        config=ServiceConfig(
+            mode="online",
+            solver=solver,
+            cache_size=cache_size,
+            online=OnlineConfig(
+                max_predicted_response_ms=max_predicted_response_ms
+            ),
+        ),
+    )
+    result = OnlineBenchResult(
+        n=n,
+        queries=len(events),
+        mean_interarrival_ms=mean_interarrival_ms,
+        solver=solver,
+        cache_size=cache_size,
+        max_predicted_response_ms=max_predicted_response_ms,
+        seed=seed,
+    )
+
+    latencies: list[float] = []
+    completed_records = []
+    try:
+        for ev in events:
+            t0 = time.perf_counter()
+            try:
+                rec = service.submit(list(ev.buckets), arrival_ms=ev.arrival_ms)
+            except PredictedOverloadError:
+                continue
+            finally:
+                latencies.append((time.perf_counter() - t0) * 1000.0)
+            completed_records.append(rec)
+        result.final_clock_ms = service.drain()
+        stats = service.online_stats()
+        service_stats = service.stats()
+    finally:
+        service.close()
+
+    result.admitted = stats.admitted
+    result.completed = stats.completed
+    result.shed_predicted = stats.shed_predicted
+    result.drains = stats.drains
+    result.released_units = stats.released_units
+    result.repairs = stats.repairs
+    result.replans = stats.replans
+    result.cache_hits = service_stats.cache_hits
+    result.p50_submit_ms = _quantile(latencies, 0.50)
+    result.p95_submit_ms = _quantile(latencies, 0.95)
+    responses = [r.response_time_ms for r in completed_records]
+    predictions = [r.predicted_ms for r in completed_records]
+    if responses:
+        result.mean_response_ms = sum(responses) / len(responses)
+        result.p95_response_ms = _quantile(responses, 0.95)
+        result.mean_predicted_ms = sum(predictions) / len(predictions)
+
+    if verify:
+        result.verified_against_offline = _verify_against_offline(
+            n, seed, completed_records
+        )
+    return result
+
+
+def _verify_against_offline(n: int, seed: int, records) -> int:
+    """Re-solve each record's static snapshot offline; demand exact ==.
+
+    The online scheduler must be *transparent*: given the same initial
+    loads and failure set a query was admitted under, the offline batch
+    optimum has the same makespan and the same per-disk flow counts.
+    """
+    system, placement = _build_deployment(n, seed)
+    verified = 0
+    for rec in records:
+        system.set_loads(rec.loads_before)
+        problem = RetrievalProblem.from_query(
+            system, placement, list(rec.assignment.keys())
+        )
+        if rec.failed_disks:
+            problem = degrade_problem(problem, frozenset(rec.failed_disks))
+        schedule = solve(problem, solver="pr-binary")
+        if schedule.response_time_ms != rec.response_time_ms:
+            raise AssertionError(
+                f"online makespan {rec.response_time_ms} diverged from the "
+                f"offline optimum {schedule.response_time_ms} at arrival "
+                f"{rec.arrival_ms}"
+            )
+        if tuple(schedule.counts_per_disk()) != rec.counts_per_disk:
+            raise AssertionError(
+                f"online per-disk flows {rec.counts_per_disk} diverged from "
+                f"the offline optimum {tuple(schedule.counts_per_disk())} "
+                f"at arrival {rec.arrival_ms}"
+            )
+        verified += 1
+    return verified
+
+
+def format_online_bench(result: OnlineBenchResult) -> str:
+    """Human-readable summary for the CLI."""
+    target = (
+        f"{result.max_predicted_response_ms:.0f} ms"
+        if result.max_predicted_response_ms is not None
+        else "off"
+    )
+    lines = [
+        f"online bench: n={result.n} queries={result.queries} "
+        f"interarrival {result.mean_interarrival_ms:.1f} ms "
+        f"({result.solver}, admission target {target})",
+        f"admitted {result.admitted}  completed {result.completed}  "
+        f"shed {result.shed_predicted}  final clock "
+        f"{result.final_clock_ms:.1f} ms",
+        f"drains {result.drains}  repairs {result.repairs} "
+        f"({result.released_units} units released)  replans "
+        f"{result.replans}  cache hits {result.cache_hits}",
+        f"submit p50 {result.p50_submit_ms:.3f} ms  p95 "
+        f"{result.p95_submit_ms:.3f} ms",
+        f"response mean {result.mean_response_ms:.2f} ms  p95 "
+        f"{result.p95_response_ms:.2f} ms  (predicted lower bound mean "
+        f"{result.mean_predicted_ms:.2f} ms)",
+    ]
+    if result.verified_against_offline:
+        lines.append(
+            f"offline differential: {result.verified_against_offline} "
+            "completed schedules re-solved, all bit-for-bit equal"
+        )
+    return "\n".join(lines)

@@ -173,6 +173,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_nb.add_argument("--output", metavar="FILE.json", default=None,
                       help="save the comparison as JSON evidence")
 
+    p_ob = sub.add_parser(
+        "online-bench",
+        help="open-loop online-mode harness: arrivals, drains, repair",
+    )
+    p_ob.add_argument("--n", type=int, default=6, help="disks per site")
+    p_ob.add_argument("--queries", type=int, default=60,
+                      help="arrivals in the Poisson trace")
+    p_ob.add_argument("--interarrival-ms", type=float, default=15.0,
+                      help="mean interarrival time (lower = more overlap)")
+    p_ob.add_argument("--solver", default="pr-binary")
+    p_ob.add_argument("--cache-size", type=int, default=64)
+    p_ob.add_argument("--max-predicted-ms", type=float, default=None,
+                      help="predictive admission target; arrivals whose "
+                           "response-time lower bound exceeds it are shed")
+    p_ob.add_argument("--no-verify", action="store_true",
+                      help="skip the offline re-solve differential")
+    p_ob.add_argument("--seed", type=int, default=0)
+    p_ob.add_argument("--output", metavar="FILE.json", default=None,
+                      help="save the run as JSON evidence")
+
     p_serve = sub.add_parser(
         "serve",
         help="serve the scheduler over TCP (asyncio RPC front end)",
@@ -199,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where solves run (default: thread, or the "
                               "REPRO_SOLVE_BACKEND env var; process when "
                               "--workers > 1)")
+    p_serve.add_argument("--mode", default="offline",
+                         choices=("offline", "online"),
+                         help="scheduling mode; online runs the "
+                              "continuous-time scheduler on the wall "
+                              "clock (arrivals drain and release flow)")
+    p_serve.add_argument("--max-predicted-ms", type=float, default=None,
+                         help="online mode: shed arrivals whose predicted "
+                              "response time exceeds this target")
     p_serve.add_argument("--max-inflight", type=int, default=32,
                          help="admission-control capacity; beyond it "
                               "requests are shed with OVERLOADED")
@@ -519,12 +547,22 @@ def _build_serve_service(args: argparse.Namespace):
     backend = args.solve_backend
     if backend is None and args.workers > 1:
         backend = "process"
+    online = None
+    if args.mode == "online":
+        from repro.online.config import OnlineConfig
+
+        online = OnlineConfig(
+            clock="wall",
+            max_predicted_response_ms=args.max_predicted_ms,
+        )
     config = ServiceConfig(
         solver=args.solver,
         cache_size=args.cache_size,
         batch_window_ms=args.batch_window_ms,
         solve_backend=backend,
         fleet_workers=args.workers,
+        mode=args.mode,
+        online=online,
     )
     if args.shards > 1:
         return ShardedSchedulerService(
@@ -544,6 +582,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.mode == "online" and args.batch_window_ms > 0:
+        print(
+            "--mode online is incompatible with --batch-window-ms "
+            "(arrivals are admitted individually on the event clock)",
+            file=sys.stderr,
+        )
         return 2
     service = _build_serve_service(args)
     config = ServerConfig(
@@ -727,19 +772,47 @@ def _cmd_net_bench(args: argparse.Namespace) -> int:
 
     from repro.bench.net_bench import format_net_bench, run_net_bench
 
-    result = run_net_bench(
+    try:
+        result = run_net_bench(
+            n=args.n,
+            clients=args.clients,
+            requests_per_client=args.queries,
+            distinct=args.distinct,
+            solver=args.solver,
+            cache_size=args.cache_size,
+            pool_size=args.pool_size,
+            max_inflight=args.max_inflight,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    except ValueError as exc:  # e.g. --workers beyond os.cpu_count()
+        print(f"repro net-bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_net_bench(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"saved {args.output}")
+    return 0
+
+
+def _cmd_online_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.online_bench import format_online_bench, run_online_bench
+
+    result = run_online_bench(
         n=args.n,
-        clients=args.clients,
-        requests_per_client=args.queries,
-        distinct=args.distinct,
+        queries=args.queries,
+        mean_interarrival_ms=args.interarrival_ms,
         solver=args.solver,
         cache_size=args.cache_size,
-        pool_size=args.pool_size,
-        max_inflight=args.max_inflight,
+        max_predicted_response_ms=args.max_predicted_ms,
         seed=args.seed,
-        workers=args.workers,
+        verify=not args.no_verify,
     )
-    print(format_net_bench(result))
+    print(format_online_bench(result))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
@@ -820,6 +893,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_request(args)
     if args.command == "net-bench":
         return _cmd_net_bench(args)
+    if args.command == "online-bench":
+        return _cmd_online_bench(args)
     if args.command == "profile":
         from repro.bench.profiling import profile_solver
 

@@ -17,6 +17,7 @@ __all__ = [
     "DeclusteringError",
     "StorageConfigError",
     "InfeasibleScheduleError",
+    "PredictedOverloadError",
     "WorkloadError",
 ]
 
@@ -55,3 +56,39 @@ class InfeasibleScheduleError(ReproError):
 
 class WorkloadError(ReproError):
     """A query/load generator was configured with invalid parameters."""
+
+
+class PredictedOverloadError(ReproError):
+    """Admission control shed a query on its *predicted* response time.
+
+    Raised by the online scheduler when the lower bound on the query's
+    achievable response time (current busy horizons + candidate
+    makespan) already exceeds the admission target — before any solve
+    runs.  Carries enough context for a frontend to answer with a
+    retry hint (:mod:`repro.net` maps it onto the ``OVERLOADED`` /
+    ``retry_after_ms`` wire path).
+
+    Attributes
+    ----------
+    predicted_ms:
+        The proven lower bound on the response time the query would see.
+    target_ms:
+        The admission target it violated (config bound or per-call
+        deadline, whichever is tighter).
+    retry_after_ms:
+        Suggested client backoff: how long until the bound could drop
+        below the target, plus configured slack.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        predicted_ms: float,
+        target_ms: float,
+        retry_after_ms: float,
+    ) -> None:
+        super().__init__(message)
+        self.predicted_ms = predicted_ms
+        self.target_ms = target_ms
+        self.retry_after_ms = retry_after_ms

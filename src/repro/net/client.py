@@ -404,12 +404,23 @@ class AsyncSchedulerClient:
         shard: int | None = None,
         arrival_ms: float | None = None,
         deadline_ms: float | None = _UNSET,
+        admission_deadline_ms: float | None = None,
     ) -> ServiceRecord:
+        """Submit one query.
+
+        ``deadline_ms`` bounds the *RPC* (client-side budget across
+        retries); ``admission_deadline_ms`` rides the wire to the
+        scheduler as a *response-time* admission target — a query whose
+        predicted response time exceeds it is shed with
+        :class:`~repro.net.errors.OverloadedError`.
+        """
         params: dict[str, Any] = {"query": query_to_wire(query)}
         if shard is not None:
             params["shard"] = shard
         if arrival_ms is not None:
             params["arrival_ms"] = arrival_ms
+        if admission_deadline_ms is not None:
+            params["admission_deadline_ms"] = admission_deadline_ms
         result = await self.request("submit", params, deadline_ms=deadline_ms)
         return record_from_wire(result)
 
@@ -527,6 +538,7 @@ class SchedulerClient:
         shard: int | None = None,
         arrival_ms: float | None = None,
         deadline_ms: float | None = _UNSET,
+        admission_deadline_ms: float | None = None,
     ) -> ServiceRecord:
         return self._run(
             self._async.submit(
@@ -534,6 +546,7 @@ class SchedulerClient:
                 shard=shard,
                 arrival_ms=arrival_ms,
                 deadline_ms=deadline_ms,
+                admission_deadline_ms=admission_deadline_ms,
             )
         )
 

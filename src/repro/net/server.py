@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any
 
-from repro.errors import ReproError
+from repro.errors import PredictedOverloadError, ReproError
 from repro.fleet.pool import WorkerCrashedError
 from repro.net.errors import (
     FrameTooLargeError,
@@ -526,6 +526,17 @@ class SchedulerServer:
                     f"arrival_ms must be a number: {arrival_raw!r}"
                 )
             arrival_ms = None if arrival_raw is None else float(arrival_raw)
+            admission_raw = params.get("admission_deadline_ms")
+            if admission_raw is not None and not isinstance(
+                admission_raw, (int, float)
+            ):
+                raise ProtocolError(
+                    f"admission_deadline_ms must be a number: "
+                    f"{admission_raw!r}"
+                )
+            admission_deadline_ms = (
+                None if admission_raw is None else float(admission_raw)
+            )
         except NonIntegralFieldError as exc:
             # envelope and types were fine; the *value* was fractional
             # where the integer kernel demands exactness
@@ -537,7 +548,14 @@ class SchedulerServer:
         self._m_inflight.set(float(self._inflight))
         try:
             record = await asyncio.get_running_loop().run_in_executor(
-                None, partial(self._submit_sync, query, shard, arrival_ms)
+                None,
+                partial(
+                    self._submit_sync,
+                    query,
+                    shard,
+                    arrival_ms,
+                    admission_deadline_ms,
+                ),
             )
         except ValueError as exc:  # e.g. out-of-range shard id
             return error_response(req_id, "BAD_REQUEST", str(exc))
@@ -549,6 +567,18 @@ class SchedulerServer:
             # rebuilt the lane, so later submits succeed.
             return error_response(
                 req_id, "INTERNAL", f"solve worker crashed: {exc}"
+            )
+        except PredictedOverloadError as exc:
+            # the online scheduler shed on *predicted* response time:
+            # same transient OVERLOADED wire path as counter-based
+            # shedding, but the retry hint is the scheduler's own
+            # estimate of when the backlog admits the query
+            self._m_shed.inc()
+            return error_response(
+                req_id,
+                "OVERLOADED",
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
             )
         except ReproError as exc:
             return error_response(req_id, "INVALID_QUERY", str(exc))
@@ -562,14 +592,21 @@ class SchedulerServer:
         query: Any,
         shard: int | None,
         arrival_ms: float | None,
+        admission_deadline_ms: float | None = None,
     ) -> ServiceRecord:
+        # pass deadline_ms only when the client sent one: stub services
+        # (and pre-facade subclasses) override submit(query, arrival_ms)
+        # and must keep working for deadline-free submits
+        extra: dict[str, float] = {}
+        if admission_deadline_ms is not None:
+            extra["deadline_ms"] = admission_deadline_ms
         if isinstance(self.service, ShardedSchedulerService):
             return self.service.submit(
-                query, shard=shard, arrival_ms=arrival_ms
+                query, shard=shard, arrival_ms=arrival_ms, **extra
             )
         if shard is not None:
             raise ValueError("shard= requires a sharded service")
-        return self.service.submit(query, arrival_ms=arrival_ms)
+        return self.service.submit(query, arrival_ms=arrival_ms, **extra)
 
     def _op_mark(
         self, req_id: int, op: str, params: dict[str, Any]

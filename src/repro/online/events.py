@@ -1,0 +1,64 @@
+"""Deterministic future-event list for the online scheduler.
+
+One event kind is enough: a :class:`DrainEvent` marks the instant a
+query's transfer on one disk finishes.  Arrivals are not events — they
+*drive* the clock (each ``submit`` first applies every drain due at or
+before its arrival time, then admits), which pins down the only
+ordering question a discrete clock has: a completion and an arrival on
+the same tick always resolve completion-first, so the drained capacity
+is visible to the arriving query exactly as in the offline replay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+__all__ = ["DrainEvent", "EventClock"]
+
+
+@dataclass(frozen=True)
+class DrainEvent:
+    """Query ``query_id`` finishes its ``units`` transfers on ``disk``
+    at ``at_ms``.
+
+    Events are validated against the scheduler's in-flight bookkeeping
+    when popped — a re-plan supersedes earlier events for the same
+    (query, disk) by rewriting the book entry, leaving the stale heap
+    entries to be skipped on pop (lazy invalidation).
+    """
+
+    at_ms: float
+    query_id: int
+    disk: int
+    units: int
+
+
+class EventClock:
+    """Min-heap of drain events ordered by (time, schedule order).
+
+    Ties at the same timestamp pop in the order they were scheduled,
+    making every run of the virtual clock bit-for-bit reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, DrainEvent]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, event: DrainEvent) -> None:
+        heapq.heappush(self._heap, (event.at_ms, next(self._seq), event))
+
+    def peek_ms(self) -> float | None:
+        """Timestamp of the earliest pending event (``None`` if empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now_ms: float) -> list[DrainEvent]:
+        """Pop every event with ``at_ms <= now_ms``, in deterministic order."""
+        due: list[DrainEvent] = []
+        while self._heap and self._heap[0][0] <= now_ms:
+            due.append(heapq.heappop(self._heap)[2])
+        return due

@@ -91,6 +91,15 @@ class NetworkCache:
         return int(self._m_evictions.value)
 
     # ------------------------------------------------------------------
+    def peek(self, signature: Signature) -> CacheEntry | None:
+        """Look up without LRU-touching or counting a hit/miss.
+
+        The online scheduler's decremental repair path uses this: a
+        drain mutating a cached network is maintenance, not a lookup,
+        and must not distort the hit-rate metrics or recency order.
+        """
+        return self._entries.get(signature)
+
     def get(self, signature: Signature) -> CacheEntry | None:
         """Look up (and LRU-touch) the entry; counts a hit or a miss."""
         entry = self._entries.get(signature)

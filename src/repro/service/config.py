@@ -14,11 +14,15 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.obs.registry import MetricsRegistry
+from repro.online.config import OnlineConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.pool import SolveFleet
 
 __all__ = ["ServiceConfig", "perf_ms"]
+
+#: admissible scheduling modes
+_MODES = ("offline", "online")
 
 
 def perf_ms() -> float:
@@ -70,6 +74,19 @@ class ServiceConfig:
         A pre-built :class:`~repro.fleet.SolveFleet` to share (the
         sharded service hands every shard the same fleet).  The service
         does not take ownership — whoever built the fleet closes it.
+    mode:
+        ``"offline"`` (default): the historical behaviour — every query
+        is scheduled against a static busy horizon and never departs.
+        ``"online"``: continuous-time scheduling — constructing a
+        :class:`~repro.service.SchedulerService` with this mode yields
+        an :class:`~repro.online.OnlineScheduler` (arrivals, drains,
+        decremental flow repair, predictive admission).  Incompatible
+        with ``batch_window_ms > 0``.
+    online:
+        Online-mode policy, grouped in one nested
+        :class:`~repro.online.OnlineConfig` value instead of more
+        top-level kwargs.  ``None`` → defaults; only meaningful with
+        ``mode="online"`` (setting it in offline mode is an error).
     """
 
     solver: str = "pr-binary"
@@ -81,6 +98,8 @@ class ServiceConfig:
     solve_backend: str | None = None
     fleet_workers: int = 1
     fleet: "SolveFleet | None" = None
+    mode: str = "offline"
+    online: OnlineConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -93,10 +112,28 @@ class ServiceConfig:
             raise ValueError(
                 f"fleet_workers must be >= 1, got {self.fleet_workers}"
             )
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "online" and self.batch_window_ms > 0:
+            raise ValueError(
+                "mode='online' is incompatible with batched admission "
+                f"(batch_window_ms={self.batch_window_ms}): arrivals are "
+                "already coalesced by the event clock"
+            )
+        if self.online is not None and self.mode != "online":
+            raise ValueError(
+                "online=OnlineConfig(...) requires mode='online'"
+            )
 
     # ------------------------------------------------------------------
     def resolved_time_fn(self) -> Callable[[], float]:
         return self.time_fn if self.time_fn is not None else perf_ms
+
+    def resolved_online(self) -> OnlineConfig:
+        """The effective online policy (explicit value or defaults)."""
+        return self.online if self.online is not None else OnlineConfig()
 
     def resolved_solve_backend(self) -> str:
         """The effective backend name (explicit > env > ``thread``)."""

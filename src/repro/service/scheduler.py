@@ -40,7 +40,7 @@ from repro.core.degraded import degrade_problem
 from repro.core.network import RetrievalNetwork
 from repro.core.problem import RetrievalProblem
 from repro.decluster.multisite import MultiSitePlacement
-from repro.errors import StorageConfigError
+from repro.errors import PredictedOverloadError, StorageConfigError
 from repro.obs.registry import MetricsRegistry
 from repro.service.batching import BatchAdmission, _PendingQuery
 from repro.service.cache import NetworkCache
@@ -92,7 +92,25 @@ class SchedulerService:
     shim — they are folded into a config and a ``DeprecationWarning`` is
     issued once per process.  Passing both ``config`` and a legacy
     keyword is an error.
+
+    With ``config.mode == "online"`` construction dispatches to the
+    continuous-time :class:`~repro.online.OnlineScheduler` subclass, so
+    every existing wiring (sharded, net server, CLI serve) gains the
+    online mode by configuration alone.
     """
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "SchedulerService":
+        # subclasses (including OnlineScheduler itself) construct
+        # directly; only the base class dispatches on the config's mode
+        if cls is SchedulerService:
+            config = kwargs.get("config")
+            if config is None and len(args) >= 3:
+                config = args[2]
+            if isinstance(config, ServiceConfig) and config.mode == "online":
+                from repro.online.scheduler import OnlineScheduler
+
+                return object.__new__(OnlineScheduler)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -247,7 +265,11 @@ class SchedulerService:
     # the hot path
     # ------------------------------------------------------------------
     def submit(
-        self, query: QueryLike, arrival_ms: float | None = None
+        self,
+        query: QueryLike,
+        arrival_ms: float | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> ServiceRecord:
         """Schedule one query; updates loads; returns the decision.
 
@@ -255,6 +277,11 @@ class SchedulerService:
         :class:`~repro.workloads.RangeQuery` or an
         :class:`~repro.workloads.ArbitraryQuery`.  ``arrival_ms`` defaults
         to the injected clock and must be non-decreasing across calls.
+        ``deadline_ms``, when given, is an admission target: if the
+        proven lower bound on the query's response time already exceeds
+        it, the query is shed with
+        :class:`~repro.errors.PredictedOverloadError` before any solve
+        runs (not supported with batched admission).
 
         Problem construction (replica lookup, degraded filtering) runs
         *before* the solve lock is taken; only load-refresh, solve and
@@ -266,12 +293,18 @@ class SchedulerService:
         problem, degraded = self._apply_failures(base, failed)
 
         if self._batcher is not None:
+            if deadline_ms is not None:
+                raise StorageConfigError(
+                    "deadline_ms admission is not supported with batched "
+                    "admission (batch_window_ms > 0)"
+                )
             request = _PendingQuery(
                 base, problem, query_obj, degraded, failed, arrival_ms
             )
             return self._batcher.submit(request)
         return self._solve_single(
-            base, problem, query_obj, degraded, failed, arrival_ms
+            base, problem, query_obj, degraded, failed, arrival_ms,
+            deadline_ms=deadline_ms,
         )
 
     # ------------------------------------------------------------------
@@ -301,6 +334,20 @@ class SchedulerService:
         loads = [max(0.0, u - now) for u in self._busy_until]
         self.system.set_loads(loads)
         return now, loads
+
+    def _response_lower_bound_locked(self, problem: RetrievalProblem) -> float:
+        """A proven lower bound on the problem's optimal response time.
+
+        Any schedule uses only the query's replica disks; by pigeonhole
+        some used disk serves at least ``ceil(|Q| / m)`` buckets (``m``
+        replica disks), finishing no earlier than the best such disk
+        could.  Exact against the current loads (``_admit_locked`` must
+        have refreshed them), so predictive shedding never rejects a
+        query the solver could have satisfied.
+        """
+        disks = sorted(problem.replica_disks())
+        per_disk = -(-problem.num_buckets // len(disks))  # ceil
+        return min(self.system.finish_time(j, per_disk) for j in disks)
 
     def _solve_locked(
         self, problem: RetrievalProblem
@@ -368,6 +415,7 @@ class SchedulerService:
         degraded: bool,
         failed: frozenset[int],
         arrival_ms: float | None,
+        deadline_ms: float | None = None,
     ) -> ServiceRecord:
         with self._lock:
             now, loads = self._admit_locked(arrival_ms)
@@ -378,6 +426,16 @@ class SchedulerService:
                 problem, degraded = self._apply_failures(
                     base, frozenset(self._failed)
                 )
+            if deadline_ms is not None:
+                bound = self._response_lower_bound_locked(problem)
+                if bound > deadline_ms:
+                    raise PredictedOverloadError(
+                        f"predicted response {bound:.3f} ms exceeds "
+                        f"deadline {deadline_ms:.3f} ms",
+                        predicted_ms=bound,
+                        target_ms=deadline_ms,
+                        retry_after_ms=max(0.0, bound - deadline_ms),
+                    )
             schedule, cache_hit = self._solve_locked(problem)
             counts = schedule.counts_per_disk()
             self._advance_horizons_locked(now, loads, counts)

@@ -158,6 +158,8 @@ class ShardedSchedulerService:
         query: QueryLike,
         shard: int | None = None,
         arrival_ms: float | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> ServiceRecord:
         """Route the query to its shard (or ``shard=``) and schedule it."""
         svc = (
@@ -165,7 +167,7 @@ class ShardedSchedulerService:
             if shard is None
             else self._shard(shard)
         )
-        return svc.submit(query, arrival_ms=arrival_ms)
+        return svc.submit(query, arrival_ms=arrival_ms, deadline_ms=deadline_ms)
 
     # ------------------------------------------------------------------
     def _shard(self, shard: int) -> SchedulerService:

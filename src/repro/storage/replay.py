@@ -108,9 +108,25 @@ class OnlineReplay:
         self.records.append(record)
         return record
 
-    def run(self, stream: Iterable[tuple[float, list]]) -> list[ReplayRecord]:
-        """Submit every ``(arrival, buckets)`` of ``stream`` in order."""
-        return [self.submit(arrival, buckets) for arrival, buckets in stream]
+    def run(self, stream: Iterable) -> list[ReplayRecord]:
+        """Submit an arrival stream in order.
+
+        Accepts ``(arrival_ms, buckets)`` pairs or
+        :class:`~repro.storage.trace.TraceEvent` objects — the latter is
+        what :func:`~repro.storage.trace.poisson_trace` /
+        :func:`~repro.storage.trace.session_trace` and
+        :meth:`~repro.workloads.mixed.WorkloadMix.stream` produce, so
+        any trace source drives a replay (or the online scheduler)
+        unmodified.
+        """
+        records = []
+        for item in stream:
+            if hasattr(item, "arrival_ms"):
+                records.append(self.submit(item.arrival_ms, list(item.buckets)))
+            else:
+                arrival, buckets = item
+                records.append(self.submit(arrival, buckets))
+        return records
 
     # ------------------------------------------------------------------
     # aggregate statistics

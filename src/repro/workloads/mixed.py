@@ -69,13 +69,22 @@ class WorkloadMix:
         n_queries: int,
         mean_interarrival_ms: float,
         rng: np.random.Generator,
+        *,
+        start_ms: float = 0.0,
     ):
-        """A Poisson-arrival trace of blended queries (TraceEvents)."""
+        """A Poisson-arrival trace of blended queries (TraceEvents).
+
+        ``start_ms`` offsets the first arrival, so phased scenarios
+        (e.g. a second burst after a failure event) concatenate into one
+        monotone trace the online scheduler's event clock accepts.
+        """
         from repro.storage.trace import TraceEvent
 
         if mean_interarrival_ms <= 0:
             raise WorkloadError("mean interarrival must be positive")
-        clock = 0.0
+        if start_ms < 0:
+            raise WorkloadError("start_ms must be non-negative")
+        clock = float(start_ms)
         events = []
         for _ in range(n_queries):
             clock += float(rng.exponential(mean_interarrival_ms))

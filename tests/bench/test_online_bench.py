@@ -1,0 +1,81 @@
+"""Online bench harness + the net-bench worker guard."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.net_bench import run_net_bench
+from repro.bench.online_bench import format_online_bench, run_online_bench
+from repro.cli import main
+
+
+class TestOnlineBench:
+    def test_smoke_run_is_self_verifying(self):
+        result = run_online_bench(
+            n=4, queries=10, mean_interarrival_ms=10.0, seed=1
+        )
+        assert result.admitted == result.completed == 10
+        assert result.shed_predicted == 0
+        assert result.drains > 0
+        assert result.final_clock_ms > 0
+        # the offline differential rode along and matched every record
+        assert result.verified_against_offline == result.completed
+        d = result.to_dict()
+        assert d["queries"] == 10
+        json.dumps(d)  # JSON-serialisable evidence
+
+    def test_admission_target_sheds(self):
+        result = run_online_bench(
+            n=4,
+            queries=12,
+            mean_interarrival_ms=1.0,  # heavy overlap
+            max_predicted_response_ms=2.0,
+            seed=2,
+        )
+        assert result.shed_predicted > 0
+        assert result.admitted + result.shed_predicted == 12
+        assert result.verified_against_offline == result.completed
+
+    def test_format_mentions_the_differential(self):
+        result = run_online_bench(
+            n=4, queries=6, mean_interarrival_ms=10.0, seed=3
+        )
+        text = format_online_bench(result)
+        assert "online bench" in text
+        assert "bit-for-bit" in text
+
+    def test_cli_writes_json_evidence(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_online.json"
+        rc = main([
+            "online-bench", "--n", "4", "--queries", "6",
+            "--interarrival-ms", "10", "--seed", "4",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["completed"] == payload["verified_against_offline"]
+        assert "online bench" in capsys.readouterr().out
+
+
+class TestNetBenchWorkerGuard:
+    def test_workers_beyond_cpu_count_refused(self):
+        cpu = os.cpu_count() or 1
+        with pytest.raises(ValueError, match="cpu_count"):
+            run_net_bench(workers=cpu + 1)
+
+    def test_cli_reports_refusal_cleanly(self, capsys):
+        cpu = os.cpu_count() or 1
+        rc = main(["net-bench", "--workers", str(cpu + 1)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "exceeds os.cpu_count()" in err
+
+    def test_cpu_count_recorded_in_result(self):
+        result = run_net_bench(
+            n=4, clients=2, requests_per_client=3, distinct=3, workers=0
+        )
+        assert result.cpu_count == (os.cpu_count() or 1)
+        assert result.to_dict()["cpu_count"] == result.cpu_count

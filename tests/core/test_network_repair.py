@@ -1,0 +1,155 @@
+"""Decremental repair primitives: release_flow / decrement_sink_cap.
+
+These are the core mutators the online scheduler's flow-conservation-
+across-time rests on: when a transfer drains, its routed units are
+cancelled as complete source→bucket→disk→sink unit paths (leaving a
+smaller but still *valid* flow), and the disk's sink capacity shrinks
+back by exactly the released amount.  Every test runs with the
+invariant sanitizer armed, so an incomplete cancellation (broken
+conservation, negative residual) fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import invariants
+from repro.core.api import solve
+from repro.core.binary_pr import PushRelabelBinarySolver
+from repro.core.network import RetrievalNetwork
+from repro.core.problem import RetrievalProblem
+from repro.decluster import make_placement
+from repro.errors import InvalidArcError
+from repro.storage import StorageSystem
+
+N = 6
+
+
+@pytest.fixture(autouse=True)
+def _armed(monkeypatch):
+    monkeypatch.setattr(invariants, "ENABLED", True)
+
+
+def deployment(seed=0):
+    rng = np.random.default_rng(seed)
+    placement = make_placement("orthogonal", N, num_sites=2, rng=rng)
+    system = StorageSystem.from_groups(
+        ["ssd+hdd", "ssd+hdd"], N, delays_ms=[1.0, 4.0], rng=rng
+    )
+    return system, placement
+
+
+def solved_network(seed=0, k=9):
+    """A RetrievalNetwork carrying the optimal flow of one solve."""
+    system, placement = deployment(seed)
+    rng = np.random.default_rng(seed + 1)
+    cells = rng.choice(N * N, size=k, replace=False)
+    coords = [(int(c) // N, int(c) % N) for c in cells]
+    problem = RetrievalProblem.from_query(system, placement, coords)
+    net = RetrievalNetwork(problem)
+    schedule = PushRelabelBinarySolver().solve(problem, network=net)
+    return net, schedule
+
+
+def used_disk(net):
+    counts = net.counts_per_disk()
+    j = max(range(len(counts)), key=counts.__getitem__)
+    assert counts[j] > 0
+    return j, counts[j]
+
+
+class TestReleaseFlow:
+    def test_release_shrinks_flow_by_exactly_units(self):
+        net, _ = solved_network()
+        j, k = used_disk(net)
+        before = net.flow_value()
+        released = net.release_flow(j, k)
+        assert released == k
+        assert net.flow_value() == before - k
+        assert net.counts_per_disk()[j] == 0
+
+    def test_partial_release(self):
+        net, _ = solved_network(seed=3)
+        j, k = used_disk(net)
+        if k < 2:
+            pytest.skip("needs a disk carrying >= 2 units")
+        released = net.release_flow(j, 1)
+        assert released == 1
+        assert net.counts_per_disk()[j] == k - 1
+
+    def test_release_more_than_routed_is_capped(self):
+        net, _ = solved_network(seed=5)
+        j, k = used_disk(net)
+        assert net.release_flow(j, k + 100) == k
+
+    def test_release_on_idle_disk_is_zero(self):
+        net, _ = solved_network(seed=7)
+        counts = net.counts_per_disk()
+        idle = counts.index(0)
+        assert net.release_flow(idle, 4) == 0
+
+    def test_release_rejects_negative_and_float(self):
+        net, _ = solved_network()
+        j, _ = used_disk(net)
+        with pytest.raises(InvalidArcError, match="negative"):
+            net.release_flow(j, -1)
+        with pytest.raises(InvalidArcError):
+            net.release_flow(j, 1.5)
+
+    def test_released_flow_survives_save_restore(self):
+        """The repaired flow must be a state restore_flow round-trips
+        and the sanitizer accepts — the cache-entry lifecycle."""
+        net, _ = solved_network(seed=11)
+        j, k = used_disk(net)
+        net.release_flow(j, k)
+        net.decrement_sink_cap(j, k)
+        saved = net.graph.save_flow()
+        net.graph.restore_flow(saved)
+        invariants.check_valid_flow(
+            net.graph, net.source, net.sink, "post-repair restore"
+        )
+
+    def test_release_to_zero_then_resolve_matches_cold(self):
+        """Repair-to-zero then a fresh solve over the same network must
+        reproduce the cold optimum exactly."""
+        net, schedule = solved_network(seed=13)
+        for j, k in enumerate(net.counts_per_disk()):
+            if k:
+                assert net.release_flow(j, k) == k
+                net.decrement_sink_cap(j, k)
+        assert net.flow_value() == 0
+        again = PushRelabelBinarySolver().solve(net.problem, network=net)
+        cold = solve(net.problem, solver="pr-binary")
+        assert again.response_time_ms == cold.response_time_ms
+        assert again.counts_per_disk() == cold.counts_per_disk()
+
+
+class TestDecrementSinkCap:
+    def test_decrement_after_release_is_legal(self):
+        net, _ = solved_network()
+        j, k = used_disk(net)
+        cap_before = net.sink_caps()[j]
+        released = net.release_flow(j, k)
+        net.decrement_sink_cap(j, released)
+        assert net.sink_caps()[j] == cap_before - released
+
+    def test_decrement_below_routed_flow_refused(self):
+        net, _ = solved_network()
+        j, _ = used_disk(net)
+        with pytest.raises(InvalidArcError, match="release_flow first"):
+            net.decrement_sink_cap(j, net.sink_caps()[j])
+
+    def test_decrement_below_zero_refused(self):
+        net, _ = solved_network()
+        counts = net.counts_per_disk()
+        idle = counts.index(0)
+        with pytest.raises(InvalidArcError, match="below zero"):
+            net.decrement_sink_cap(idle, net.sink_caps()[idle] + 1)
+
+    def test_decrement_rejects_negative_and_float(self):
+        net, _ = solved_network()
+        with pytest.raises(InvalidArcError, match="negative"):
+            net.decrement_sink_cap(0, -2)
+        with pytest.raises(InvalidArcError):
+            net.decrement_sink_cap(0, 0.5)

@@ -599,3 +599,61 @@ class TestObservability:
                 assert service.services[1].failed_disks == frozenset({1})
                 with pytest.raises(BadRequestError, match="out of range"):
                     client.mark_failed([0], shard=9)
+
+
+# ----------------------------------------------------------------------
+# predictive admission over the wire (online mode)
+# ----------------------------------------------------------------------
+class TestPredictiveShedding:
+    def make_online_service(self, **online_kw):
+        from repro.online import OnlineConfig
+
+        return make_service(
+            mode="online", online=OnlineConfig(clock="wall", **online_kw)
+        )
+
+    def test_config_target_maps_to_overloaded_with_hint(self):
+        service = self.make_online_service(
+            max_predicted_response_ms=0.01, retry_after_slack_ms=3.0
+        )
+        big = [(i, j) for i in range(3) for j in range(3)]
+        with BackgroundServer(service) as bg:
+            with SchedulerClient(
+                bg.host, bg.port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                with pytest.raises(OverloadedError) as err:
+                    client.submit(big)
+                assert err.value.transient
+                assert err.value.retry_after_ms is not None
+                assert err.value.retry_after_ms > 3.0  # gap + slack
+                shed = bg.server.registry.counter(
+                    "repro_net_shed_total"
+                ).value
+                assert shed == 1.0
+
+    def test_per_call_admission_deadline(self):
+        service = self.make_online_service()
+        big = [(i, j) for i in range(3) for j in range(3)]
+        with BackgroundServer(service) as bg:
+            with SchedulerClient(
+                bg.host, bg.port, retry=RetryPolicy(attempts=1)
+            ) as client:
+                # no target configured: admitted
+                rec = client.submit(big)
+                assert rec.response_time_ms > 0
+                # impossible per-call admission deadline: shed
+                with pytest.raises(OverloadedError):
+                    client.submit(big, admission_deadline_ms=0.01)
+                # generous per-call deadline: admitted again
+                rec = client.submit(big, admission_deadline_ms=1e9)
+                assert rec.response_time_ms > 0
+        assert service.online_stats().shed_predicted == 1
+
+    def test_bad_admission_deadline_type_rejected(self):
+        service = self.make_online_service()
+        with BackgroundServer(service) as bg:
+            with SchedulerClient(bg.host, bg.port) as client:
+                with pytest.raises(BadRequestError):
+                    client.submit(
+                        [(0, 0)], admission_deadline_ms="soon"  # type: ignore[arg-type]
+                    )

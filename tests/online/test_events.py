@@ -1,0 +1,46 @@
+"""Event clock unit tests: ordering, ties, due-inclusive pops."""
+
+from __future__ import annotations
+
+from repro.online.events import DrainEvent, EventClock
+
+
+def ev(at, qid=0, disk=0, units=1):
+    return DrainEvent(at_ms=at, query_id=qid, disk=disk, units=units)
+
+
+class TestEventClock:
+    def test_pops_in_time_order(self):
+        clock = EventClock()
+        for at in (5.0, 1.0, 3.0):
+            clock.schedule(ev(at))
+        assert [e.at_ms for e in clock.pop_due(10.0)] == [1.0, 3.0, 5.0]
+
+    def test_pop_due_is_inclusive(self):
+        clock = EventClock()
+        clock.schedule(ev(2.0))
+        assert clock.pop_due(1.999) == []
+        assert [e.at_ms for e in clock.pop_due(2.0)] == [2.0]
+
+    def test_ties_resolve_in_schedule_order(self):
+        clock = EventClock()
+        clock.schedule(ev(4.0, qid=0))
+        clock.schedule(ev(4.0, qid=1))
+        clock.schedule(ev(4.0, qid=2))
+        assert [e.query_id for e in clock.pop_due(4.0)] == [0, 1, 2]
+
+    def test_peek_and_len(self):
+        clock = EventClock()
+        assert clock.peek_ms() is None
+        assert len(clock) == 0
+        clock.schedule(ev(9.0))
+        clock.schedule(ev(2.0))
+        assert clock.peek_ms() == 2.0
+        assert len(clock) == 2
+        clock.pop_due(2.0)
+        assert clock.peek_ms() == 9.0
+        assert len(clock) == 1
+
+    def test_events_are_frozen_records(self):
+        e = ev(1.0, qid=3, disk=2, units=4)
+        assert (e.at_ms, e.query_id, e.disk, e.units) == (1.0, 3, 2, 4)
