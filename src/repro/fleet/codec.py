@@ -247,6 +247,12 @@ def decode_schedule(
         raise CodecError(
             f"schedule payload must be a dict, got {type(payload).__name__}"
         )
+    version = payload.get("version", PAYLOAD_VERSION)
+    if version != PAYLOAD_VERSION:
+        raise CodecError(
+            f"unsupported fleet payload version {version!r} "
+            f"(expected {PAYLOAD_VERSION})"
+        )
     raw_assign = payload.get("assignment")
     if not isinstance(raw_assign, list):
         raise CodecError("'assignment' must be a list of [bucket, disk] pairs")

@@ -205,7 +205,8 @@ class SolveFleet:
             raise WorkerCrashedError(
                 lane, f"lane {lane} worker died mid-solve: {exc}"
             ) from exc
-        self.solves_per_lane[lane] += 1
+        with self._lock:
+            self.solves_per_lane[lane] += 1
         schedule = decode_schedule(result["schedule"], problem)
         return schedule, bool(result["cache_hit"])
 

@@ -52,6 +52,22 @@ GUARDED: dict[str, tuple[str, frozenset[str]]] = {
             }
         ),
     ),
+    "OnlineScheduler": (
+        "_lock",
+        frozenset(
+            {
+                "_inflight",
+                "_events",
+                "_clock_ms",
+                "_next_query_id",
+                "_online_stats",
+            }
+        ),
+    ),
+    "SolveFleet": (
+        "_lock",
+        frozenset({"_lanes", "_closed", "crashes", "solves_per_lane"}),
+    ),
     "BatchAdmission": ("_mutex", frozenset({"_open"})),
 }
 

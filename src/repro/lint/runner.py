@@ -8,6 +8,7 @@ from typing import Sequence
 
 from repro.lint.engine import Rule, run_lint
 from repro.lint.findings import Finding
+from repro.lint.rules_async import AsyncBlockingRule
 from repro.lint.rules_flow import FlowEncapsulationRule
 from repro.lint.rules_hygiene import (
     BareExceptRule,
@@ -16,9 +17,11 @@ from repro.lint.rules_hygiene import (
     ShadowedBuiltinRule,
     UnusedImportRule,
 )
+from repro.lint.rules_interlock import InterproceduralLockRule, LockOrderRule
 from repro.lint.rules_locks import LockDisciplineRule
 from repro.lint.rules_numeric import FloatFlowRule, IntegerCapacityRule
 from repro.lint.rules_registry import RegistryCompletenessRule
+from repro.lint.rules_wire import WireContractRule
 
 __all__ = ["default_rules", "format_report", "lint_repo", "rule_catalog"]
 
@@ -36,6 +39,10 @@ def default_rules() -> list[Rule]:
         BareExceptRule(),
         ConstantComparisonRule(),
         RegistryCompletenessRule(),
+        InterproceduralLockRule(),
+        LockOrderRule(),
+        AsyncBlockingRule(),
+        WireContractRule(),
     ]
 
 
@@ -64,21 +71,39 @@ def lint_repo(
     root: str | Path | None = None,
     rules: Sequence[Rule] | None = None,
     select: Sequence[str] | None = None,
+    jobs: int = 1,
 ) -> list[Finding]:
-    """Lint the repository (or explicit ``paths``) with the default rules."""
+    """Lint the repository (or explicit ``paths``) with the default rules.
+
+    ``select`` restricts the run to the named rules; an unknown name
+    raises :class:`ValueError` listing the valid ids (a silently-ignored
+    typo would otherwise lint nothing and exit green).  ``jobs``
+    parallelises parsing and the per-module passes (``0`` = auto).
+    """
     root_path = Path(root) if root is not None else find_repo_root()
     if paths is None:
         src = root_path / "src" / "repro"
         paths = [src if src.is_dir() else Path(__file__).resolve().parents[1]]
     active = list(rules) if rules is not None else default_rules()
     if select:
+        known = {r.name for r in active}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(unknown)} — valid rules: "
+                f"{', '.join(sorted(known))}"
+            )
         wanted = set(select)
         active = [r for r in active if r.name in wanted]
-    return run_lint(paths, active, root=root_path)
+    return run_lint(paths, active, root=root_path, jobs=jobs)
 
 
 def format_report(findings: Sequence[Finding], fmt: str = "text") -> str:
-    """Render findings as ``text`` or ``json``."""
+    """Render findings as ``text``, ``json`` or ``sarif``."""
+    if fmt == "sarif":
+        from repro.lint.sarif import format_sarif
+
+        return format_sarif(findings, catalog=rule_catalog())
     if fmt == "json":
         return json.dumps(
             {

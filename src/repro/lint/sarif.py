@@ -1,0 +1,212 @@
+"""SARIF 2.1.0 output and the checked-in findings baseline.
+
+SARIF
+-----
+:func:`to_sarif` renders findings as a minimal SARIF 2.1.0 log — one
+run, one ``tool.driver`` with the rule catalog, one ``result`` per
+finding with a ``physicalLocation`` — which GitHub code scanning ingests
+to annotate PR diffs.  :func:`format_sarif` is the string form the CLI
+emits for ``repro lint --format sarif``.
+
+Baseline
+--------
+The baseline file (``lint-baseline.json`` at the repo root) is the
+*audited debt list*: each entry pins one known finding by
+``(rule, path, line)`` and must carry a written ``reason``.  At lint
+time matching findings are filtered out; a baseline entry that no
+longer matches anything is reported as **stale** and fails the run —
+so the file can only shrink together with the suppressions it
+documents, which is exactly the CI gate the workflow enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "apply_baseline",
+    "format_sarif",
+    "load_baseline",
+    "to_sarif",
+    "write_baseline",
+]
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: one baseline record: {"rule", "path", "line", "reason"}
+BaselineEntry = dict[str, Any]
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    *,
+    catalog: Sequence[tuple[str, str]] | None = None,
+) -> dict[str, Any]:
+    """Findings as a SARIF 2.1.0 log object."""
+    rule_ids = sorted(
+        {f.rule for f in findings}
+        | ({name for name, _ in catalog} if catalog else set())
+    )
+    descriptions = dict(catalog or ())
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "error",
+            "message": {
+                "text": f.message if not f.hint else f"{f.message} ({f.hint})"
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/LINT.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    *,
+    catalog: Sequence[tuple[str, str]] | None = None,
+) -> str:
+    return json.dumps(to_sarif(findings, catalog=catalog), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Read a baseline file; returns ``[]`` for a missing file."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    payload = json.loads(p.read_text(encoding="utf-8"))
+    entries = payload.get("findings", []) if isinstance(payload, dict) else []
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {p}: 'findings' must be a list")
+    out: list[BaselineEntry] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "rule" not in entry or "path" not in entry:
+            raise ValueError(
+                f"baseline {p}: entry {i} must be an object with "
+                "'rule' and 'path'"
+            )
+        reason = str(entry.get("reason", "")).strip()
+        if not reason:
+            raise ValueError(
+                f"baseline {p}: entry {i} ({entry['rule']} at "
+                f"{entry['path']}) has no written reason"
+            )
+        if reason.startswith("TODO"):
+            raise ValueError(
+                f"baseline {p}: entry {i} ({entry['rule']} at "
+                f"{entry['path']}) still has the placeholder reason — "
+                "write a real justification for the suppression"
+            )
+        out.append(entry)
+    return out
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Regenerate the baseline from the current findings.
+
+    Freshly generated entries carry a placeholder reason that the
+    loader rejects — forcing whoever checks the file in to write real
+    justifications for every suppressed finding.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "reason": "TODO: justify this suppression",
+        }
+        for f in findings
+    ]
+    payload = {
+        "comment": (
+            "Known repro-lint findings, each with an audited reason. "
+            "Stale entries fail the lint run: delete them when the "
+            "finding is fixed."
+        ),
+        "findings": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings not matched by
+    any entry, and entries that matched nothing (stale — the underlying
+    finding was fixed, so the suppression must be deleted).
+    """
+    used = [False] * len(entries)
+    new: list[Finding] = []
+    for f in findings:
+        matched = False
+        for i, entry in enumerate(entries):
+            if entry.get("rule") != f.rule or entry.get("path") != f.path:
+                continue
+            line = entry.get("line")
+            if line is not None and int(line) != f.line:
+                continue
+            used[i] = True
+            matched = True
+            break
+        if not matched:
+            new.append(f)
+    stale = [entry for i, entry in enumerate(entries) if not used[i]]
+    return new, stale

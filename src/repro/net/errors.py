@@ -34,6 +34,7 @@ __all__ = [
     "OverloadedError",
     "ShuttingDownError",
     "UnsupportedVersionError",
+    "FrameRejectedError",
     "remote_error_from_wire",
 ]
 
@@ -147,6 +148,18 @@ class UnsupportedVersionError(RemoteError):
     code = "UNSUPPORTED_VERSION"
 
 
+class FrameRejectedError(RemoteError):
+    """The server rejected a frame as oversized.
+
+    The remote twin of the local :class:`FrameTooLargeError`: that one
+    means *we* saw an oversized header on our own socket, this one means
+    the *server* reported ours over the wire before closing.  Not
+    transient — resending the same frame can only be rejected again.
+    """
+
+    code = "FRAME_TOO_LARGE"
+
+
 #: wire error code -> exception class raised client-side
 _REMOTE_BY_CODE: dict[str, type[RemoteError]] = {
     cls.code: cls
@@ -157,6 +170,7 @@ _REMOTE_BY_CODE: dict[str, type[RemoteError]] = {
         OverloadedError,
         ShuttingDownError,
         UnsupportedVersionError,
+        FrameRejectedError,
     )
 }
 

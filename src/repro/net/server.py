@@ -244,7 +244,12 @@ class SchedulerServer:
         if self._server is not None:
             await self._server.wait_closed()
         self._control_executor.shutdown(wait=True)
-        self.final_stats = self.service.stats()
+        # stats() takes the service lock; a straggling solve could hold
+        # it for milliseconds, so keep the snapshot off the event loop
+        # (the default executor — the control executor is gone by now)
+        self.final_stats = await asyncio.get_running_loop().run_in_executor(
+            None, self.service.stats
+        )
         self._drained.set()
         return self.final_stats
 

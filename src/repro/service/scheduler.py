@@ -547,7 +547,10 @@ class SchedulerService:
 
         Thread-backed services hold nothing worth releasing, so calling
         this is only *required* for ``solve_backend="process"`` — but it
-        is always safe.
+        is always safe.  Taking the service lock serialises close()
+        against any in-flight ``_solve_locked`` backend call, so the
+        backend can never be torn down mid-solve.
         """
-        if self._backend is not None:
-            self._backend.close()
+        with self._lock:
+            if self._backend is not None:
+                self._backend.close()

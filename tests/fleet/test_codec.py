@@ -176,6 +176,16 @@ class TestScheduleRoundTrip:
             assert isinstance(value, (bool, int, float, str)) or value is None
         json.dumps(payload)  # the whole payload must be JSON-safe
 
+    def test_wrong_version_rejected(self):
+        # the schedule decoder must validate `version` like the problem
+        # decoder does — the wire-contract lint rule pins the field as
+        # part of the payload contract, so it cannot be silently dropped
+        problem = small_problem()
+        payload = encode_schedule(solve(problem, solver="pr-binary"))
+        payload["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_schedule(payload, problem)
+
     def test_corrupted_assignment_rejected_by_validation(self):
         """A bucket routed off its replica set must raise, not pass."""
         problem = small_problem()

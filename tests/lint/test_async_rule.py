@@ -1,0 +1,176 @@
+"""The asyncio blocking-call rule: event-loop protection under net/.
+
+Fixture modules are written under a ``net/`` directory so the rule's
+path scoping kicks in; the same sources under a different directory
+must stay clean (the rule only polices the asyncio front end).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.rules_async import AsyncBlockingRule
+
+
+def net_findings(tmp_path: Path, source: str, *, subdir: str = "net"):
+    target = tmp_path / subdir
+    target.mkdir(exist_ok=True)
+    (target / "handler.py").write_text(source)
+    return run_lint([target], [AsyncBlockingRule()], root=tmp_path)
+
+
+class TestDirectPrimitives:
+    def test_time_sleep_in_coroutine_flagged_at_call_site(self, tmp_path):
+        findings = net_findings(
+            tmp_path,
+            "import time\n"
+            "async def handle():\n"
+            "    time.sleep(1)\n",
+        )
+        assert [(f.line, f.col) for f in findings] == [(3, 5)]
+        assert "time.sleep()" in findings[0].message
+        assert "handle" in findings[0].message
+        assert "run_in_executor" in (findings[0].hint or "")
+
+    def test_from_import_sleep_resolved_through_import_table(self, tmp_path):
+        findings = net_findings(
+            tmp_path,
+            "from time import sleep\n"
+            "async def handle():\n"
+            "    sleep(1)\n",
+        )
+        assert [f.line for f in findings] == [3]
+        assert "time.sleep()" in findings[0].message
+
+    def test_socket_and_subprocess_calls_flagged(self, tmp_path):
+        findings = net_findings(
+            tmp_path,
+            "import socket\n"
+            "import subprocess\n"
+            "async def handle():\n"
+            "    socket.create_connection(('h', 1))\n"
+            "    subprocess.run(['true'])\n",
+        )
+        assert [f.line for f in findings] == [4, 5]
+        assert "socket.create_connection()" in findings[0].message
+        assert "subprocess.run()" in findings[1].message
+
+    def test_lock_acquire_call_flagged(self, tmp_path):
+        findings = net_findings(
+            tmp_path,
+            "import threading\n"
+            "class H:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    async def handle(self):\n"
+            "        self._lock.acquire()\n",
+        )
+        assert [f.line for f in findings] == [6]
+        assert "sync Lock.acquire" in findings[0].message
+
+    def test_sync_sleep_outside_async_def_is_fine(self, tmp_path):
+        assert net_findings(
+            tmp_path,
+            "import time\n"
+            "def warm_up():\n"
+            "    time.sleep(1)\n",
+        ) == []
+
+
+class TestLockContext:
+    SOURCE = (
+        "import threading\n"
+        "class H:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    async def handle(self):\n"
+        "        with self._lock:\n"
+        "            await self.flush()\n"
+        "    async def flush(self):\n"
+        "        pass\n"
+    )
+
+    def test_sync_with_and_await_under_lock_both_flagged(self, tmp_path):
+        findings = net_findings(tmp_path, self.SOURCE)
+        lines = [f.line for f in findings]
+        assert 6 in lines  # the `with self._lock:` inside a coroutine
+        assert 7 in lines  # the await while the lock is held
+        with_f = next(f for f in findings if f.line == 6)
+        assert "acquired inside async" in with_f.message
+        await_f = next(f for f in findings if f.line == 7)
+        assert "await while holding sync lock H._lock" in await_f.message
+
+    def test_await_without_lock_is_clean(self, tmp_path):
+        source = self.SOURCE.replace(
+            "        with self._lock:\n            await self.flush()\n",
+            "        await self.flush()\n",
+        )
+        assert net_findings(tmp_path, source) == []
+
+
+class TestTransitiveBlocking:
+    SOURCE = (
+        "import threading\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "    def stats(self):\n"
+        "        with self._lock:\n"
+        "            return 1\n"
+        "    def snapshot(self):\n"
+        "        return self.stats()\n"
+        "    async def handle(self):\n"
+        "        return self.snapshot()\n"
+    )
+
+    def test_two_hop_transitive_block_flagged_with_chain(self, tmp_path):
+        findings = net_findings(tmp_path, self.SOURCE)
+        assert [f.line for f in findings] == [11]
+        msg = findings[0].message
+        # the chain is spelled out: snapshot -> stats -> acquires the lock
+        assert "Service.snapshot" in msg
+        assert "Service.stats" in msg
+        assert "acquires Service._lock" in msg
+
+    def test_async_callee_is_not_a_blocking_target(self, tmp_path):
+        source = (
+            "async def helper():\n"
+            "    pass\n"
+            "async def handle():\n"
+            "    await helper()\n"
+        )
+        assert net_findings(tmp_path, source) == []
+
+
+class TestScoping:
+    BLOCKING = (
+        "import time\n"
+        "async def handle():\n"
+        "    time.sleep(1)\n"
+    )
+
+    def test_same_code_outside_net_is_not_checked(self, tmp_path):
+        assert net_findings(tmp_path, self.BLOCKING, subdir="service") == []
+
+    def test_line_pragma_suppresses(self, tmp_path):
+        source = self.BLOCKING.replace(
+            "    time.sleep(1)",
+            "    time.sleep(1)  # repro-lint: ignore=async-blocking",
+        )
+        assert net_findings(tmp_path, source) == []
+
+    def test_file_pragma_disables(self, tmp_path):
+        source = "# repro-lint: disable-file=async-blocking\n" + self.BLOCKING
+        assert net_findings(tmp_path, source) == []
+
+    def test_run_in_executor_offload_passes(self, tmp_path):
+        # the offloaded callable is a reference argument, not a call
+        assert net_findings(
+            tmp_path,
+            "import asyncio\n"
+            "import time\n"
+            "async def handle():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, time.sleep, 1)\n",
+        ) == []

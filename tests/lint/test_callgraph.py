@@ -1,0 +1,235 @@
+"""The project symbol table / call graph the whole-program rules share."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.engine import Project, parse_module
+
+
+def build(files: dict[str, str]) -> CallGraph:
+    modules = [parse_module(path, src) for path, src in sorted(files.items())]
+    return CallGraph.of(Project(Path("/tmp/proj"), modules))
+
+
+BASE = '''
+import threading
+
+class Base:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _bump_locked(self):
+        self._count += 1
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+'''
+
+SUB = '''
+from pkg.base import Base
+
+class Sub(Base):
+    def __init__(self):
+        super().__init__()
+        self._extra = 0
+
+    def touch(self):
+        with self._lock:
+            self._extra = 1
+'''
+
+
+class TestSymbolTable:
+    def test_classes_and_methods_collected(self):
+        graph = build({"pkg/base.py": BASE, "pkg/sub.py": SUB})
+        assert set(graph.classes_by_name) == {"Base", "Sub"}
+        base = graph.classes_by_name["Base"][0]
+        assert set(base.methods) == {"__init__", "_bump_locked", "bump"}
+
+    def test_mro_spans_modules_via_imports(self):
+        graph = build({"pkg/base.py": BASE, "pkg/sub.py": SUB})
+        sub = graph.classes_by_name["Sub"][0]
+        assert [c.name for c in graph.mro(sub)] == ["Sub", "Base"]
+
+    def test_inherited_lock_canonicalises_to_base_class(self):
+        graph = build({"pkg/base.py": BASE, "pkg/sub.py": SUB})
+        sub = graph.classes_by_name["Sub"][0]
+        assert graph.lock_token(sub, "_lock") == ("Base", "_lock")
+
+    def test_subclasses_resolved_transitively(self):
+        graph = build(
+            {
+                "pkg/base.py": BASE,
+                "pkg/sub.py": SUB,
+                "pkg/leaf.py": (
+                    "from pkg.sub import Sub\n"
+                    "class Leaf(Sub):\n"
+                    "    pass\n"
+                ),
+            }
+        )
+        base = graph.classes_by_name["Base"][0]
+        assert {c.name for c in graph.subclasses(base)} == {"Sub", "Leaf"}
+
+
+class TestCallResolution:
+    def test_self_method_call_resolves_through_mro(self):
+        graph = build({"pkg/base.py": BASE, "pkg/sub.py": SUB})
+        base = graph.classes_by_name["Base"][0]
+        bump = base.methods["bump"]
+        [call] = [c for c in bump.calls if c.called_name == "_bump_locked"]
+        assert [t.qualname for t in call.targets] == [
+            "pkg/base.py::Base._bump_locked"
+        ]
+        assert call.locks_held == frozenset({("Base", "_lock")})
+
+    def test_attr_call_resolves_via_init_annotation(self):
+        graph = build(
+            {
+                "pkg/base.py": BASE,
+                "pkg/holder.py": (
+                    "from pkg.base import Base\n"
+                    "class Holder:\n"
+                    "    def __init__(self, svc: Base):\n"
+                    "        self._svc = svc\n"
+                    "    def go(self):\n"
+                    "        self._svc.bump()\n"
+                ),
+            }
+        )
+        holder = graph.classes_by_name["Holder"][0]
+        go = holder.methods["go"]
+        [call] = go.calls
+        assert [t.qualname for t in call.targets] == ["pkg/base.py::Base.bump"]
+
+    def test_attr_call_resolves_via_constructor_assignment(self):
+        graph = build(
+            {
+                "pkg/base.py": BASE,
+                "pkg/owner.py": (
+                    "from pkg.base import Base\n"
+                    "class Owner:\n"
+                    "    def __init__(self):\n"
+                    "        self._svc = Base()\n"
+                    "    def go(self):\n"
+                    "        self._svc.bump()\n"
+                ),
+            }
+        )
+        owner = graph.classes_by_name["Owner"][0]
+        [call] = owner.methods["go"].calls
+        assert [t.qualname for t in call.targets] == ["pkg/base.py::Base.bump"]
+
+    def test_unknown_receiver_contributes_no_targets(self):
+        # no unique-name fallback: writer.close() must NOT resolve to the
+        # project's only .close method
+        graph = build(
+            {
+                "pkg/a.py": (
+                    "class Fleet:\n"
+                    "    def close(self):\n"
+                    "        pass\n"
+                    "def teardown(writer):\n"
+                    "    writer.close()\n"
+                ),
+            }
+        )
+        teardown = graph.module_functions[("pkg/a.py", "teardown")]
+        [call] = teardown.calls
+        assert call.targets == ()
+
+    def test_module_level_function_call_resolves_through_import(self):
+        graph = build(
+            {
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/main.py": (
+                    "from pkg.util import helper\n"
+                    "def run():\n"
+                    "    return helper()\n"
+                ),
+            }
+        )
+        run = graph.module_functions[("pkg/main.py", "run")]
+        [call] = run.calls
+        assert [t.qualname for t in call.targets] == ["pkg/util.py::helper"]
+
+
+class TestLockContext:
+    def test_rlock_detected_from_direct_assignment(self):
+        graph = build(
+            {
+                "pkg/m.py": (
+                    "import threading\n"
+                    "class R:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.RLock()\n"
+                ),
+            }
+        )
+        r = graph.classes_by_name["R"][0]
+        assert graph.is_reentrant(r, "_lock")
+
+    def test_rlock_detected_from_annotated_parameter(self):
+        graph = build(
+            {
+                "pkg/m.py": (
+                    "import threading\n"
+                    "class M:\n"
+                    "    def __init__(self, lock: threading.RLock):\n"
+                    "        self._lock = lock\n"
+                ),
+            }
+        )
+        m = graph.classes_by_name["M"][0]
+        assert graph.is_reentrant(m, "_lock")
+
+    def test_deferred_bodies_not_attributed_to_enclosing_function(self):
+        graph = build(
+            {
+                "pkg/m.py": (
+                    "import threading\n"
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    def outer(self):\n"
+                    "        def later():\n"
+                    "            with self._lock:\n"
+                    "                pass\n"
+                    "        return later\n"
+                ),
+            }
+        )
+        outer = graph.classes_by_name["C"][0].methods["outer"]
+        assert outer.acquires == []
+
+    def test_awaits_carry_sync_lock_context(self):
+        graph = build(
+            {
+                "pkg/net/m.py": (
+                    "import threading\n"
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "    async def bad(self):\n"
+                    "        with self._lock:\n"
+                    "            await something()\n"
+                ),
+            }
+        )
+        bad = graph.classes_by_name["C"][0].methods["bad"]
+        [(node, held)] = bad.awaits
+        assert held == frozenset({("C", "_lock")})
+
+
+def test_callgraph_is_memoised_per_project():
+    modules = [parse_module("pkg/m.py", "x = 1\n")]
+    project = Project(Path("/tmp/proj"), modules)
+    assert CallGraph.of(project) is CallGraph.of(project)
+
+
+def something():  # referenced by a fixture source above, never called
+    raise AssertionError

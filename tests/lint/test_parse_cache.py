@@ -1,0 +1,122 @@
+"""The mtime-keyed parse cache and the parallel (`--jobs`) lint path.
+
+The satellite requirement this file pins down: `repro lint` must stay
+under 5 seconds on the grown tree.  The budget test runs the full
+default rule set on the live `src/repro` exactly the way the CLI does.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.lint.engine as engine
+from repro.lint import (
+    clear_parse_cache,
+    lint_repo,
+    parse_cache_size,
+    run_lint,
+)
+from repro.lint.rules_hygiene import UnusedImportRule
+
+
+@pytest.fixture()
+def fresh_cache():
+    clear_parse_cache()
+    yield
+    clear_parse_cache()
+
+
+def write_tree(tmp_path, n=4):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    for i in range(n):
+        (pkg / f"m{i}.py").write_text("import os\n\nX = 1\n")
+    return pkg
+
+
+class TestParseCache:
+    def test_run_populates_the_cache(self, tmp_path, fresh_cache):
+        pkg = write_tree(tmp_path)
+        run_lint([pkg], [UnusedImportRule()], root=tmp_path)
+        assert parse_cache_size() == 4
+        clear_parse_cache()
+        assert parse_cache_size() == 0
+
+    def test_second_run_parses_nothing(self, tmp_path, fresh_cache,
+                                       monkeypatch):
+        pkg = write_tree(tmp_path)
+        run_lint([pkg], [UnusedImportRule()], root=tmp_path)
+        calls = []
+        real = engine.parse_module
+        monkeypatch.setattr(
+            engine, "parse_module",
+            lambda path, src: calls.append(path) or real(path, src),
+        )
+        findings = run_lint([pkg], [UnusedImportRule()], root=tmp_path)
+        assert calls == []  # every module came from the cache
+        assert len(findings) == 4
+
+    def test_modified_file_is_reparsed_and_findings_update(
+        self, tmp_path, fresh_cache
+    ):
+        pkg = write_tree(tmp_path, n=2)
+        first = run_lint([pkg], [UnusedImportRule()], root=tmp_path)
+        assert len(first) == 2
+        target = pkg / "m0.py"
+        time.sleep(0.01)  # ensure a distinct mtime_ns on coarse clocks
+        target.write_text("X = 1\n")  # unused import fixed
+        second = run_lint([pkg], [UnusedImportRule()], root=tmp_path)
+        assert len(second) == 1
+        assert second[0].path.endswith("m1.py")
+
+    def test_cached_parse_serves_pragmas_too(self, tmp_path, fresh_cache):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "m.py").write_text(
+            "import os  # repro-lint: ignore=unused-import\n"
+        )
+        for _ in range(2):  # second run hits the cache
+            assert run_lint([pkg], [UnusedImportRule()], root=tmp_path) == []
+
+
+class TestJobs:
+    def test_parallel_and_serial_results_are_identical(
+        self, tmp_path, fresh_cache
+    ):
+        pkg = write_tree(tmp_path, n=8)
+        serial = run_lint([pkg], [UnusedImportRule()], root=tmp_path, jobs=1)
+        clear_parse_cache()
+        parallel = run_lint([pkg], [UnusedImportRule()], root=tmp_path, jobs=4)
+        assert serial == parallel
+        assert len(serial) == 8
+
+    def test_jobs_zero_auto_detects(self, tmp_path, fresh_cache):
+        pkg = write_tree(tmp_path)
+        findings = run_lint([pkg], [UnusedImportRule()], root=tmp_path, jobs=0)
+        assert len(findings) == 4
+
+    def test_live_tree_identical_across_job_counts(self, fresh_cache):
+        serial = lint_repo(jobs=1)
+        clear_parse_cache()
+        parallel = lint_repo(jobs=0)
+        assert serial == parallel == []
+
+
+class TestRuntimeBudget:
+    def test_full_default_run_stays_under_five_seconds(self, fresh_cache):
+        # cold parse + all rules, the same invocation CI gates on; the
+        # satellite bound is <5 s on the grown tree
+        t0 = time.perf_counter()
+        findings = lint_repo(jobs=0)
+        elapsed = time.perf_counter() - t0
+        assert findings == []
+        assert elapsed < 5.0, f"repro lint took {elapsed:.2f}s (budget 5s)"
+
+    def test_warm_rerun_is_faster_than_budget_by_a_margin(self, fresh_cache):
+        lint_repo(jobs=0)  # warm the parse cache
+        t0 = time.perf_counter()
+        lint_repo(jobs=0)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0

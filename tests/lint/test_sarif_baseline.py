@@ -1,0 +1,224 @@
+"""SARIF output and the audited findings baseline (suppression debt).
+
+Covers the renderer (`to_sarif`/`format_sarif`), the baseline file
+lifecycle (`load_baseline`/`apply_baseline`/`write_baseline`), and the
+CLI integration end to end: baseline-suppressed runs exit 0, stale
+entries fail the run, `--write-baseline` regenerates entries whose
+placeholder reasons the loader refuses until a human writes real ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    format_sarif,
+    load_baseline,
+    to_sarif,
+    write_baseline,
+)
+from repro.lint.runner import rule_catalog
+
+
+def finding(rule="unused-import", path="pkg/m.py", line=3, col=1,
+            message="msg", hint=""):
+    return Finding(path=path, line=line, col=col, rule=rule,
+                   message=message, hint=hint)
+
+
+class TestSarifRendering:
+    def test_log_structure_and_locations(self):
+        f = finding(message="dropped on decode", hint="read the field")
+        log = to_sarif([f])
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        [run] = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        [result] = run["results"]
+        assert result["ruleId"] == "unused-import"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "dropped on decode (read the field)"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "pkg/m.py"
+        assert loc["region"] == {"startLine": 3, "startColumn": 1}
+
+    def test_rule_index_points_into_the_driver_catalog(self):
+        findings = [finding(rule="b-rule"), finding(rule="a-rule", line=9)]
+        log = to_sarif(findings)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)
+        for result in log["runs"][0]["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_catalog_rules_present_even_with_zero_findings(self):
+        log = to_sarif([], catalog=rule_catalog())
+        ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"interprocedural-locks", "lock-order", "async-blocking",
+                "wire-contract"} <= ids
+        assert log["runs"][0]["results"] == []
+
+    def test_format_sarif_is_valid_json(self):
+        parsed = json.loads(format_sarif([finding()], catalog=rule_catalog()))
+        assert parsed["runs"][0]["results"][0]["ruleId"] == "unused-import"
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_entry_without_reason_is_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"findings": [
+            {"rule": "lock-order", "path": "a.py", "line": 1}
+        ]}))
+        with pytest.raises(ValueError, match="no written reason"):
+            load_baseline(p)
+
+    def test_entry_without_rule_or_path_is_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"findings": [{"reason": "because"}]}))
+        with pytest.raises(ValueError, match="'rule' and 'path'"):
+            load_baseline(p)
+
+    def test_non_list_findings_rejected(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"findings": "oops"}))
+        with pytest.raises(ValueError, match="must be a list"):
+            load_baseline(p)
+
+    def test_write_baseline_placeholder_reasons_fail_the_loader(self, tmp_path):
+        # regenerated entries must not be committable without real reasons
+        p = tmp_path / "b.json"
+        write_baseline([finding()], p)
+        with pytest.raises(ValueError, match="placeholder reason"):
+            load_baseline(p)
+
+
+class TestApplyBaseline:
+    ENTRY = {"rule": "unused-import", "path": "pkg/m.py", "line": 3,
+             "reason": "vendored shim"}
+
+    def test_matching_finding_is_suppressed(self):
+        new, stale = apply_baseline([finding()], [self.ENTRY])
+        assert new == [] and stale == []
+
+    def test_line_none_matches_any_line(self):
+        entry = dict(self.ENTRY, line=None)
+        new, stale = apply_baseline([finding(line=99)], [entry])
+        assert new == [] and stale == []
+
+    def test_mismatched_line_keeps_finding_and_marks_entry_stale(self):
+        new, stale = apply_baseline([finding(line=4)], [self.ENTRY])
+        assert [f.line for f in new] == [4]
+        assert stale == [self.ENTRY]
+
+    def test_unmatched_entry_is_stale(self):
+        new, stale = apply_baseline([], [self.ENTRY])
+        assert new == [] and stale == [self.ENTRY]
+
+    def test_different_rule_does_not_match(self):
+        new, stale = apply_baseline(
+            [finding(rule="lock-order")], [self.ENTRY]
+        )
+        assert len(new) == 1 and stale == [self.ENTRY]
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A tiny tree with exactly one (unused-import) finding at m.py:1."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "m.py").write_text("import os\n\nX = 1\n")
+    return tmp_path
+
+
+def entry_for(dirty_tree, **overrides):
+    # out-of-repo paths report as absolute posix paths, and baseline
+    # entries must match the reported path exactly
+    entry = {
+        "rule": "unused-import",
+        "path": (dirty_tree / "pkg" / "m.py").as_posix(),
+        "line": 1,
+        "reason": "seeded fixture",
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestCliIntegration:
+    def test_findings_without_baseline_exit_1(self, dirty_tree, capsys):
+        rc = cli_main(["lint", str(dirty_tree / "pkg"), "--no-baseline"])
+        assert rc == 1
+        assert "unused-import" in capsys.readouterr().out
+
+    def test_baseline_suppresses_and_exits_0(self, dirty_tree, capsys):
+        baseline = dirty_tree / "b.json"
+        baseline.write_text(json.dumps({"findings": [entry_for(dirty_tree)]}))
+        rc = cli_main(["lint", str(dirty_tree / "pkg"),
+                       "--baseline", str(baseline)])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_stale_entry_fails_even_on_clean_tree(self, dirty_tree, capsys):
+        (dirty_tree / "pkg" / "m.py").write_text("X = 1\n")  # finding fixed
+        baseline = dirty_tree / "b.json"
+        baseline.write_text(json.dumps({"findings": [entry_for(dirty_tree)]}))
+        rc = cli_main(["lint", str(dirty_tree / "pkg"),
+                       "--baseline", str(baseline)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "delete the suppression" in err
+
+    def test_write_baseline_then_rerun_requires_real_reasons(
+        self, dirty_tree, capsys
+    ):
+        baseline = dirty_tree / "b.json"
+        rc = cli_main(["lint", str(dirty_tree / "pkg"),
+                       "--baseline", str(baseline), "--write-baseline"])
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # placeholder reasons are rejected until a human audits them
+        rc = cli_main(["lint", str(dirty_tree / "pkg"),
+                       "--baseline", str(baseline)])
+        assert rc == 2
+        assert "reason" in capsys.readouterr().err
+
+    def test_sarif_output_file_and_runtime_metric(self, dirty_tree, capsys):
+        out = dirty_tree / "report.sarif"
+        metrics = dirty_tree / "runtime.json"
+        rc = cli_main([
+            "lint", str(dirty_tree / "pkg"), "--no-baseline",
+            "--format", "sarif", "--output", str(out),
+            "--runtime-json", str(metrics),
+        ])
+        assert rc == 1
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "unused-import"
+        payload = json.loads(metrics.read_text())
+        assert payload["findings"] == 1
+        assert payload["lint_runtime_s"] >= 0
+        assert payload["stale_baseline_entries"] == 0
+
+    def test_unknown_rule_name_exits_2(self, dirty_tree, capsys):
+        rc = cli_main(["lint", str(dirty_tree / "pkg"),
+                       "--rules", "no-such-rule", "--no-baseline"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules_is_sorted_with_descriptions(self, capsys):
+        rc = cli_main(["lint", "--list-rules"])
+        assert rc == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+        names = [ln.split()[0] for ln in lines]
+        assert names == sorted(names)
+        assert "interprocedural-locks" in names
+        # every row carries a one-line description from the rule class
+        assert all(len(ln.split(None, 1)) == 2 for ln in lines)

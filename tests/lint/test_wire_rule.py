@@ -1,0 +1,325 @@
+"""The wire/codec contract rule: encoder/decoder/dataclass symmetry.
+
+Each test starts from a minimal *consistent* fixture project (the
+``PROJECT`` dict below lints clean) and perturbs exactly one half of one
+contract, asserting the drift is caught at the drifted node — the same
+by-construction guarantee the rule gives the real ``net/protocol.py``
+and ``fleet/codec.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.rules_wire import WireContractRule
+
+PROTOCOL = '''\
+ERROR_CODES = ("INTERNAL", "OVERLOADED")
+
+
+def record_to_wire(record):
+    return {"query_id": record.query_id, "makespan": record.makespan}
+
+
+def record_from_wire(obj):
+    return (obj["query_id"], obj.get("makespan"))
+
+
+def query_to_wire(query):
+    if query.kind == "range":
+        return {"kind": "range", "start": query.start}
+    return {"kind": "arbitrary", "buckets": query.buckets}
+
+
+def query_from_wire(obj):
+    kind = obj["kind"]
+    if kind == "range":
+        return ("range", obj["start"])
+    if kind == "arbitrary":
+        return ("arbitrary", obj["buckets"])
+    raise ValueError(kind)
+'''
+
+STATS = '''\
+from dataclasses import dataclass
+
+
+@dataclass
+class ServiceRecord:
+    query_id: int
+    makespan: int
+'''
+
+ERRORS = '''\
+class RemoteError(Exception):
+    code = "INTERNAL"
+
+
+class OverloadedError(RemoteError):
+    code = "OVERLOADED"
+
+
+_REMOTE_BY_CODE = {cls.code: cls for cls in (OverloadedError,)}
+'''
+
+SERVER = '''\
+def dispatch():
+    try:
+        pass
+    except ValueError:
+        pass
+'''
+
+CODEC = '''\
+def encode_problem(problem):
+    return {"version": 1, "sites": problem.sites}
+
+
+def decode_problem(payload):
+    return (payload["version"], payload["sites"])
+
+
+def encode_schedule(schedule):
+    return {"assignment": schedule.assignment}
+
+
+def decode_schedule(payload, problem):
+    return payload["assignment"]
+'''
+
+POOL = '''\
+class ReproError(Exception):
+    pass
+
+
+class FleetClosedError(ReproError):
+    pass
+
+
+def guard(closed):
+    if closed:
+        raise FleetClosedError()
+'''
+
+PROJECT = {
+    "net/protocol.py": PROTOCOL,
+    "net/errors.py": ERRORS,
+    "net/server.py": SERVER,
+    "service/stats.py": STATS,
+    "fleet/codec.py": CODEC,
+    "fleet/pool.py": POOL,
+}
+
+
+def wire_findings(tmp_path: Path, files: dict[str, str]):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return run_lint([tmp_path / d for d in ("net", "service", "fleet")],
+                    [WireContractRule()], root=tmp_path)
+
+
+def perturbed(base: dict[str, str], rel: str, old: str, new: str):
+    files = dict(base)
+    assert old in files[rel]
+    files[rel] = files[rel].replace(old, new)
+    return files
+
+
+class TestConsistentProjectIsClean:
+    def test_baseline_fixture_lints_clean(self, tmp_path):
+        assert wire_findings(tmp_path, PROJECT) == []
+
+    def test_rule_skips_projects_without_wire_modules(self, tmp_path):
+        files = {"core/solver.py": "def solve():\n    return 1\n"}
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True)
+            target.write_text(source)
+        assert run_lint([tmp_path], [WireContractRule()], root=tmp_path) == []
+
+
+class TestRecordRoundTrip:
+    def test_encoded_field_never_decoded(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            '"makespan": record.makespan}',
+            '"makespan": record.makespan, "extra": 1}',
+        )
+        findings = wire_findings(tmp_path, files)
+        # 'extra' is dropped on decode AND has no dataclass home
+        assert len(findings) == 2
+        assert all(f.path == "net/protocol.py" and f.line == 5
+                   for f in findings)
+        assert any("never read by record_from_wire" in f.message
+                   for f in findings)
+        assert any("ServiceRecord" in f.message for f in findings)
+
+    def test_decoder_reads_phantom_field(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            'obj.get("makespan")',
+            'obj.get("makespan"), obj.get("ghost")',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert [f.message for f in findings] == [
+            "record_from_wire reads field 'ghost' that record_to_wire "
+            "never emits"
+        ]
+
+    def test_dataclass_field_missing_from_wire(self, tmp_path):
+        files = perturbed(
+            PROJECT, "service/stats.py",
+            "    makespan: int\n",
+            "    makespan: int\n    cache_hit: bool\n",
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert findings[0].path == "service/stats.py"
+        assert "'cache_hit' never crosses the wire" in findings[0].message
+
+
+class TestQueryKinds:
+    def test_encoded_kind_without_decoder_branch(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            '    if kind == "arbitrary":\n'
+            '        return ("arbitrary", obj["buckets"])\n',
+            "",
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert "query kind 'arbitrary' is encoded" in findings[0].message
+        assert "no matching branch" in findings[0].message
+
+    def test_decoder_branch_without_encoder_kind(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            '    raise ValueError(kind)',
+            '    if kind == "legacy":\n'
+            '        return ("legacy", None)\n'
+            '    raise ValueError(kind)',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert ("query_from_wire decodes kind 'legacy' that query_to_wire "
+                "never produces") in findings[0].message
+
+    def test_kind_field_not_read_by_its_branch(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            '"kind": "range", "start": query.start}',
+            '"kind": "range", "start": query.start, "step": query.step}',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert ("query kind 'range' encodes field 'step' that its decoder "
+                "branch never reads") in findings[0].message
+
+
+class TestFleetCodecPairs:
+    def test_problem_payload_field_never_read(self, tmp_path):
+        files = perturbed(
+            PROJECT, "fleet/codec.py",
+            '"sites": problem.sites}',
+            '"sites": problem.sites, "checksum": 0}',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert ("fleet payload field 'checksum' is emitted by "
+                "encode_problem but never read by decode_problem"
+                ) in findings[0].message
+
+    def test_schedule_decoder_reads_unemitted_field(self, tmp_path):
+        files = perturbed(
+            PROJECT, "fleet/codec.py",
+            'return payload["assignment"]',
+            'return (payload["assignment"], payload["stats"])',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert ("decode_schedule reads payload field 'stats' that "
+                "encode_schedule never emits") in findings[0].message
+
+
+class TestErrorCodes:
+    def test_class_code_missing_from_error_codes(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/errors.py",
+            'code = "OVERLOADED"',
+            'code = "SHED"',
+        )
+        findings = wire_findings(tmp_path, files)
+        msgs = sorted(f.message for f in findings)
+        assert any("declares wire code 'SHED' that is not in "
+                   "protocol.ERROR_CODES" in m for m in msgs)
+        # and the orphaned OVERLOADED code now has no class
+        assert any("wire error code 'OVERLOADED' has no RemoteError "
+                   "subclass" in m for m in msgs)
+
+    def test_code_without_class_is_flagged_in_protocol(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/protocol.py",
+            '("INTERNAL", "OVERLOADED")',
+            '("INTERNAL", "OVERLOADED", "TIMEOUT")',
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert findings[0].path == "net/protocol.py"
+        assert "wire error code 'TIMEOUT' has no RemoteError subclass" \
+            in findings[0].message
+
+    def test_unregistered_subclass_is_flagged(self, tmp_path):
+        files = perturbed(
+            PROJECT, "net/errors.py",
+            "for cls in (OverloadedError,)",
+            "for cls in ()",
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert ("'OverloadedError' is not registered in _REMOTE_BY_CODE"
+                ) in findings[0].message
+
+
+class TestBoundaryExceptions:
+    def test_non_repro_error_crossing_the_boundary(self, tmp_path):
+        files = perturbed(
+            PROJECT, "fleet/pool.py",
+            "class FleetClosedError(ReproError):",
+            "class FleetClosedError(RuntimeError):",
+        )
+        findings = wire_findings(tmp_path, files)
+        assert len(findings) == 1
+        assert findings[0].path == "fleet/pool.py"
+        assert ("'FleetClosedError' can cross the service/net boundary"
+                ) in findings[0].message
+
+    def test_explicit_server_handler_clears_it(self, tmp_path):
+        files = perturbed(
+            PROJECT, "fleet/pool.py",
+            "class FleetClosedError(ReproError):",
+            "class FleetClosedError(RuntimeError):",
+        )
+        files = perturbed(
+            files, "net/server.py",
+            "    except ValueError:",
+            "    except FleetClosedError:",
+        )
+        assert wire_findings(tmp_path, files) == []
+
+    def test_repro_error_subclass_is_exempt(self, tmp_path):
+        # the PROJECT baseline already raises a ReproError subclass
+        assert wire_findings(tmp_path, PROJECT) == []
+
+
+class TestPragmas:
+    def test_line_pragma_on_drifted_key(self, tmp_path):
+        files = perturbed(
+            PROJECT, "fleet/codec.py",
+            '"sites": problem.sites}',
+            '"sites": problem.sites,\n'
+            '            "checksum": 0}  # repro-lint: ignore=wire-contract',
+        )
+        assert wire_findings(tmp_path, files) == []

@@ -14,6 +14,7 @@ from repro.net.errors import (
     ConnectError,
     ConnectionClosedError,
     DeadlineExceededError,
+    FrameRejectedError,
     InvalidQueryError,
     NetError,
     OverloadedError,
@@ -76,11 +77,13 @@ class TestErrorTyping:
         assert not DeadlineExceededError("x").transient
         assert not ShuttingDownError("x").transient
         assert not UnsupportedVersionError("x").transient
+        # resending an oversized frame can only be rejected again
+        assert not FrameRejectedError("x").transient
 
     def test_every_remote_error_is_a_net_error(self):
         for cls in (BadRequestError, UnknownOpError, InvalidQueryError,
                     OverloadedError, ShuttingDownError,
-                    UnsupportedVersionError):
+                    UnsupportedVersionError, FrameRejectedError):
             assert issubclass(cls, RemoteError)
             assert issubclass(cls, NetError)
 
@@ -93,6 +96,7 @@ class TestErrorTyping:
             ("OVERLOADED", OverloadedError),
             ("SHUTTING_DOWN", ShuttingDownError),
             ("UNSUPPORTED_VERSION", UnsupportedVersionError),
+            ("FRAME_TOO_LARGE", FrameRejectedError),
         ],
     )
     def test_wire_code_maps_to_typed_exception(self, code, cls):

@@ -138,6 +138,30 @@ class TestConcurrency:
         assert st.buckets == 120
         assert len(svc.history) == 40
 
+    def test_close_waits_for_the_service_lock(self):
+        # regression for the interprocedural-locks finding: close() used
+        # to tear down the backend without the lock, racing an in-flight
+        # _solve_locked backend call
+        svc = make_service(time_fn=FakeClock())
+        closed = threading.Event()
+
+        def closer():
+            svc.close()
+            closed.set()
+
+        with svc._lock:  # stand-in for a solve holding the lock
+            t = threading.Thread(target=closer)
+            t.start()
+            assert not closed.wait(0.1), "close() ran while the lock was held"
+        t.join(timeout=5)
+        assert closed.is_set()
+
+    def test_close_is_idempotent(self):
+        svc = make_service(time_fn=FakeClock())
+        svc.close()
+        svc.close()
+        svc.submit([(0, 0)])  # thread backend still serves after close
+
 
 class TestSolverChoice:
     def test_custom_solver(self):
