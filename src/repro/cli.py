@@ -235,7 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
 
     p_req = sub.add_parser(
-        "request", help="send one RPC to a running `repro serve`"
+        "request",
+        help="send one RPC to a running `repro serve` or `repro cluster`",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "retry semantics (at-most-once submit):\n"
+            "  --retries re-sends idempotent ops (health, stats, metrics,\n"
+            "  mark-failed, mark-repaired, shutdown) after any transient\n"
+            "  failure, and re-sends a submit only when the connection was\n"
+            "  refused outright (the request provably never left this\n"
+            "  machine).  A submit whose connection drops -- or whose\n"
+            "  --timeout-ms expires -- after the frame is on the wire may\n"
+            "  already have been executed by the server, so it is NEVER\n"
+            "  retried automatically; re-run it yourself only if a\n"
+            "  duplicate schedule is acceptable."
+        ),
     )
     p_req.add_argument("op", choices=("submit", "health", "stats", "metrics",
                                       "mark-failed", "mark-repaired",
@@ -250,12 +264,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explicit shard (default: hash routing)")
     p_req.add_argument("--disks", default=None,
                        help="mark-failed/mark-repaired: disk ids '0,3'")
-    p_req.add_argument("--deadline-ms", type=float, default=5000.0,
+    p_req.add_argument("--timeout-ms", "--deadline-ms", dest="deadline_ms",
+                       type=float, default=5000.0,
                        help="overall per-request deadline")
-    p_req.add_argument("--attempts", type=int, default=4,
-                       help="max attempts for transient errors")
+    p_req.add_argument("--retries", "--attempts", dest="attempts", type=int,
+                       default=4,
+                       help="max attempts for transient errors "
+                            "(see the retry-semantics note below)")
     p_req.add_argument("--json", action="store_true",
                        help="print the raw result payload as JSON")
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="launch N `repro serve` backends behind a routing proxy",
+    )
+    p_cluster.add_argument("--servers", type=int, default=2,
+                           help="backend `repro serve` processes to spawn")
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=7410,
+                           help="router port (0 = ephemeral)")
+    p_cluster.add_argument("--scheme", default="orthogonal",
+                           choices=("rda", "dependent", "orthogonal"))
+    p_cluster.add_argument("--n", type=int, default=6, help="disks per site")
+    p_cluster.add_argument("--solver", default="pr-binary")
+    p_cluster.add_argument("--cache-size", type=int, default=64)
+    p_cluster.add_argument("--workers", type=int, default=1,
+                           help="solver fleet lanes per backend "
+                                "(>1 uses the process backend)")
+    p_cluster.add_argument("--max-inflight", type=int, default=32,
+                           help="per-backend submit capacity "
+                                "(the router caps at 8x this)")
+    p_cluster.add_argument("--retry-after-ms", type=float, default=50.0)
+    p_cluster.add_argument("--probe-interval-ms", type=float, default=200.0,
+                           help="health-probe cadence per backend")
+    p_cluster.add_argument("--ejection-ms", type=float, default=1500.0,
+                           help="eject a backend unreachable this long")
+    p_cluster.add_argument("--seed", type=int, default=0,
+                           help="deployment seed (same for every backend: "
+                                "the fleet must be replicas)")
+
+    p_soak = sub.add_parser(
+        "soak-bench",
+        help="open-loop soak of a routed cluster (req/s, shed, p99)",
+    )
+    p_soak.add_argument("--servers", type=int, default=2,
+                        help="in-process backend servers")
+    p_soak.add_argument("--users", type=int, default=200,
+                        help="simulated user population")
+    p_soak.add_argument("--queries", type=int, default=300,
+                        help="total arrivals to fire open-loop")
+    p_soak.add_argument("--think-time-ms", type=float, default=1000.0,
+                        help="mean per-user think time (offered load = "
+                             "users / think_time)")
+    p_soak.add_argument("--n", type=int, default=6, help="disks per site")
+    p_soak.add_argument("--solver", default="pr-binary")
+    p_soak.add_argument("--cache-size", type=int, default=64)
+    p_soak.add_argument("--workers", type=int, default=1,
+                        help="solver fleet lanes per backend")
+    p_soak.add_argument("--max-inflight", type=int, default=64,
+                        help="router submit capacity")
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument("--no-verify", action="store_true",
+                        help="skip the serial-replay transparency check")
+    p_soak.add_argument("--output", metavar="FILE.json", default=None,
+                        help="also write the result as JSON")
 
     from repro.lint import rule_catalog as _rule_catalog
 
@@ -923,6 +995,74 @@ def _cmd_online_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, run_cluster
+
+    if args.servers < 1:
+        print("--servers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    serve_args = [
+        "--host", args.host,
+        "--scheme", args.scheme,
+        "--n", str(args.n),
+        "--solver", args.solver,
+        "--cache-size", str(args.cache_size),
+        "--workers", str(args.workers),
+        "--max-inflight", str(args.max_inflight),
+        "--retry-after-ms", str(args.retry_after_ms),
+        # every backend gets the SAME seed on purpose: the routing tier
+        # assumes replica deployments, so any signature can fail over
+        "--seed", str(args.seed),
+    ]
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        probe_interval_ms=args.probe_interval_ms,
+        ejection_ms=args.ejection_ms,
+        retry_after_ms=args.retry_after_ms,
+        max_inflight=8 * args.max_inflight,
+    )
+    try:
+        return run_cluster(args.servers, serve_args, config)
+    except RuntimeError as exc:  # a backend failed to start
+        print(f"repro cluster: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_soak_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.soak_bench import format_soak_bench, run_soak_bench
+
+    try:
+        result = run_soak_bench(
+            servers=args.servers,
+            users=args.users,
+            queries=args.queries,
+            think_time_ms=args.think_time_ms,
+            n=args.n,
+            solver=args.solver,
+            cache_size=args.cache_size,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    except ValueError as exc:
+        print(f"repro soak-bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_soak_bench(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"saved {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
@@ -995,6 +1135,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_request(args)
     if args.command == "net-bench":
         return _cmd_net_bench(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "soak-bench":
+        return _cmd_soak_bench(args)
     if args.command == "online-bench":
         return _cmd_online_bench(args)
     if args.command == "profile":

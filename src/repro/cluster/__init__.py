@@ -1,0 +1,44 @@
+"""repro.cluster — the distributed multi-server tier.
+
+A routing proxy (:class:`RoutingProxy`) speaks the repro wire protocol
+to edge clients and forwards each submit to the backend that owns its
+replica-set signature under rendezvous hashing (:class:`ClusterMap`),
+preserving per-backend cache and fleet-lane warmth.  A
+:class:`HealthMonitor` ejects unreachable backends on a deadline and
+rejoins them — restoring exactly their old signature share — when they
+come back.  :func:`run_cluster` / ``repro cluster`` launches backends as
+``repro serve`` subprocesses; :class:`BackgroundCluster` hosts the whole
+tier in-process for tests and benchmarks.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.launcher import (
+    BackendProcess,
+    run_cluster,
+    serve_cluster,
+    spawn_backends,
+    terminate_backends,
+)
+from repro.cluster.membership import (
+    BackendInfo,
+    ClusterMap,
+    HealthMonitor,
+    NoLiveBackendsError,
+)
+from repro.cluster.router import RoutingProxy
+from repro.cluster.run import BackgroundCluster
+
+__all__ = [
+    "BackendInfo",
+    "BackendProcess",
+    "BackgroundCluster",
+    "ClusterConfig",
+    "ClusterMap",
+    "HealthMonitor",
+    "NoLiveBackendsError",
+    "RoutingProxy",
+    "run_cluster",
+    "serve_cluster",
+    "spawn_backends",
+    "terminate_backends",
+]

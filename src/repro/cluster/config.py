@@ -1,0 +1,83 @@
+"""Configuration for the cluster routing tier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.protocol import MAX_FRAME_BYTES
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ClusterConfig"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Transport, liveness and failover policy for a routing proxy.
+
+    Attributes
+    ----------
+    host, port:
+        The router's bind address; port ``0`` picks an ephemeral port
+        (read it back from :attr:`RoutingProxy.port` once started).
+    probe_interval_ms:
+        How often the health monitor probes every backend.
+    probe_timeout_ms:
+        Per-probe deadline; a probe slower than this counts as a miss.
+    ejection_ms:
+        Deadline-based ejection: a backend whose last successful probe
+        is older than this is marked dead and leaves the routing table
+        until a probe succeeds again (rejoin restores exactly its old
+        rendezvous share).
+    forward_deadline_ms:
+        Deadline applied to each forwarded backend RPC (submits and
+        control ops); ``None`` waits as long as the edge client does.
+    retry_after_ms:
+        Backoff hint attached to ``OVERLOADED`` responses the router
+        itself generates (no live backends).
+    max_inflight:
+        Router-side cap on concurrently forwarded submits — a backstop,
+        not the primary admission control (each backend sheds on its own
+        ``max_inflight`` first).
+    max_frame_bytes:
+        Per-frame size limit on both router sides.
+    registry:
+        Sink for the router's metrics; ``None`` creates a private one.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    probe_interval_ms: float = 200.0
+    probe_timeout_ms: float = 500.0
+    ejection_ms: float = 1500.0
+    forward_deadline_ms: float | None = 30000.0
+    retry_after_ms: float = 50.0
+    max_inflight: int = 256
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    registry: MetricsRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_ms <= 0:
+            raise ValueError(
+                f"probe_interval_ms must be > 0, got {self.probe_interval_ms}"
+            )
+        if self.probe_timeout_ms <= 0:
+            raise ValueError(
+                f"probe_timeout_ms must be > 0, got {self.probe_timeout_ms}"
+            )
+        if self.ejection_ms <= 0:
+            raise ValueError(
+                f"ejection_ms must be > 0, got {self.ejection_ms}"
+            )
+        if self.forward_deadline_ms is not None and self.forward_deadline_ms <= 0:
+            raise ValueError(
+                f"forward_deadline_ms must be > 0 or None, "
+                f"got {self.forward_deadline_ms}"
+            )
+        if self.retry_after_ms < 0:
+            raise ValueError(
+                f"retry_after_ms must be >= 0, got {self.retry_after_ms}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )

@@ -1,0 +1,233 @@
+"""Process-tree launcher for ``repro cluster``.
+
+Spawns N backend ``repro serve`` subprocesses on ephemeral ports (all
+with the *same* seed, so every backend is a replica of one deployment
+and any signature can be served anywhere), then runs a
+:class:`~repro.cluster.router.RoutingProxy` over them in the foreground.
+SIGTERM/SIGINT tears the tree down with the net tier's drain
+discipline: the router drains first (in-flight forwards finish, no new
+work admitted), then each backend is SIGTERMed and drains itself
+(finishing requests, flushing stats, exiting 0).
+
+Process management is deliberately synchronous: spawning, readline on
+the children's ready lines, SIGTERM and ``wait()`` all happen in plain
+functions before/after the router's event loop runs, never inside a
+coroutine — the async-blocking lint enforces that split for this
+package.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.membership import BackendInfo, ClusterMap
+from repro.cluster.router import RoutingProxy
+
+__all__ = [
+    "BackendProcess",
+    "spawn_backends",
+    "terminate_backends",
+    "serve_cluster",
+    "run_cluster",
+]
+
+_READY_MARKER = "listening on "
+
+
+def _echo(line: str) -> None:
+    # flush so wrapper scripts (the CI smoke job) see the ready line
+    # immediately, not at process exit
+    print(line, flush=True)
+
+
+@dataclass
+class BackendProcess:
+    """One spawned backend: its routing identity plus the OS process."""
+
+    info: BackendInfo
+    proc: subprocess.Popen[str]
+
+    @property
+    def backend_id(self) -> str:
+        return self.info.backend_id
+
+
+def _read_ready_line(proc: subprocess.Popen[str], timeout_s: float) -> str:
+    """Block until the child prints its ready line (or dies / times out)."""
+    holder: dict[str, str] = {}
+
+    def reader() -> None:
+        assert proc.stdout is not None
+        holder["line"] = proc.stdout.readline()
+
+    t = threading.Thread(target=reader, daemon=True)
+    t.start()
+    t.join(timeout_s)
+    if "line" not in holder:
+        proc.kill()
+        raise RuntimeError(
+            f"backend pid {proc.pid} did not report ready "
+            f"within {timeout_s:.0f}s"
+        )
+    line = holder["line"]
+    if _READY_MARKER not in line:
+        proc.kill()
+        raise RuntimeError(
+            f"backend pid {proc.pid} failed to start "
+            f"(exit {proc.poll()}): {line!r}"
+        )
+    return line
+
+
+def spawn_backends(
+    servers: int,
+    serve_args: Sequence[str] = (),
+    *,
+    ready_timeout_s: float = 60.0,
+) -> list[BackendProcess]:
+    """Start ``servers`` ``repro serve --port 0`` children, wait for ready.
+
+    ``serve_args`` is appended to every child's command line (scheme,
+    solver, workers, seed, ...) — identical for all children on purpose;
+    the cluster tier assumes replica backends.  On any startup failure
+    the children already running are killed before the error propagates.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    backends: list[BackendProcess] = []
+    try:
+        for k in range(servers):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "--port",
+                    "0",
+                    *serve_args,
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            line = _read_ready_line(proc, ready_timeout_s)
+            addr = line.split(_READY_MARKER)[1].split()[0]
+            host, _, port = addr.rpartition(":")
+            backends.append(
+                BackendProcess(BackendInfo(f"b{k}", host, int(port)), proc)
+            )
+    except Exception:
+        for b in backends:
+            b.proc.kill()
+            b.proc.wait()
+        raise
+    return backends
+
+
+def terminate_backends(
+    backends: Sequence[BackendProcess], *, timeout_s: float = 30.0
+) -> list[int | None]:
+    """SIGTERM every backend and wait for its graceful drain.
+
+    Returns the exit codes in backend order (0 means a clean drain).  A
+    backend that ignores SIGTERM past ``timeout_s`` is killed.
+    """
+    for b in backends:
+        if b.proc.poll() is None:
+            b.proc.send_signal(signal.SIGTERM)
+    codes: list[int | None] = []
+    for b in backends:
+        try:
+            b.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:  # pragma: no cover - watchdog
+            b.proc.kill()
+            b.proc.wait()
+        codes.append(b.proc.returncode)
+    return codes
+
+
+async def serve_cluster(
+    cluster: ClusterMap,
+    config: ClusterConfig | None = None,
+    *,
+    monitor: bool = True,
+    install_signal_handlers: bool = True,
+    ready: Callable[[RoutingProxy], None] | None = None,
+) -> dict[str, Any]:
+    """Serve the routing proxy until SIGTERM/SIGINT (or ``shutdown``).
+
+    The async twin of :func:`repro.net.run.serve`: returns the router's
+    drain summary once every in-flight forward has finished.
+    """
+    proxy = RoutingProxy(cluster, config, monitor=monitor)
+    await proxy.start()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, proxy.begin_drain)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops
+    try:
+        if ready is not None:
+            ready(proxy)
+        summary = await proxy.serve_until_drained()
+        return summary if summary is not None else {}
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+
+def run_cluster(
+    servers: int,
+    serve_args: Sequence[str],
+    config: ClusterConfig | None = None,
+    *,
+    echo: Callable[[str], None] = _echo,
+) -> int:
+    """The ``repro cluster`` entry: spawn, route, tear down. Returns exit code."""
+    backends = spawn_backends(servers, serve_args)
+    cluster = ClusterMap([b.info for b in backends])
+    try:
+
+        def ready(proxy: RoutingProxy) -> None:
+            joined = ", ".join(
+                f"{b.backend_id}={b.info.host}:{b.info.port}" for b in backends
+            )
+            echo(
+                f"repro cluster: router listening on "
+                f"{proxy.host}:{proxy.port} ({servers} backend(s): {joined})"
+            )
+
+        summary = asyncio.run(serve_cluster(cluster, config, ready=ready))
+    finally:
+        # a backend that already died (crash, external SIGKILL) has
+        # surfaced through failover metrics during the run; only the
+        # backends still up at teardown owe us a clean SIGTERM drain
+        already_dead = {
+            b.backend_id for b in backends if b.proc.poll() is not None
+        }
+        codes = terminate_backends(backends)
+    echo(
+        f"repro cluster: drain complete — "
+        f"{summary.get('forwards', 0)} forwards, "
+        f"{summary.get('failovers', 0)} failovers, "
+        f"backend exits {codes}"
+        + (f" (died during run: {sorted(already_dead)})" if already_dead else "")
+    )
+    drained_ok = all(
+        c == 0
+        for b, c in zip(backends, codes)
+        if b.backend_id not in already_dead
+    )
+    return 0 if drained_ok else 1

@@ -1,0 +1,230 @@
+"""Cluster membership: the live-backend map and the health monitor.
+
+:class:`ClusterMap` is the routing table — every known backend, which of
+them are live, and rendezvous (highest-random-weight) routing of
+signature keys over the live set.  Rendezvous hashing gives the two
+properties the warm-cache tier needs with no token ring to maintain:
+
+* **Minimal disruption.**  When a backend dies, only the keys it owned
+  re-route (to their second-highest scorer); every other signature keeps
+  its backend and therefore its warm ``NetworkCache`` entries and fleet
+  lanes.
+* **Rebalance-on-rejoin for free.**  Scores are a pure function of
+  (key, backend id), so a backend that rejoins wins back *exactly* the
+  keys it owned before — no state to migrate, the stale keys simply
+  route home again.
+
+The map is confined to the router's event loop: no internal locking, by
+design — a sync lock here would put a blocking primitive on every routed
+request's path through the proxy's coroutines.  Mutate it only from the
+loop (the health monitor and the router both live there).
+
+:class:`HealthMonitor` drives liveness: it probes every backend's
+``health`` op on a fixed cadence and applies *deadline-based ejection* —
+a backend is not ejected on one lost probe, but when its last successful
+probe is older than ``ejection_ms``.  Any successful probe of a dead
+backend rejoins it immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.net.client import AsyncSchedulerClient
+from repro.net.errors import NetError
+from repro.cluster.config import ClusterConfig
+from repro.service.signature import rendezvous_choice
+
+__all__ = [
+    "BackendInfo",
+    "ClusterMap",
+    "HealthMonitor",
+    "NoLiveBackendsError",
+]
+
+
+class NoLiveBackendsError(ReproError):
+    """Every backend is ejected; the cluster cannot route anything."""
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Address record for one backend ``repro serve`` process."""
+
+    backend_id: str
+    host: str
+    port: int
+
+
+class ClusterMap:
+    """All known backends, their liveness, and rendezvous routing.
+
+    Event-loop confined: call every method from the router's loop only
+    (see the module docstring for why there is deliberately no lock).
+    """
+
+    def __init__(self, backends: Sequence[BackendInfo]) -> None:
+        if not backends:
+            raise ValueError("a cluster needs at least one backend")
+        self._backends: dict[str, BackendInfo] = {}
+        for b in backends:
+            if b.backend_id in self._backends:
+                raise ValueError(f"duplicate backend id {b.backend_id!r}")
+            self._backends[b.backend_id] = b
+        self._dead: set[str] = set()
+        #: bumps on every liveness change (tests, metrics, debugging)
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def backends(self) -> list[BackendInfo]:
+        """Every known backend, live or dead, in id order."""
+        return [self._backends[k] for k in sorted(self._backends)]
+
+    def live(self) -> list[BackendInfo]:
+        """Live backends in id order."""
+        return [
+            self._backends[k]
+            for k in sorted(self._backends)
+            if k not in self._dead
+        ]
+
+    def get(self, backend_id: str) -> BackendInfo:
+        return self._backends[backend_id]
+
+    def is_live(self, backend_id: str) -> bool:
+        return backend_id in self._backends and backend_id not in self._dead
+
+    # ------------------------------------------------------------------
+    def mark_dead(self, backend_id: str) -> bool:
+        """Eject a backend from routing; True if its state changed."""
+        if backend_id not in self._backends or backend_id in self._dead:
+            return False
+        self._dead.add(backend_id)
+        self.version += 1
+        return True
+
+    def mark_alive(self, backend_id: str) -> bool:
+        """Rejoin a backend; True if its state changed.
+
+        Rendezvous scores are stateless, so the rejoined backend
+        immediately receives exactly the signature share it owned
+        before ejection.
+        """
+        if backend_id not in self._backends or backend_id not in self._dead:
+            return False
+        self._dead.discard(backend_id)
+        self.version += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def route(
+        self, key: bytes, *, exclude: Iterable[str] = ()
+    ) -> BackendInfo:
+        """The live backend owning ``key`` (highest rendezvous score).
+
+        ``exclude`` removes additional ids from consideration — the
+        router uses it during connect-failover so a backend that just
+        refused a connection is not retried in the same request even if
+        the monitor has not ejected it yet.
+        """
+        skip = set(exclude)
+        candidates = [
+            k
+            for k in self._backends
+            if k not in self._dead and k not in skip
+        ]
+        if not candidates:
+            raise NoLiveBackendsError(
+                f"no live backends (known: {sorted(self._backends)}, "
+                f"dead: {sorted(self._dead)}, excluded: {sorted(skip)})"
+            )
+        return self._backends[rendezvous_choice(key, candidates)]
+
+
+class HealthMonitor:
+    """Probe backends on a cadence; eject on deadline, rejoin on success.
+
+    Runs as one task on the router's event loop.  Each round probes all
+    backends concurrently with ``probe_timeout_ms``; a backend whose last
+    *successful* probe is older than ``ejection_ms`` is marked dead, and
+    any success on a dead backend marks it alive again.  ``on_change``
+    (if given) fires from the loop with ``(backend_id, alive)`` after
+    each transition.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterMap,
+        clients: Mapping[str, AsyncSchedulerClient],
+        config: ClusterConfig,
+        *,
+        on_change: Callable[[str, bool], None] | None = None,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.cluster = cluster
+        self._clients = clients
+        self._config = config
+        self._on_change = on_change
+        self._time_fn = time_fn
+        self._task: asyncio.Task[None] | None = None
+        # everyone starts with a fresh lease: a backend must stay
+        # unreachable for a full ejection window before it is ejected
+        self._last_ok: dict[str, float] = {}
+        #: probe rounds completed (tests wait on this advancing)
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is not None:
+            return
+        now = self._time_fn()
+        for b in self.cluster.backends:
+            self._last_ok.setdefault(b.backend_id, now)
+        self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        interval_s = self._config.probe_interval_ms / 1000.0
+        while True:
+            await asyncio.gather(
+                *(
+                    self._probe(b.backend_id)
+                    for b in self.cluster.backends
+                )
+            )
+            self.rounds += 1
+            await asyncio.sleep(interval_s)
+
+    async def _probe(self, backend_id: str) -> None:
+        client = self._clients.get(backend_id)
+        if client is None:
+            return
+        try:
+            await client.request(
+                "health", deadline_ms=self._config.probe_timeout_ms
+            )
+        except NetError:
+            last = self._last_ok.get(backend_id, self._time_fn())
+            overdue_ms = (self._time_fn() - last) * 1000.0
+            if overdue_ms >= self._config.ejection_ms:
+                if self.cluster.mark_dead(backend_id) and self._on_change:
+                    self._on_change(backend_id, False)
+            return
+        self._last_ok[backend_id] = self._time_fn()
+        if self.cluster.mark_alive(backend_id) and self._on_change:
+            self._on_change(backend_id, True)

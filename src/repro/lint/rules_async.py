@@ -1,9 +1,9 @@
 """Event-loop protection: no blocking calls inside ``async def`` bodies.
 
-The asyncio front end (``repro/net/``) runs every connection on one
-thread; a single synchronous ``time.sleep``, socket call, or
-``Lock.acquire`` stalls *all* clients.  This rule walks each coroutine
-in ``repro/net/`` modules and flags
+The asyncio front ends (``repro/net/`` and the ``repro/cluster/``
+routing tier) run every connection on one thread; a single synchronous
+``time.sleep``, socket call, or ``Lock.acquire`` stalls *all* clients.
+This rule walks each coroutine in those packages' modules and flags
 
 * direct calls to known blocking primitives (``time.sleep``, blocking
   ``socket``/``select``/``subprocess`` entry points, ``.acquire()`` on a
@@ -58,20 +58,29 @@ def _qual(fn: FunctionInfo) -> str:
 
 
 class AsyncBlockingRule(ProjectRule):
-    """Flag blocking work reachable from coroutines under ``repro/net/``."""
+    """Flag blocking work reachable from coroutines on an event loop.
+
+    Applies to ``repro/net/`` and ``repro/cluster/`` — the two packages
+    whose coroutines share an event loop with every connected client.
+    """
 
     name = "async-blocking"
     description = (
-        "asyncio safety: coroutines under net/ must not call blocking "
-        "primitives (directly or transitively) or await while holding a "
-        "sync lock"
+        "asyncio safety: coroutines under net/ and cluster/ must not call "
+        "blocking primitives (directly or transitively) or await while "
+        "holding a sync lock"
     )
+
+    #: directories whose coroutines run on a client-facing event loop
+    _ASYNC_DIRS = ("net/", "cluster/")
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         graph = CallGraph.of(project)
         blocking = self._blocking_reasons(graph)
         for fn in graph.functions:
-            if not fn.is_async or "net/" not in fn.module.path:
+            if not fn.is_async or not any(
+                d in fn.module.path for d in self._ASYNC_DIRS
+            ):
                 continue
             yield from self._check_coroutine(graph, fn, blocking)
 

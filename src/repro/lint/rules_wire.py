@@ -525,21 +525,37 @@ class WireContractRule(ProjectRule):
     # ------------------------------------------------------------------
     # exceptions crossing the wire
     # ------------------------------------------------------------------
-    _BOUNDARY_DIRS = ("service/", "online/", "fleet/")
+    _BOUNDARY_DIRS = ("service/", "online/", "fleet/", "cluster/")
+
+    #: modules whose except clauses count as explicit wire mappings —
+    #: the scheduler server, its shared frame-server base, and the
+    #: cluster routing proxy all translate exceptions to wire codes
+    _HANDLER_MODULES = (
+        "net/server.py",
+        "net/frameserver.py",
+        "cluster/router.py",
+    )
 
     def _check_boundary_exceptions(self, project: Project) -> Iterator[Finding]:
         server = project.module("net/server.py")
         if server is None:
             return
+        handlers = [server] + [
+            mod
+            for suffix in self._HANDLER_MODULES[1:]
+            if (mod := project.module(suffix)) is not None
+        ]
         handled = {
             sub.id
-            for node in ast.walk(server.tree)
+            for handler in handlers
+            for node in ast.walk(handler.tree)
             if isinstance(node, ast.ExceptHandler) and node.type is not None
             for sub in ast.walk(node.type)
             if isinstance(sub, ast.Name)
         } | {
             sub.attr
-            for node in ast.walk(server.tree)
+            for handler in handlers
+            for node in ast.walk(handler.tree)
             if isinstance(node, ast.ExceptHandler) and node.type is not None
             for sub in ast.walk(node.type)
             if isinstance(sub, ast.Attribute)
@@ -589,8 +605,10 @@ class WireContractRule(ProjectRule):
                     rule=self.name,
                     message=(
                         f"'{name}' can cross the service/net boundary but is "
-                        "neither a ReproError nor named in a net/server.py "
-                        "except clause — clients would see an opaque INTERNAL"
+                        "neither a ReproError nor named in a wire-handler "
+                        "except clause (net/server.py, net/frameserver.py, "
+                        "cluster/router.py) — clients would see an opaque "
+                        "INTERNAL"
                     ),
                     hint=(
                         "derive it from ReproError or add an explicit "

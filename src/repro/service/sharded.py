@@ -19,58 +19,18 @@ histogram buckets (quantiles do not add).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from repro.obs.registry import MetricsRegistry
 
 from repro.errors import StorageConfigError
-from repro.obs.registry import Histogram
 from repro.service.config import ServiceConfig
 from repro.service.scheduler import QueryLike, SchedulerService
-from repro.service.stats import ServiceRecord, ServiceStats
-from repro.workloads.queries import ArbitraryQuery, RangeQuery
+from repro.service.signature import stable_signature_hash
+from repro.service.stats import ServiceRecord, ServiceStats, merged_quantile
 
 __all__ = ["ShardedSchedulerService", "merged_quantile"]
-
-
-def merged_quantile(histograms: Sequence[Histogram], q: float) -> float:
-    """The ``q``-quantile of several histograms' pooled observations.
-
-    Decumulates each histogram's ``bucket_counts()`` into shared per-bucket
-    counts (the bucket bounds must match, which holds for every service's
-    ``repro_service_response_ms``), then interpolates exactly like
-    :meth:`~repro.obs.registry.Histogram.quantile`.
-    """
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile {q} outside [0, 1]")
-    live = [h for h in histograms if h is not None and h.count]
-    if not live:
-        return 0.0
-    bounds = live[0].bounds
-    for h in live[1:]:
-        if h.bounds != bounds:
-            raise ValueError("cannot merge histograms with different buckets")
-    counts = [0] * (len(bounds) + 1)
-    total = 0
-    observed_max = 0.0
-    for h in live:
-        cum_prev = 0
-        for i, (_ub, cum) in enumerate(h.bucket_counts()):
-            counts[i] += cum - cum_prev
-            cum_prev = cum
-        s = h.summary()
-        total += s.count
-        observed_max = max(observed_max, s.max)
-    rank = q * total
-    cum = 0.0
-    lower = 0.0
-    for ub, c in zip(bounds, counts):
-        if c and cum + c >= rank:
-            frac = max(0.0, rank - cum) / c
-            return lower + frac * (ub - lower)
-        cum += c
-        lower = ub
-    return observed_max
 
 
 class ShardedSchedulerService:
@@ -130,6 +90,9 @@ class ShardedSchedulerService:
         if not services:
             raise StorageConfigError("sharded service needs at least one shard")
         self.services = services
+        # serializes mark_failed_all/mark_repaired_all so interleaved
+        # broadcasts cannot leave shards disagreeing about a disk
+        self._broadcast_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -143,15 +106,18 @@ class ShardedSchedulerService:
 
     # ------------------------------------------------------------------
     def shard_of(self, query: QueryLike) -> int:
-        """The stable home shard for a query (hash of its sorted coords)."""
-        if isinstance(query, (RangeQuery, ArbitraryQuery)):
-            coords = query.buckets()
-        else:
-            coords = list(query)
-        key = tuple(sorted(tuple(c) for c in coords))
-        # hash() over int tuples is deterministic (PYTHONHASHSEED only
-        # perturbs str/bytes), so routing is stable across processes.
-        return hash(key) % len(self.services)
+        """The stable home shard for a query (hash of its sorted coords).
+
+        Uses the shared SHA-256 signature hash from
+        :mod:`repro.service.signature`, so in-process sharding and
+        ``repro.cluster`` routing agree on where a signature lives.
+        (Before 1.4.0 this was ``hash()`` over the coordinate tuple —
+        deterministic for int tuples since ``PYTHONHASHSEED`` only
+        perturbs str/bytes, but a CPython implementation detail with no
+        byte-level definition; see the compat note in
+        ``repro/service/signature.py``.)
+        """
+        return stable_signature_hash(query) % len(self.services)
 
     def submit(
         self,
@@ -189,16 +155,38 @@ class ShardedSchedulerService:
     def mark_failed_all(self, disks: Sequence[int]) -> None:
         """Broadcast a failure to every shard (shared cabling, site loss).
 
-        Disk ids are local to each shard's deployment; every shard must
-        know them, or its service raises before any state changes there.
+        Fleet-wide snapshot guarantee: disk ids are validated against
+        *every* shard's deployment before any shard changes state, so an
+        unknown id raises with no partial application; and broadcasts
+        are serialized on a fleet-wide mutex, so two racing broadcasts
+        (e.g. ``mark_failed_all`` vs ``mark_repaired_all`` for the same
+        disk) apply in the same order on every shard — after both
+        return, all shards agree on the disk's state.  Submits racing a
+        broadcast still serialize per shard on each service's own lock.
         """
-        for svc in self.services:
-            svc.mark_failed(disks)
+        self._broadcast(disks, "mark_failed")
 
     def mark_repaired_all(self, disks: Sequence[int]) -> None:
-        """Broadcast a repair to every shard (inverse of mark_failed_all)."""
-        for svc in self.services:
-            svc.mark_repaired(disks)
+        """Broadcast a repair to every shard (inverse of mark_failed_all).
+
+        Same fleet-wide snapshot guarantee as :meth:`mark_failed_all`.
+        """
+        self._broadcast(disks, "mark_repaired")
+
+    def _broadcast(self, disks: Sequence[int], op: str) -> None:
+        ids = list(disks)
+        with self._broadcast_lock:
+            # phase 1 — validate everywhere (read-only): any shard that
+            # does not know an id raises before any shard has changed
+            for svc in self.services:
+                for d in ids:
+                    svc.system.disk(d)
+            # phase 2 — apply in shard order under the mutex
+            for svc in self.services:
+                if op == "mark_failed":
+                    svc.mark_failed(ids)
+                else:
+                    svc.mark_repaired(ids)
 
     # ------------------------------------------------------------------
     def shard_stats(self) -> list[ServiceStats]:

@@ -1,0 +1,66 @@
+"""Soak bench harness: open-loop load + the serial-replay cross-check."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.soak_bench import format_soak_bench, run_soak_bench
+
+pytestmark = pytest.mark.slow
+
+
+class TestSoakBench:
+    def run_tiny(self, **kw):
+        kw.setdefault("servers", 2)
+        kw.setdefault("users", 8)
+        kw.setdefault("queries", 24)
+        kw.setdefault("think_time_ms", 40.0)
+        kw.setdefault("n", 5)
+        kw.setdefault("seed", 11)
+        kw.setdefault("verify_queries", 12)
+        return run_soak_bench(**kw)
+
+    def test_smoke_run_reports_every_metric(self):
+        result = self.run_tiny()
+        assert result.completed + result.shed + result.errors == 24
+        assert result.completed > 0
+        assert result.sustained_qps > 0
+        assert 0.0 <= result.shed_rate <= 1.0
+        assert result.p50_ms > 0
+        assert result.p50_ms <= result.p95_ms <= result.p99_ms
+        assert result.mean_ms > 0
+        # per-backend cache visibility: one entry per backend, each with
+        # a hit rate in [0, 1]
+        assert len(result.per_backend) == 2
+        for info in result.per_backend.values():
+            assert 0.0 <= info["cache_hit_rate"] <= 1.0
+        assert result.router["forwards"] >= result.completed
+
+    def test_serial_replay_transparency_rides_along(self):
+        result = self.run_tiny()
+        assert result.verified is True
+        assert result.verify_queries == 12
+
+    def test_no_verify_skips_the_replay(self):
+        result = self.run_tiny(verify=False)
+        assert result.verified is False
+        assert result.completed > 0
+
+    def test_to_dict_is_json_evidence(self):
+        result = self.run_tiny()
+        d = result.to_dict()
+        text = json.dumps(d)  # JSON-serialisable evidence
+        assert "sustained_qps" in text
+        for field in (
+            "servers", "users", "queries", "sustained_qps", "shed_rate",
+            "p50_ms", "p95_ms", "p99_ms", "per_backend", "verified",
+        ):
+            assert field in d, field
+
+    def test_format_mentions_the_cross_check(self):
+        result = self.run_tiny()
+        text = format_soak_bench(result)
+        assert "cluster soak" in text
+        assert "bit-for-bit" in text

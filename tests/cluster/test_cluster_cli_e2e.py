@@ -1,0 +1,184 @@
+"""CLI end-to-end: `repro cluster` as a real process tree.
+
+Mirrors the CI cluster-smoke job: start the cluster (router + backend
+subprocesses), drive it with `repro request`, SIGKILL one backend
+mid-run and require (a) at-most-once surfacing — every submit either
+succeeds or fails with the router's non-transient INTERNAL, never a
+silent re-send — (b) reconvergence onto the survivor, and (c) a clean
+SIGTERM drain with exit 0 even though one child died by SIGKILL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.signature import rendezvous_choice
+
+REPO = Path(__file__).resolve().parents[2]
+N = 6  # repro cluster --n default
+
+pytestmark = pytest.mark.slow
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def run_request(port, *args, timeout=30):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "request", *args,
+         "--port", str(port)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=cli_env(),
+        cwd=REPO,
+    )
+
+
+def coords_owned_by(backend_id, ids):
+    """A --coords string whose rendezvous owner is ``backend_id``."""
+    for s in range(500):
+        pairs = sorted({(s % N, (s // N) % N), ((s + 7) % N, (s // 3) % N)})
+        key = ";".join(f"{i},{j}" for i, j in pairs).encode()
+        if rendezvous_choice(key, ids) == backend_id:
+            return ";".join(f"{i},{j}" for i, j in pairs)
+    raise AssertionError(f"no coords found owned by {backend_id}")
+
+
+def child_pids(pid):
+    """The direct children of ``pid`` (Linux /proc), in spawn order."""
+    path = f"/proc/{pid}/task/{pid}/children"
+    with open(path, encoding="ascii") as f:
+        return [int(p) for p in f.read().split()]
+
+
+@pytest.fixture
+def cluster():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "cluster",
+         "--servers", "2", "--port", "0", "--max-inflight", "8"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=cli_env(),
+        cwd=REPO,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "router listening on" in line, line
+        addr = line.split("listening on ")[1].split()[0]
+        port = int(addr.rsplit(":", 1)[1])
+        yield proc, port
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+class TestClusterCli:
+    def test_route_kill_failover_and_sigterm_drain(self, cluster):
+        proc, port = cluster
+        ids = ["b0", "b1"]
+
+        health = run_request(port, "health")
+        assert health.returncode == 0, health.stderr
+        payload = json.loads(health.stdout)
+        assert payload["status"] == "ok"
+        assert payload["backends"] == 2 and payload["live"] == 2
+
+        # one query per backend: warms the router's connection to both
+        q = {bid: coords_owned_by(bid, ids) for bid in ids}
+        for bid in ids:
+            submit = run_request(port, "submit", "--coords", q[bid])
+            assert submit.returncode == 0, submit.stderr
+            assert "scheduled 2 buckets" in submit.stdout
+
+        stats = run_request(port, "stats")
+        assert stats.returncode == 0, stats.stderr
+        per_backend = json.loads(stats.stdout)["per_backend"]
+        assert sorted(per_backend) == ids
+        assert sum(p["queries"] for p in per_backend.values()) == 2
+
+        # SIGKILL the first-spawned backend (b0) mid-run.  The router
+        # holds a warm connection to it, so the next submit routed there
+        # must surface the at-most-once INTERNAL — or, if the probe
+        # ejects it first, transparently fail over.  Never both.
+        victims = child_pids(proc.pid)
+        assert len(victims) == 2, victims
+        os.kill(victims[0], signal.SIGKILL)
+
+        outcomes = []
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            res = run_request(port, "submit", "--coords", q["b0"],
+                              "--retries", "1")
+            if res.returncode == 0:
+                outcomes.append("ok")
+                break
+            # the only acceptable failure is the router's explicit
+            # at-most-once INTERNAL; anything else is a real bug
+            assert "at-most-once" in res.stderr, res.stderr
+            outcomes.append("internal")
+        assert outcomes[-1] == "ok", outcomes
+        # at most one submit may have been caught by the dying
+        # connection; after that the dead backend is out of the table
+        assert outcomes.count("internal") <= 1, outcomes
+
+        # reconverged: the dead backend's share now serves reliably
+        for _ in range(3):
+            res = run_request(port, "submit", "--coords", q["b0"])
+            assert res.returncode == 0, res.stderr
+
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            health = run_request(port, "health")
+            assert health.returncode == 0, health.stderr
+            payload = json.loads(health.stdout)
+            if payload["live"] == 1:
+                break
+            time.sleep(0.2)
+        assert payload["live"] == 1
+        assert payload["status"] == "degraded"
+
+        # clean SIGTERM drain: exit 0 despite the SIGKILLed child
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "drain complete" in out, out
+        assert "died during run" in out, out
+
+    def test_soak_bench_cli_writes_json(self, tmp_path):
+        out_path = tmp_path / "BENCH_cluster.json"
+        res = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "soak-bench",
+             "--servers", "2", "--users", "8", "--queries", "24",
+             "--think-time-ms", "40", "--n", "5", "--output",
+             str(out_path)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=cli_env(),
+            cwd=REPO,
+        )
+        assert res.returncode == 0, res.stdout + res.stderr
+        assert "sustained" in res.stdout
+        data = json.loads(out_path.read_text())
+        for field in (
+            "sustained_qps", "shed_rate", "p50_ms", "p95_ms", "p99_ms",
+            "per_backend", "verified",
+        ):
+            assert field in data, field
+        assert data["completed"] + data["shed"] + data["errors"] == 24
+        assert data["verified"] is True

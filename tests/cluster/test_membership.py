@@ -1,0 +1,228 @@
+"""ClusterMap routing and HealthMonitor liveness, with fake probes.
+
+The monitor is driven with injected clients and an injected clock, so
+ejection deadlines and rejoin behavior are tested deterministically —
+no sleeps, no real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.membership import (
+    BackendInfo,
+    ClusterMap,
+    HealthMonitor,
+    NoLiveBackendsError,
+)
+from repro.errors import ReproError
+from repro.net.errors import ConnectError
+from repro.service.signature import rendezvous_choice
+
+
+def make_map(n=3):
+    return ClusterMap(
+        [BackendInfo(f"b{k}", "127.0.0.1", 9000 + k) for k in range(n)]
+    )
+
+
+class TestClusterMap:
+    def test_requires_backends(self):
+        with pytest.raises(ValueError):
+            ClusterMap([])
+
+    def test_rejects_duplicate_ids(self):
+        b = BackendInfo("b0", "127.0.0.1", 9000)
+        with pytest.raises(ValueError):
+            ClusterMap([b, b])
+
+    def test_route_matches_rendezvous_over_live_set(self):
+        cluster = make_map()
+        key = b"0,0;1,1"
+        want = rendezvous_choice(key, ["b0", "b1", "b2"])
+        assert cluster.route(key).backend_id == want
+
+    def test_dead_backend_leaves_routing(self):
+        cluster = make_map()
+        key = b"some-key"
+        owner = cluster.route(key).backend_id
+        assert cluster.mark_dead(owner)
+        assert cluster.route(key).backend_id != owner
+        assert owner not in [b.backend_id for b in cluster.live()]
+
+    def test_unowned_keys_do_not_move_on_death(self):
+        cluster = make_map(4)
+        keys = [f"{i}".encode() for i in range(100)]
+        before = {k: cluster.route(k).backend_id for k in keys}
+        cluster.mark_dead("b2")
+        for k, owner in before.items():
+            if owner != "b2":
+                assert cluster.route(k).backend_id == owner
+
+    def test_rejoin_restores_the_exact_share(self):
+        cluster = make_map(4)
+        keys = [f"{i}".encode() for i in range(100)]
+        before = {k: cluster.route(k).backend_id for k in keys}
+        cluster.mark_dead("b2")
+        assert cluster.mark_alive("b2")
+        assert {k: cluster.route(k).backend_id for k in keys} == before
+
+    def test_exclude_skips_a_live_backend(self):
+        cluster = make_map()
+        key = b"k"
+        owner = cluster.route(key).backend_id
+        rerouted = cluster.route(key, exclude=(owner,)).backend_id
+        assert rerouted != owner
+
+    def test_all_dead_raises_typed_error(self):
+        cluster = make_map(2)
+        cluster.mark_dead("b0")
+        cluster.mark_dead("b1")
+        with pytest.raises(NoLiveBackendsError) as err:
+            cluster.route(b"k")
+        assert isinstance(err.value, ReproError)
+        assert "b0" in str(err.value)
+
+    def test_liveness_transitions_bump_version_once(self):
+        cluster = make_map()
+        v = cluster.version
+        assert cluster.mark_dead("b0")
+        assert cluster.version == v + 1
+        assert not cluster.mark_dead("b0")  # already dead: no-op
+        assert cluster.version == v + 1
+        assert cluster.mark_alive("b0")
+        assert not cluster.mark_alive("b0")
+        assert cluster.version == v + 2
+
+    def test_unknown_ids_are_noops(self):
+        cluster = make_map()
+        assert not cluster.mark_dead("nope")
+        assert not cluster.mark_alive("nope")
+        assert not cluster.is_live("nope")
+
+
+class FakeClient:
+    """Stands in for AsyncSchedulerClient: scripted health outcomes."""
+
+    def __init__(self):
+        self.healthy = True
+        self.probes = 0
+
+    async def request(self, op, params=None, *, deadline_ms=None):
+        assert op == "health"
+        self.probes += 1
+        if not self.healthy:
+            raise ConnectError("probe refused")
+        return {"status": "ok"}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_monitor(cluster, clients, clock, **overrides):
+    config = ClusterConfig(
+        probe_interval_ms=overrides.pop("probe_interval_ms", 10.0),
+        ejection_ms=overrides.pop("ejection_ms", 50.0),
+        **overrides,
+    )
+    return HealthMonitor(
+        cluster, clients, config, time_fn=clock,
+    )
+
+
+class TestHealthMonitor:
+    def run_probe(self, monitor, backend_id):
+        asyncio.run(monitor._probe(backend_id))
+
+    def test_one_missed_probe_does_not_eject(self):
+        cluster = make_map(1)
+        clients = {"b0": FakeClient()}
+        clock = FakeClock()
+        monitor = make_monitor(cluster, clients, clock)
+        monitor._last_ok["b0"] = clock.now
+        clients["b0"].healthy = False
+        clock.now += 0.010  # 10 ms < the 50 ms ejection deadline
+        self.run_probe(monitor, "b0")
+        assert cluster.is_live("b0")
+
+    def test_ejected_after_the_deadline(self):
+        cluster = make_map(1)
+        clients = {"b0": FakeClient()}
+        clock = FakeClock()
+        changes = []
+        monitor = make_monitor(cluster, clients, clock)
+        monitor._on_change = lambda bid, alive: changes.append((bid, alive))
+        monitor._last_ok["b0"] = clock.now
+        clients["b0"].healthy = False
+        clock.now += 0.060  # 60 ms > the 50 ms deadline
+        self.run_probe(monitor, "b0")
+        assert not cluster.is_live("b0")
+        assert changes == [("b0", False)]
+
+    def test_success_rejoins_and_renews_the_lease(self):
+        cluster = make_map(1)
+        clients = {"b0": FakeClient()}
+        clock = FakeClock()
+        changes = []
+        monitor = make_monitor(cluster, clients, clock)
+        monitor._on_change = lambda bid, alive: changes.append((bid, alive))
+        monitor._last_ok["b0"] = clock.now
+        clients["b0"].healthy = False
+        clock.now += 0.060
+        self.run_probe(monitor, "b0")
+        assert not cluster.is_live("b0")
+        clients["b0"].healthy = True
+        clock.now += 0.010
+        self.run_probe(monitor, "b0")
+        assert cluster.is_live("b0")
+        assert changes == [("b0", False), ("b0", True)]
+        # the lease was renewed: another quick miss must not re-eject
+        clients["b0"].healthy = False
+        clock.now += 0.010
+        self.run_probe(monitor, "b0")
+        assert cluster.is_live("b0")
+
+    def test_probe_without_a_client_is_a_noop(self):
+        cluster = make_map(1)
+        monitor = make_monitor(cluster, {}, FakeClock())
+        self.run_probe(monitor, "b0")
+        assert cluster.is_live("b0")
+
+    def test_start_seeds_a_fresh_lease_and_loop_probes(self):
+        async def scenario():
+            cluster = make_map(2)
+            clients = {"b0": FakeClient(), "b1": FakeClient()}
+            config = ClusterConfig(probe_interval_ms=5.0, ejection_ms=1000.0)
+            monitor = HealthMonitor(cluster, clients, config)
+            monitor.start()
+            try:
+                for _ in range(200):
+                    if monitor.rounds >= 2:
+                        break
+                    await asyncio.sleep(0.005)
+            finally:
+                await monitor.stop()
+            assert monitor.rounds >= 2
+            assert clients["b0"].probes >= 2
+            assert clients["b1"].probes >= 2
+            assert cluster.live() == cluster.backends
+
+        asyncio.run(scenario())
+
+    def test_stop_is_idempotent(self):
+        async def scenario():
+            cluster = make_map(1)
+            monitor = make_monitor(cluster, {"b0": FakeClient()}, FakeClock())
+            monitor.start()
+            await monitor.stop()
+            await monitor.stop()
+
+        asyncio.run(scenario())

@@ -15,13 +15,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.cluster.config import ClusterConfig
 from repro.net.server import ServerConfig
 from repro.online.config import OnlineConfig
 from repro.service.config import ServiceConfig
 
 API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
 
-CONFIGS = [ServiceConfig, OnlineConfig, ServerConfig]
+CONFIGS = [ServiceConfig, OnlineConfig, ServerConfig, ClusterConfig]
 
 
 @pytest.fixture(scope="module")

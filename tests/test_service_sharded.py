@@ -176,3 +176,87 @@ class TestMergedStats:
         merged = sh.stats()
         assert merged.queries == 0
         assert merged.p95_response_ms == 0.0
+
+
+class TestBroadcastSnapshotOrdering:
+    """Fleet-wide snapshot guarantees of mark_failed_all/mark_repaired_all."""
+
+    def test_unknown_disk_applies_nothing_anywhere(self):
+        # validation runs against every shard before any shard mutates:
+        # a bad id must not leave earlier shards half-applied
+        sh = make_sharded(3)
+        with pytest.raises(StorageConfigError):
+            sh.mark_failed_all([0, 999])
+        assert all(svc.failed_disks == frozenset() for svc in sh.services)
+
+    def test_racing_broadcasts_never_leave_shards_disagreeing(self):
+        import threading
+
+        sh = make_sharded(3)
+        start = threading.Barrier(2)
+        rounds = 200
+
+        def failer():
+            start.wait()
+            for _ in range(rounds):
+                sh.mark_failed_all([0])
+
+        def repairer():
+            start.wait()
+            for _ in range(rounds):
+                sh.mark_repaired_all([0])
+
+        threads = [
+            threading.Thread(target=failer),
+            threading.Thread(target=repairer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # whichever broadcast won the final race, it won on EVERY shard:
+        # the mutex serializes whole broadcasts, so shards cannot end up
+        # split between the two outcomes
+        states = {svc.failed_disks for svc in sh.services}
+        assert len(states) == 1, states
+
+    def test_broadcasts_racing_submits_quiesce_consistently(self):
+        import threading
+
+        sh = make_sharded(2)
+        stop = threading.Event()
+        errors = []
+
+        def submitter():
+            k = 0
+            while not stop.is_set():
+                try:
+                    sh.submit([(k % N, (k // N) % N), (0, 1)])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+                k += 1
+
+        def broadcaster():
+            for i in range(100):
+                if i % 2:
+                    sh.mark_repaired_all([0, 1])
+                else:
+                    sh.mark_failed_all([0, 1])
+            stop.set()
+
+        threads = [
+            threading.Thread(target=submitter),
+            threading.Thread(target=broadcaster),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        # the broadcaster's last word was a repair: after quiesce every
+        # shard agrees and every submitted query got a valid schedule
+        assert all(svc.failed_disks == frozenset() for svc in sh.services)
+        for svc in sh.services:
+            for rec in svc.history:
+                assert rec.response_time_ms > 0
