@@ -21,7 +21,13 @@ from repro.core import RetrievalNetwork
 from repro.core.api import get_solver
 from repro.maxflow import get_engine
 
-ENGINES = ["ford-fulkerson", "edmonds-karp", "dinic", "push-relabel"]
+ENGINES = [
+    "ford-fulkerson",
+    "edmonds-karp",
+    "dinic",
+    "push-relabel",
+    "csr-push-relabel",
+]
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -53,5 +59,34 @@ def test_raw_engine_on_retrieval_network(benchmark, engine):
 
     def run():
         return eng.solve(net.graph, net.source, net.sink, warm_start=False).value
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("engine", ["push-relabel", "csr-push-relabel"])
+def test_probe_sweep_engine(benchmark, engine):
+    """The integrated solver's probe microkernel: rescale + cold solve.
+
+    One iteration sweeps a deadline ladder over a fixed generalized
+    (Experiment-5) retrieval network, doing exactly what every binary
+    scaling probe does — ``set_deadline_capacities`` (the vectorized
+    stride-2 sweep) followed by a from-scratch max-flow solve — so both
+    the capacity-rescale cost and the per-probe kernel cost land in the
+    same number.
+    """
+    N = BENCH_NS[-1]
+    benchmark.group = f"ablation probe-sweep retrieval-network N={N}"
+    problem = make_batch(5, "orthogonal", "arbitrary", 2, N, n_queries=1, seed=13)[0]
+    net = RetrievalNetwork(problem)
+    d_max = problem.theoretical_max_deadline()
+    deadlines = [d_max * k / 8 for k in range(1, 9)]
+    eng = get_engine(engine)
+
+    def run():
+        total = 0
+        for d in deadlines:
+            net.set_deadline_capacities(d)
+            total += eng.solve(net.graph, net.source, net.sink, warm_start=False).value
+        return total
 
     benchmark(run)

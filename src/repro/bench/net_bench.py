@@ -39,6 +39,13 @@ from repro.bench.service_bench import (
     _quantile,
     make_workload,
 )
+from repro.core.api import solve
+from repro.core.problem import RetrievalProblem
+from repro.fleet.codec import (
+    SUPPORTED_PAYLOAD_VERSIONS,
+    encode_problem,
+    encode_schedule,
+)
 from repro.net.client import SchedulerClient
 from repro.net.run import BackgroundServer
 from repro.net.server import ServerConfig
@@ -86,6 +93,12 @@ class NetBenchResult:
     #: process-shipping overhead, not scaling)
     cpu_count: int = 0
     modes: dict = field(default_factory=dict)
+    #: pickled fleet-payload sizes per codec version for one sample
+    #: query of this workload: ``{"v1": {"problem": .., "schedule": ..}}``.
+    #: Documents what the process fleet actually ships — v2 trades
+    #: larger pickles (8-byte ``array('q')`` ints vs pickle's ~2-byte
+    #: small ints) for ~2x faster decode.
+    codec_bytes: dict = field(default_factory=dict)
 
     @property
     def overhead_p50_ms(self) -> float:
@@ -120,6 +133,36 @@ class NetBenchResult:
         if "fleet" in self.modes:
             out["speedup_fleet_vs_net"] = round(self.speedup_fleet_vs_net, 3)
         return out
+
+
+def _codec_footprint(
+    system, placement, coords, solver: str
+) -> dict[str, dict[str, int]]:
+    """Bytes-on-wire per codec version for one sample query.
+
+    Measures what :class:`~repro.fleet.SolveFleet` actually submits to a
+    worker: the pickled problem payload (request) and the pickled
+    schedule payload (reply), per supported payload version.
+    """
+    import pickle
+
+    problem = RetrievalProblem.from_query(system, placement, coords)
+    schedule = solve(problem, solver=solver)
+    out: dict[str, dict[str, int]] = {}
+    for version in SUPPORTED_PAYLOAD_VERSIONS:
+        out[f"v{version}"] = {
+            "problem": len(
+                pickle.dumps(
+                    encode_problem(problem, version=version), protocol=5
+                )
+            ),
+            "schedule": len(
+                pickle.dumps(
+                    encode_schedule(schedule, version=version), protocol=5
+                )
+            ),
+        }
+    return out
 
 
 def _check_wire_transparency(
@@ -274,6 +317,9 @@ def run_net_bench(
         workers=workers,
         cpu_count=cpu,
     )
+    result.codec_bytes = _codec_footprint(
+        *_build_deployment(n, seed), streams[0][0], solver
+    )
 
     def build_service() -> SchedulerService:
         return SchedulerService(
@@ -372,4 +418,10 @@ def format_net_bench(result: NetBenchResult) -> str:
             f"x{result.speedup_fleet_vs_net:.2f} vs net "
             f"(needs {result.workers} free cores for linear scaling)"
         )
+    if result.codec_bytes:
+        parts = [
+            f"{v} problem={sizes['problem']}B schedule={sizes['schedule']}B"
+            for v, sizes in sorted(result.codec_bytes.items())
+        ]
+        lines.append("fleet codec bytes on wire: " + ", ".join(parts))
     return "\n".join(lines)

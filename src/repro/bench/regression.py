@@ -1,19 +1,37 @@
-"""Regression comparison between two saved figure results.
+"""Regression comparison between two saved benchmark results.
 
-Benchmarks drift; this module diffs two JSON files produced by
-:mod:`repro.bench.persistence` (e.g. before/after an optimization, or two
-machines) series-by-series and flags deviations beyond a tolerance — the
-CI gate for "did this change slow a figure down".
+Benchmarks drift; this module diffs two JSON files series-by-series and
+flags deviations beyond a tolerance — the CI gate for "did this change
+slow a figure down".  Two on-disk formats are understood:
+
+* figure JSONs produced by :mod:`repro.bench.persistence`
+  (:func:`compare_figures`), matched panel/series/x-point-wise;
+* ``pytest-benchmark --benchmark-json`` dumps such as
+  ``BENCH_ablation_engines.json`` (:func:`compare_benchmark_json`),
+  matched by benchmark ``fullname`` on the ``stats.mean`` time.
+
+``repro bench-diff`` sniffs the format (a top-level ``benchmarks`` key
+marks the pytest-benchmark form) and applies the matching comparison;
+the CI bench-regression job runs it with ``--fail-on slower`` so only
+slowdowns — not speedups — beyond the tolerance break the build.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.figures import FigureResult
 from repro.errors import ReproError
 
-__all__ = ["SeriesDelta", "compare_figures", "format_deltas"]
+__all__ = [
+    "SeriesDelta",
+    "compare_benchmark_json",
+    "compare_figures",
+    "format_deltas",
+    "load_benchmark_json",
+]
 
 
 @dataclass(frozen=True)
@@ -35,6 +53,11 @@ class SeriesDelta:
     def exceeds(self, tolerance: float) -> bool:
         """True if the relative change is beyond ``tolerance`` (e.g. 0.25)."""
         return abs(self.ratio - 1.0) > tolerance
+
+    def slower(self, tolerance: float) -> bool:
+        """True only for a *slowdown* beyond ``tolerance`` (CI's gate —
+        a speedup, however large, is not a regression)."""
+        return self.ratio - 1.0 > tolerance
 
 
 def compare_figures(
@@ -69,17 +92,70 @@ def compare_figures(
     return deltas
 
 
+def load_benchmark_json(path: str | Path) -> dict:
+    """Load a raw benchmark JSON (either on-disk format) as a dict."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load results from {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReproError(f"{path}: benchmark JSON must be an object")
+    return data
+
+
+def compare_benchmark_json(before: dict, after: dict) -> list[SeriesDelta]:
+    """Pointwise mean-time deltas between two pytest-benchmark dumps.
+
+    Benchmarks are matched by ``fullname`` (stable across runs: file,
+    test name and parametrization); entries present on only one side are
+    skipped — a renamed benchmark is a review concern, not a perf
+    regression the gate can price.
+    """
+    for side, data in (("before", before), ("after", after)):
+        if not isinstance(data.get("benchmarks"), list):
+            raise ReproError(
+                f"{side}: not a pytest-benchmark JSON "
+                "(missing 'benchmarks' list)"
+            )
+    after_by_name = {b["fullname"]: b for b in after["benchmarks"]}
+    deltas: list[SeriesDelta] = []
+    for bench in before["benchmarks"]:
+        other = after_by_name.get(bench["fullname"])
+        if other is None:
+            continue
+        deltas.append(
+            SeriesDelta(
+                panel=bench.get("group") or "benchmarks",
+                series=bench["name"],
+                x="mean",
+                before=float(bench["stats"]["mean"]),
+                after=float(other["stats"]["mean"]),
+            )
+        )
+    return deltas
+
+
 def format_deltas(
-    deltas: list[SeriesDelta], *, tolerance: float = 0.25
+    deltas: list[SeriesDelta],
+    *,
+    tolerance: float = 0.25,
+    fail_on: str = "both",
 ) -> str:
-    """Human summary: flagged regressions first, then the aggregate."""
-    flagged = [d for d in deltas if d.exceeds(tolerance)]
+    """Human summary: flagged regressions first, then the aggregate.
+
+    ``fail_on="slower"`` flags slowdowns only (the CI gate's view);
+    ``"both"`` flags any move beyond the tolerance.
+    """
+    if fail_on == "slower":
+        flagged = [d for d in deltas if d.slower(tolerance)]
+        verb = f"slowed more than {tolerance:.0%}"
+    else:
+        flagged = [d for d in deltas if d.exceeds(tolerance)]
+        verb = f"moved more than {tolerance:.0%}"
     lines = []
     if flagged:
-        lines.append(
-            f"{len(flagged)}/{len(deltas)} points moved more than "
-            f"{tolerance:.0%}:"
-        )
+        lines.append(f"{len(flagged)}/{len(deltas)} points {verb}:")
         for d in sorted(flagged, key=lambda d: -abs(d.ratio - 1.0))[:20]:
             lines.append(
                 f"  {d.panel} / {d.series} @ {d.x}: "

@@ -114,12 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--seed", type=int, default=0)
 
     p_diff = sub.add_parser(
-        "bench-diff", help="compare two saved figure JSONs for regressions"
+        "bench-diff",
+        help="compare two saved benchmark JSONs (figure or "
+             "pytest-benchmark format) for regressions",
     )
     p_diff.add_argument("before", help="baseline results JSON")
     p_diff.add_argument("after", help="candidate results JSON")
     p_diff.add_argument("--tolerance", type=float, default=0.25,
                         help="relative change to flag (default 0.25)")
+    p_diff.add_argument("--fail-on", default="both",
+                        choices=("both", "slower"),
+                        help="flag any move, or slowdowns only (CI gate)")
 
     p_mat = sub.add_parser(
         "matrix", help="sweep the full experiment grid (Table IV x workloads)"
@@ -1093,13 +1098,27 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "show-allocation":
         return _cmd_show_allocation(args)
     if args.command == "bench-diff":
-        from repro.bench.persistence import load_figure
-        from repro.bench.regression import compare_figures, format_deltas
-
-        deltas = compare_figures(
-            load_figure(args.before), load_figure(args.after)
+        from repro.bench.persistence import figure_from_dict
+        from repro.bench.regression import (
+            compare_benchmark_json,
+            compare_figures,
+            format_deltas,
+            load_benchmark_json,
         )
-        print(format_deltas(deltas, tolerance=args.tolerance))
+
+        before = load_benchmark_json(args.before)
+        after = load_benchmark_json(args.after)
+        if "benchmarks" in before:  # pytest-benchmark dump
+            deltas = compare_benchmark_json(before, after)
+        else:
+            deltas = compare_figures(
+                figure_from_dict(before), figure_from_dict(after)
+            )
+        print(format_deltas(
+            deltas, tolerance=args.tolerance, fail_on=args.fail_on
+        ))
+        if args.fail_on == "slower":
+            return 1 if any(d.slower(args.tolerance) for d in deltas) else 0
         return 1 if any(d.exceeds(args.tolerance) for d in deltas) else 0
     if args.command == "matrix":
         from repro.bench.matrix import run_matrix

@@ -12,6 +12,7 @@ registry name           paper reference
 ``ff-binary``           integrated FF + binary scaling (ours)
 ``pr-incremental``      Algorithm 5 (integrated push–relabel)
 ``pr-binary``           Algorithm 6 (integrated PR + binary scaling)
+``pr-csr``              Algorithm 6 on the CSR flat-array kernel
 ``blackbox-binary``     [12]'s black-box binary scaling baseline
 ``parallel-binary``     Algorithm 6 with multithreaded push/relabel
 ``brute-force``         exhaustive oracle (tiny instances; tests)
@@ -42,6 +43,7 @@ from repro.core.degraded import (
 )
 from repro.core.explain import ScheduleExplanation, explain_schedule
 from repro.core.tiebreak import WorkOptimalResult, solve_min_work, total_work_ms
+from repro.core.binary_csr import CsrBinarySolver
 from repro.core.binary_ff import FordFulkersonBinarySolver
 from repro.core.binary_pr import PushRelabelBinarySolver
 from repro.core.blackbox import BlackBoxBinarySolver
@@ -65,6 +67,7 @@ __all__ = [
     "FordFulkersonIncrementalSolver",
     "PushRelabelIncrementalSolver",
     "PushRelabelBinarySolver",
+    "CsrBinarySolver",
     "BlackBoxBinarySolver",
     "ParallelBinarySolver",
     "BruteForceSolver",

@@ -14,6 +14,7 @@ import time
 from typing import TYPE_CHECKING, Protocol
 
 from repro.core.basic_ff import FordFulkersonBasicSolver
+from repro.core.binary_csr import CsrBinarySolver
 from repro.core.binary_ff import FordFulkersonBinarySolver
 from repro.core.binary_pr import PushRelabelBinarySolver
 from repro.core.blackbox import BlackBoxBinarySolver
@@ -49,6 +50,7 @@ SOLVERS = {
     "ff-binary": FordFulkersonBinarySolver,
     "pr-incremental": PushRelabelIncrementalSolver,
     "pr-binary": PushRelabelBinarySolver,
+    "pr-csr": CsrBinarySolver,
     "blackbox-binary": BlackBoxBinarySolver,
     "parallel-binary": ParallelBinarySolver,
     "brute-force": BruteForceSolver,

@@ -53,6 +53,18 @@ class RetrievalNetwork:
         for j in range(N):
             self.sink_arcs.append(g.add_arc(self.disk_vertex(j), self.sink, 0))
 
+        # The disk→sink arcs are appended last, so their forward slots
+        # form the arithmetic run base, base+2, ... (twins at the odd
+        # slots).  Capture that run as a strided slice — the vectorized
+        # per-probe rescale writes all N capacities in one extended-slice
+        # assignment.  Verified here rather than assumed, with a per-arc
+        # fallback kept for any future topology that breaks the run.
+        base = self.sink_arcs[0] if self.sink_arcs else 0
+        if self.sink_arcs == list(range(base, base + 2 * N, 2)):
+            self._sink_cap_slice: slice | None = slice(base, base + 2 * N, 2)
+        else:  # pragma: no cover - current construction always contiguous
+            self._sink_cap_slice = None
+
     @property
     def disk_in_degree(self) -> list[int]:
         """Per-disk replica multiplicity within this query (Algorithm 3's
@@ -166,18 +178,31 @@ class RetrievalNetwork:
 
     def set_uniform_sink_caps(self, cap: int) -> None:
         """Set every disk→sink capacity to ``cap`` (basic problem)."""
-        for a in self.sink_arcs:
-            self.graph.cap[a] = cap
+        sl = self._sink_cap_slice
+        if sl is not None:
+            self.graph.cap[sl] = [cap] * len(self.sink_arcs)
+        else:  # pragma: no cover - defensive fallback
+            for a in self.sink_arcs:
+                self.graph.cap[a] = cap
 
     def set_deadline_capacities(self, deadline_ms: float) -> None:
         """Capacities for candidate response time ``deadline_ms``
         (Algorithm 6 lines 14-15).
 
-        ``capacity_at`` is the single float→int boundary of the stack:
-        it maps the float deadline to an exact integer bucket count."""
-        sys_ = self.problem.system
-        for j, a in enumerate(self.sink_arcs):
-            self.graph.cap[a] = sys_.capacity_at(j, deadline_ms)
+        ``capacities_at`` is the single float→int boundary of the stack:
+        it maps the float deadline to exact integer bucket counts, and
+        the whole vector lands in one strided slice assignment (the
+        disk→sink forward slots are an arithmetic run by construction)
+        instead of a per-disk Python loop — this runs inside *every*
+        feasibility probe of the scaling skeleton."""
+        caps = self.problem.system.capacities_at(deadline_ms)
+        sl = self._sink_cap_slice
+        if sl is not None:
+            self.graph.cap[sl] = caps
+        else:  # pragma: no cover - defensive fallback
+            g_cap = self.graph.cap
+            for a, c in zip(self.sink_arcs, caps):
+                g_cap[a] = c
 
     def increment_all_sink_caps(self) -> None:
         """Raise every disk→sink capacity by one (Algorithm 1 lines 6-7)."""

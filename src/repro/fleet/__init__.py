@@ -4,8 +4,9 @@ The paper's parallel push–relabel claims (Figure 10) assume threads that
 actually run concurrently; CPython's are serialized by the GIL.  This
 package is the reproduction's escape hatch, with three layers:
 
-* :mod:`repro.fleet.codec` — problems and schedules as exact JSON-safe
-  payloads that cross process boundaries without drift;
+* :mod:`repro.fleet.codec` — problems and schedules as exact payloads
+  that cross process boundaries without drift: JSON-safe dicts (v1)
+  or flat ``array('q')``-bytes columns (v2), negotiated per worker;
 * :mod:`repro.fleet.pool` — :class:`SolveFleet`, signature-affine lanes
   of worker processes with warm per-worker caches and crash recovery;
 * :mod:`repro.fleet.backends` — the ``thread``/``process`` backend
@@ -25,6 +26,9 @@ from repro.fleet.backends import (
     resolve_backend_name,
 )
 from repro.fleet.codec import (
+    FLAT_PAYLOAD_VERSION,
+    PAYLOAD_VERSION,
+    SUPPORTED_PAYLOAD_VERSIONS,
     CodecError,
     decode_problem,
     decode_schedule,
@@ -40,6 +44,9 @@ __all__ = [
     "BACKENDS",
     "SOLVE_BACKEND_ENV",
     "CodecError",
+    "FLAT_PAYLOAD_VERSION",
+    "PAYLOAD_VERSION",
+    "SUPPORTED_PAYLOAD_VERSIONS",
     "ProcessSolveBackend",
     "SolveBackend",
     "SolveFleet",

@@ -1,0 +1,253 @@
+"""Frozen CSR (compressed sparse row) layout of a :class:`FlowNetwork`.
+
+The builder (:class:`~repro.graph.flownetwork.FlowNetwork`) stays the
+mutable construction surface — parallel Python lists, list-of-lists
+adjacency — and this module is what :meth:`FlowNetwork.compile` freezes
+it into: one :class:`CompiledNetwork` of parallel **int64**
+``array('q')`` buffers
+
+* ``head[a]``, ``cap[a]``, ``flow[a]``, ``twin[a]``, ``tail[a]`` —
+  indexed by *arc slot id*, identical to the builder's arc ids (so
+  ``twin[a] == a ^ 1`` by the paired layout, stored explicitly because
+  the wire format should not require readers to know that convention);
+* ``first`` (length ``n + 1``) and ``adj`` (length ``num_arc_slots``) —
+  the CSR ranges: the arc slots leaving vertex ``v`` are
+  ``adj[first[v] : first[v + 1]]``, in the builder's per-vertex order.
+
+Because slot ids are preserved, a compiled network and its builder agree
+arc-by-arc: ``flow`` snapshots, codec payloads and cache entries move
+between the two representations with whole-buffer slice assignments —
+C-speed ``memcpy``-style operations that also enforce the int64 range
+(``array('q')`` raises ``OverflowError`` for anything outside
+``[-2**63, 2**63 - 1]``, which :meth:`CompiledNetwork.pull` converts to
+:class:`~repro.errors.InvalidArcError` — the same loud-rejection stance
+as the ``_exact_int`` gate).
+
+Where each representation wins (measured; see docs/ALGORITHMS.md,
+"Memory layout"):
+
+* **whole-buffer traffic** — save/restore/reset, codec serialization,
+  cache snapshots — is ~40x cheaper on ``array('q')`` slices than on
+  per-element Python loops, and ``tobytes()``/``frombytes()`` give the
+  fleet codec a zero-copy wire form;
+* **scalar hot loops** — the push–relabel discharge loop — index plain
+  lists ~1.6x faster than ``array('q')`` in CPython (every array read
+  boxes a fresh int).  The compiled topology therefore also carries
+  cached *list mirrors* (:attr:`head_list`, :attr:`first_list`,
+  :attr:`adj_list`), built once per compile; the CSR engine binds those
+  in its inner loop while the interchange buffers stay canonical.
+
+The topology (``head``/``twin``/``tail``/``first``/``adj``) is frozen at
+compile time and memoized on the builder; ``cap``/``flow`` are *values*
+that engines refresh from the builder with :meth:`pull` and write back
+with :meth:`flush`, keeping the builder the single source of truth that
+the scaling skeleton's StoreFlows/RestoreFlows discipline mutates.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING
+
+from repro import invariants
+from repro.errors import InvalidArcError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.flownetwork import FlowNetwork
+
+__all__ = ["CompiledNetwork"]
+
+#: the array typecode of every compiled buffer — signed 64-bit
+TYPECODE = "q"
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+def _as_int64_array(values: list[int], what: str) -> array:
+    """``array('q', values)`` with a loud, exact range error."""
+    try:
+        return array(TYPECODE, values)
+    except OverflowError as exc:
+        raise InvalidArcError(
+            f"{what} outside int64 range [{INT64_MIN}, {INT64_MAX}]: "
+            f"cannot compile to a flat buffer"
+        ) from exc
+    except TypeError as exc:  # non-int slipped past the _exact_int gate
+        raise InvalidArcError(f"{what} must be integers: {exc}") from exc
+
+
+class CompiledNetwork:
+    """Flat int64 buffers of one :class:`FlowNetwork`, plus kernel scratch.
+
+    Build through :meth:`FlowNetwork.compile` (fresh) or
+    :meth:`FlowNetwork.compiled` (memoized per topology); the constructor
+    takes the builder directly.
+
+    Attributes
+    ----------
+    n, num_arc_slots:
+        Vertex count and arc-slot count (``2 *`` original arcs).
+    head, cap, flow, twin, tail:
+        ``array('q')`` indexed by arc slot id (= builder arc id).
+    first, adj:
+        CSR adjacency: arcs leaving ``v`` are
+        ``adj[first[v] : first[v + 1]]``.
+    head_list, first_list, adj_list:
+        Immutable-by-convention list mirrors of the topology for scalar
+        hot loops (lists out-index arrays in CPython; see module
+        docstring).  Never reassigned after compile.
+    kernel_scratch:
+        A plain dict engines may use to persist per-``(source, sink)``
+        working state (height/excess buffers, queues) across probes —
+        the amortization that makes repeated probes on one compiled
+        topology cheap.
+    """
+
+    __slots__ = (
+        "n",
+        "num_arc_slots",
+        "head",
+        "cap",
+        "flow",
+        "twin",
+        "tail",
+        "first",
+        "adj",
+        "head_list",
+        "first_list",
+        "adj_list",
+        "kernel_scratch",
+        "_zero_flow",
+    )
+
+    def __init__(self, g: "FlowNetwork") -> None:
+        n = g.n
+        m = len(g.head)
+        self.n = n
+        self.num_arc_slots = m
+        self.head = _as_int64_array(g.head, "arc heads")
+        self.cap = _as_int64_array(g.cap, "arc capacities")
+        self.flow = _as_int64_array(g.flow, "arc flows")
+        self.twin = array(TYPECODE, (a ^ 1 for a in range(m)))
+        self.tail = _as_int64_array(g._tail, "arc tails")
+
+        first = array(TYPECODE, bytes(8 * (n + 1)))
+        flat: list[int] = []
+        pos = 0
+        for v in range(n):
+            first[v] = pos
+            arcs = g.adj[v]
+            flat.extend(arcs)
+            pos += len(arcs)
+        first[n] = pos
+        if pos != m:  # pragma: no cover - structural corruption guard
+            raise InvalidArcError(
+                f"adjacency covers {pos} arc slots, network has {m}"
+            )
+        self.adj = array(TYPECODE, flat)
+        self.first = first
+
+        self.head_list = list(g.head)
+        self.first_list = first.tolist()
+        self.adj_list = flat
+        self.kernel_scratch: dict = {}
+        self._zero_flow = array(TYPECODE, bytes(8 * m))
+
+    # ------------------------------------------------------------------
+    # builder <-> compiled value sync
+    # ------------------------------------------------------------------
+    def pull(self, g: "FlowNetwork") -> None:
+        """Refresh ``cap``/``flow`` from the builder's current values.
+
+        Whole-buffer slice assignment; validates the int64 range.  The
+        topology must be unchanged (arc count is checked; vertex/arc
+        additions invalidate the builder's memoized compile anyway).
+        """
+        if len(g.head) != self.num_arc_slots:
+            raise InvalidArcError(
+                f"cannot pull: builder has {len(g.head)} arc slots, "
+                f"compiled layout has {self.num_arc_slots}"
+            )
+        self.cap[:] = _as_int64_array(g.cap, "arc capacities")
+        self.flow[:] = _as_int64_array(g.flow, "arc flows")
+
+    def flush(self, g: "FlowNetwork") -> None:
+        """Write ``flow`` back into the builder's list (never rebinds)."""
+        if len(g.flow) != self.num_arc_slots:
+            raise InvalidArcError(
+                f"cannot flush: builder has {len(g.flow)} arc slots, "
+                f"compiled layout has {self.num_arc_slots}"
+            )
+        g.flow[:] = self.flow.tolist()
+
+    # ------------------------------------------------------------------
+    # flow snapshots — Algorithm 6's StoreFlows / RestoreFlows, flat
+    # ------------------------------------------------------------------
+    def save_flow(self) -> array:
+        """Snapshot the flow buffer (one C-level copy)."""
+        return array(TYPECODE, self.flow)
+
+    def restore_flow(self, saved) -> None:
+        """Restore a :meth:`save_flow` snapshot in place (never rebinds).
+
+        Accepts any int64-rangeable sequence (``array('q')`` snapshots
+        or the builder's plain-list snapshots alike).
+        """
+        if len(saved) != self.num_arc_slots:
+            raise InvalidArcError(
+                f"snapshot has {len(saved)} slots, compiled network has "
+                f"{self.num_arc_slots}"
+            )
+        if isinstance(saved, array) and saved.typecode == TYPECODE:
+            self.flow[:] = saved
+        else:
+            self.flow[:] = _as_int64_array(list(saved), "flow snapshot")
+        if invariants.ENABLED:
+            invariants.check_antisymmetry(self, "CompiledNetwork.restore_flow")
+
+    def reset_flow(self) -> None:
+        """Zero the flow buffer with one whole-buffer slice write."""
+        self.flow[:] = self._zero_flow
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def out_slots(self, v: int) -> array:
+        """Arc slot ids leaving ``v`` (forward and residual alike)."""
+        if not 0 <= v < self.n:
+            raise InvalidArcError(f"vertex {v} out of range [0, {self.n})")
+        return self.adj[self.first[v] : self.first[v + 1]]
+
+    def sink_arc_ids(self, t: int) -> array:
+        """Forward arc slots entering ``t``, in ascending slot order.
+
+        For a retrieval network this is exactly the disk→sink capacity
+        row the per-probe rescale rewrites; because those arcs are
+        appended last by :class:`~repro.core.network.RetrievalNetwork`,
+        the returned slots form the arithmetic run ``base, base+2, ...``
+        that ``set_deadline_capacities`` covers with one strided slice.
+        """
+        if not 0 <= t < self.n:
+            raise InvalidArcError(f"vertex {t} out of range [0, {self.n})")
+        head = self.head_list
+        return array(
+            TYPECODE,
+            (a for a in range(0, self.num_arc_slots, 2) if head[a] == t),
+        )
+
+    def buffers(self) -> tuple[array, array, array, array, array, array]:
+        """Raw ``(head, cap, flow, twin, first, adj)`` buffers.
+
+        The flat-layout analogue of :meth:`FlowNetwork.arrays`: mutating
+        the returned buffers mutates the compiled network.  The
+        ``flow-encapsulation`` lint rule tracks locals bound from this
+        call the same way it tracks ``arrays()`` locals — element stores
+        outside the kernel owner files are findings.
+        """
+        return self.head, self.cap, self.flow, self.twin, self.first, self.adj
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledNetwork(n={self.n}, arc_slots={self.num_arc_slots})"
+        )

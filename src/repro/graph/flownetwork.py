@@ -18,13 +18,22 @@ every serious max-flow implementation converges on:
   arcs alike — a residual arc leaves the head of its twin).  Engines iterate
   ``adj[v]`` and skip arcs with zero residual capacity.
 
-Plain Python lists are deliberate: the max-flow hot loops are scalar and
-branchy, where list indexing beats NumPy fancy-indexing by a wide margin
-(see the HPC guide's "profile, don't guess" rule — we did, in
-``benchmarks/bench_ablation_engines.py``).  Bulk operations that *are*
-vector-shaped (capacity re-scaling of the disk→sink arcs in
-:mod:`repro.core.network`) use NumPy on views exported by
-:meth:`FlowNetwork.arrays`.
+Plain Python lists are the *construction* representation, and they are
+still what the scalar hot loops index: list reads beat both NumPy
+fancy-indexing and ``array('q')`` element access in CPython (~1.6x for
+the latter — every array read boxes a fresh int; see the HPC guide's
+"profile, don't guess" rule — we did, in
+``benchmarks/bench_ablation_engines.py``).  The crossover is
+*whole-buffer* work: save/restore/reset snapshots, codec payloads and
+the per-probe sink-capacity sweep are slice-shaped, and there flat
+int64 buffers win by an order of magnitude.  :meth:`FlowNetwork.compile`
+freezes a finished topology into that form — a
+:class:`~repro.graph.csr.CompiledNetwork` of parallel ``array('q')``
+buffers with CSR arc ranges — which the ``csr-push-relabel`` engine,
+the service cache and the fleet codec all share.  Bulk operations that
+stay on the builder (capacity re-scaling of the disk→sink arcs in
+:mod:`repro.core.network`) use extended-slice assignment on the lists
+exported by :meth:`FlowNetwork.arrays`, which is likewise C-speed.
 
 Capacities and flows are **Python ints, exactly** — the integer kernel
 contract (see ``docs/ALGORITHMS.md``).  The paper's networks are purely
@@ -110,7 +119,10 @@ class FlowNetwork:
     index.  :meth:`add_arc` returns the forward arc id.
     """
 
-    __slots__ = ("n", "head", "cap", "flow", "adj", "_tail", "_in_deg")
+    __slots__ = (
+        "n", "head", "cap", "flow", "adj", "_tail", "_in_deg", "_fwd",
+        "_compiled",
+    )
 
     def __init__(self, n: int = 0) -> None:
         if n < 0:
@@ -124,6 +136,11 @@ class FlowNetwork:
         #: per-vertex count of original arcs entering the vertex,
         #: maintained by add_arc so in_degree() is O(1)
         self._in_deg: list[int] = [0] * n
+        #: per-vertex forward (even) arc ids, maintained by add_arc so
+        #: forward_out_arcs() is allocation-free
+        self._fwd: list[list[int]] = [[] for _ in range(n)]
+        #: memoized CompiledNetwork; invalidated by topology mutation
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # construction
@@ -132,6 +149,8 @@ class FlowNetwork:
         """Append a new vertex and return its id."""
         self.adj.append([])
         self._in_deg.append(0)
+        self._fwd.append([])
+        self._compiled = None
         self.n += 1
         return self.n - 1
 
@@ -159,6 +178,7 @@ class FlowNetwork:
         self.flow.append(0)
         self._tail.append(u)
         self.adj[u].append(a)
+        self._fwd[u].append(a)
 
         self.head.append(u)
         self.cap.append(0)
@@ -166,6 +186,7 @@ class FlowNetwork:
         self._tail.append(v)
         self.adj[v].append(a + 1)
         self._in_deg[v] += 1
+        self._compiled = None
         return a
 
     # ------------------------------------------------------------------
@@ -208,9 +229,14 @@ class FlowNetwork:
         return self.adj[v]
 
     def forward_out_arcs(self, v: int) -> list[int]:
-        """Only the *original* arcs leaving ``v`` (even ids)."""
+        """Only the *original* arcs leaving ``v`` (even ids).
+
+        Non-allocating fast path: returns the live per-vertex list that
+        :meth:`add_arc` maintains, not a fresh filtered copy — treat it
+        as read-only (mutating it would corrupt the adjacency).
+        """
         self._check_vertex(v)
-        return [a for a in self.adj[v] if a % 2 == 0]
+        return self._fwd[v]
 
     def in_degree(self, v: int) -> int:
         """Number of original arcs entering ``v`` — O(1).
@@ -258,11 +284,11 @@ class FlowNetwork:
         """Zero every flow value — the 'black box starts from scratch' case.
 
         Mutates in place (never rebinds) so views handed out by
-        :meth:`arrays` stay valid across resets.
+        :meth:`arrays` stay valid across resets.  Whole-buffer slice
+        assignment — one C-level write instead of a Python loop.
         """
         flow = self.flow
-        for i in range(len(flow)):
-            flow[i] = 0
+        flow[:] = [0] * len(flow)
 
     def save_flow(self) -> list[int]:
         """Snapshot the flow assignment (Algorithm 6's ``StoreFlows``)."""
@@ -295,6 +321,8 @@ class FlowNetwork:
         g._tail = list(self._tail)
         g.adj = [list(lst) for lst in self.adj]
         g._in_deg = list(self._in_deg)
+        g._fwd = [list(lst) for lst in self._fwd]
+        g._compiled = None  # compiled layouts are never shared
         return g
 
     def vertices(self) -> range:
@@ -325,6 +353,39 @@ class FlowNetwork:
         mutates the network (that is the point).
         """
         return self.head, self.cap, self.flow, self.adj
+
+    # ------------------------------------------------------------------
+    # compiled (CSR flat-array) layout
+    # ------------------------------------------------------------------
+    def compile(self):
+        """Freeze the current topology into a fresh flat int64 layout.
+
+        One-shot pass producing a
+        :class:`~repro.graph.csr.CompiledNetwork`: parallel ``array('q')``
+        buffers (``head``/``cap``/``flow``/``twin``) plus vertex-sorted
+        CSR arc ranges.  Construction stays on this mutable builder;
+        engines run on the frozen layout.  Raises
+        :class:`InvalidArcError` if any capacity or flow is outside the
+        int64 range.
+        """
+        from repro.graph.csr import CompiledNetwork
+
+        return CompiledNetwork(self)
+
+    def compiled(self):
+        """The memoized compiled layout of the current topology.
+
+        Rebuilt after any :meth:`add_vertex`/:meth:`add_arc` (topology
+        mutations invalidate the memo).  Value mutations — capacities,
+        flows — do **not** invalidate it: the frozen topology stays
+        correct and callers refresh the value buffers with
+        :meth:`~repro.graph.csr.CompiledNetwork.pull`.
+        """
+        c = self._compiled
+        if c is None:
+            c = self.compile()
+            self._compiled = c
+        return c
 
 
 def build_network(

@@ -7,6 +7,9 @@ element-wise can silently break both, so direct writes are confined to
 the two files that own the representation:
 
 * ``graph/flownetwork.py`` — the structure itself;
+* ``graph/csr.py`` — the compiled flat-array mirror of that structure
+  (``CompiledNetwork`` save/restore/reset write the builder's arrays
+  wholesale when syncing the two representations);
 * ``core/network.py`` — the retrieval-specific capacity scaling
   (Algorithm 6 lines 14-15) and flow clamping.
 
@@ -38,7 +41,7 @@ from repro.lint.findings import Finding
 __all__ = ["FlowEncapsulationRule"]
 
 #: files allowed to write the parallel arrays directly
-ALLOWED_SUFFIXES = ("graph/flownetwork.py", "core/network.py")
+ALLOWED_SUFFIXES = ("graph/flownetwork.py", "graph/csr.py", "core/network.py")
 
 _FIELDS = frozenset({"flow", "cap"})
 
@@ -60,7 +63,7 @@ class FlowEncapsulationRule(Rule):
     name = "flow-encapsulation"
     description = (
         "direct writes to .flow[...]/.cap[...] are confined to "
-        "graph/flownetwork.py and core/network.py"
+        "graph/flownetwork.py, graph/csr.py and core/network.py"
     )
 
     def applies_to(self, path: str) -> bool:

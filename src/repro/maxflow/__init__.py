@@ -13,6 +13,10 @@ in §II-B:
 * :mod:`repro.maxflow.push_relabel` — FIFO push–relabel with exact-height
   (global relabeling) and gap heuristics (Goldberg & Tarjan [29],
   Cherkassky & Goldberg [19]); the engine inside Algorithms 4–6.
+* :mod:`repro.maxflow.csr_push_relabel` — the same FIFO push–relabel on
+  the compiled CSR flat-array layout (:meth:`FlowNetwork.compile`), with
+  per-topology scratch reuse; produces arc-identical flows to
+  ``push-relabel`` and is the engine behind the ``pr-csr`` solver.
 * :mod:`repro.maxflow.parallel_push_relabel` — asynchronous multithreaded
   push–relabel in the style of Hong & He [31].
 
@@ -22,6 +26,11 @@ flow), which is the property the paper's "integrated" algorithms exploit.
 
 from repro.maxflow.base import MaxFlowEngine, MaxFlowResult
 from repro.maxflow.capacity_scaling import CapacityScalingEngine, capacity_scaling_ff
+from repro.maxflow.csr_push_relabel import (
+    CsrPushRelabelEngine,
+    CsrPushRelabelState,
+    csr_push_relabel,
+)
 from repro.maxflow.dinic import DinicEngine, dinic
 from repro.maxflow.edmonds_karp import EdmondsKarpEngine, edmonds_karp
 from repro.maxflow.ford_fulkerson import (
@@ -50,6 +59,7 @@ ENGINES = {
     "dinic": DinicEngine,
     "mpm": MpmEngine,
     "push-relabel": PushRelabelEngine,
+    "csr-push-relabel": CsrPushRelabelEngine,
     "highest-label": HighestLabelEngine,
     "relabel-to-front": RelabelToFrontEngine,
     "parallel-push-relabel": ParallelPushRelabelEngine,
@@ -90,6 +100,9 @@ __all__ = [
     "PushRelabelEngine",
     "PushRelabelState",
     "push_relabel",
+    "CsrPushRelabelEngine",
+    "CsrPushRelabelState",
+    "csr_push_relabel",
     "ParallelPushRelabelEngine",
     "ParallelStats",
     "parallel_push_relabel",

@@ -10,6 +10,16 @@ entirely and start each probe from a conserved, clamped preflow — the
 same flow-conservation idea Algorithm 6 applies *within* a solve,
 extended *across* solves.
 
+Since the CSR refactor the entry implicitly carries a third asset: the
+network's **compiled flat-array layout**.  ``graph.compiled()`` memoizes
+the :class:`~repro.graph.csr.CompiledNetwork` on the builder, and
+neither :meth:`~repro.core.network.RetrievalNetwork.rebind` nor
+:meth:`~repro.core.network.RetrievalNetwork.clamp_flow_to_sink_caps`
+touches topology — so a cache hit under the ``pr-csr`` solver reuses the
+same compiled buffers *and* its ``kernel_scratch`` (height/excess/queue
+working state keyed per source/sink), skipping compilation and scratch
+allocation along with topology construction.
+
 The cache is deliberately not thread-safe on its own: the scheduler
 service mutates cached networks while solving, so every access happens
 under the service's solve lock anyway.
@@ -17,8 +27,10 @@ under the service's solve lock anyway.
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.network import RetrievalNetwork
 from repro.obs.registry import MetricsRegistry
@@ -27,13 +39,24 @@ __all__ = ["CacheEntry", "NetworkCache"]
 
 Signature = tuple[tuple[int, ...], ...]
 
+#: a saved flow: the builder's plain-list snapshot or a compiled
+#: ``array('q')`` snapshot — ``restore_flow`` on either representation
+#: accepts both
+FlowSnapshot = Sequence[int]
+
 
 @dataclass
 class CacheEntry:
-    """One cached topology and the flow it last carried."""
+    """One cached topology and the flow it last carried.
+
+    ``flow`` holds either representation's snapshot —
+    ``FlowNetwork.save_flow``'s plain list or
+    ``CompiledNetwork.save_flow``'s ``array('q')`` (compact: 8 bytes per
+    arc slot, no boxed ints); both restore into both.
+    """
 
     network: RetrievalNetwork
-    flow: list[int] | None = None
+    flow: list[int] | array | None = None
     hits: int = 0
 
     extra: dict = field(default_factory=dict)
@@ -115,7 +138,7 @@ class NetworkCache:
         self,
         signature: Signature,
         network: RetrievalNetwork,
-        flow: list[int] | None,
+        flow: list[int] | array | None,
     ) -> None:
         """Insert or refresh an entry; evicts the LRU tail on overflow."""
         if self.size == 0:

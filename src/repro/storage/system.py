@@ -202,6 +202,40 @@ class StorageSystem:
             k -= 1
         return k
 
+    def capacities_at(self, deadline_ms: float) -> list[int]:
+        """All disks' :meth:`capacity_at` in one pass.
+
+        The batch form of the per-probe rescale: one call produces the
+        full disk→sink capacity vector that
+        :meth:`~repro.core.network.RetrievalNetwork.set_deadline_capacities`
+        writes with a single strided slice assignment.  Bit-identical to
+        ``[capacity_at(j, t) for j in range(num_disks)]`` — the
+        arithmetic below repeats :meth:`capacity_at` and
+        :meth:`finish_time` expression-for-expression so float evaluation
+        order (and therefore the exact-inverse guarantee) is unchanged —
+        but without the per-disk bounds checks and method dispatch.
+        """
+        sites = self.sites
+        site_of = self._site_of
+        out: list[int] = []
+        for j, d in enumerate(self._disks):
+            delay = sites[site_of[j]].delay_ms
+            load = d.initial_load_ms
+            budget = deadline_ms - delay - load
+            if budget <= 0:
+                out.append(0)
+                continue
+            c = d.block_time_ms
+            k = int(budget // c)
+            # same O(1) fixups as capacity_at, against the same
+            # finish_time expression (delay + load + k * c)
+            while delay + load + (k + 1) * c <= deadline_ms:
+                k += 1
+            while k > 0 and delay + load + k * c > deadline_ms:
+                k -= 1
+            out.append(k)
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"StorageSystem({self.num_sites} sites, {self.num_disks} disks)"

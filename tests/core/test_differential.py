@@ -23,6 +23,7 @@ OPTIMAL_SOLVERS = [
     "ff-binary",
     "ff-incremental",
     "pr-binary",
+    "pr-csr",
     "pr-incremental",
     "blackbox-binary",
     "parallel-binary",

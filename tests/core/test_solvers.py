@@ -173,6 +173,7 @@ class TestStatsAndApi:
             "ff-binary",
             "pr-incremental",
             "pr-binary",
+            "pr-csr",
             "blackbox-binary",
             "parallel-binary",
             "brute-force",

@@ -27,7 +27,7 @@ from repro.fleet import (
     problem_from_json,
     problem_to_json,
 )
-from repro.fleet.codec import PAYLOAD_VERSION
+from repro.fleet.codec import FLAT_PAYLOAD_VERSION, PAYLOAD_VERSION
 from repro.storage import StorageSystem
 
 from tests.property.test_differential_fuzz import random_generalized
@@ -130,7 +130,7 @@ class TestProblemAdversarial:
 
     def test_wrong_version_rejected(self):
         payload = encode_problem(small_problem())
-        payload["version"] = PAYLOAD_VERSION + 1
+        payload["version"] = 99
         with pytest.raises(CodecError, match="version"):
             decode_problem(payload)
 
@@ -182,7 +182,7 @@ class TestScheduleRoundTrip:
         # part of the payload contract, so it cannot be silently dropped
         problem = small_problem()
         payload = encode_schedule(solve(problem, solver="pr-binary"))
-        payload["version"] = PAYLOAD_VERSION + 1
+        payload["version"] = 99
         with pytest.raises(CodecError, match="version"):
             decode_schedule(payload, problem)
 
@@ -213,3 +213,152 @@ class TestScheduleRoundTrip:
         payload = encode_schedule(solve(problem, solver="pr-binary"))
         assert not math.isnan(payload["response_time_ms"])
         assert type(payload["response_time_ms"]) is float
+
+
+class TestFlatPayloadRoundTrip:
+    """The v2 flat-array wire form: same exactness, columnar layout."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_problems_reconstruct_exactly(self, seed):
+        rng = np.random.default_rng(0xF1A7 + seed)
+        problem = random_generalized(rng)
+        payload = encode_problem(problem, version=FLAT_PAYLOAD_VERSION)
+        assert payload["version"] == FLAT_PAYLOAD_VERSION
+        back = decode_problem(payload)
+
+        assert back.replicas == problem.replicas
+        assert back.labels == problem.labels
+        a, b = problem.system, back.system
+        assert b.num_disks == a.num_disks
+        for j in range(a.num_disks):
+            # array('d') stores IEEE doubles verbatim, so the same
+            # bit-for-bit contract as v1 holds with zero JSON hops
+            for k in (1, 2, 5):
+                assert b.finish_time(j, k) == a.finish_time(j, k)
+            assert b.disk(j).initial_load_ms == a.disk(j).initial_load_ms
+            assert b.disk(j).spec == a.disk(j).spec
+
+    def test_numeric_columns_are_bytes(self):
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        for key in ("site_ids", "site_delay_ms", "site_disk_counts",
+                    "disk_ids", "disk_spec_idx", "disk_initial_load_ms",
+                    "replica_flat", "replica_offsets"):
+            assert isinstance(payload[key], bytes), key
+
+    def test_disk_specs_are_deduplicated(self):
+        problem = small_problem()
+        payload = encode_problem(problem, version=FLAT_PAYLOAD_VERSION)
+        unique = {
+            (d.spec.name, d.spec.producer, d.spec.model, d.spec.kind,
+             d.spec.rpm, d.spec.block_time_ms)
+            for site in problem.system.sites for d in site.disks
+        }
+        assert len(payload["disk_specs"]) == len(unique)
+
+    def test_label_tuples_survive(self):
+        problem = small_problem()
+        labeled = RetrievalProblem(
+            problem.system,
+            problem.replicas,
+            labels=((0, 0), (1, 2), ("row", 3)),
+        )
+        back = decode_problem(
+            encode_problem(labeled, version=FLAT_PAYLOAD_VERSION)
+        )
+        assert back.labels == labeled.labels
+        assert all(type(x) is tuple for x in back.labels)
+
+    def test_schedule_reconstructs_exactly(self):
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule, version=FLAT_PAYLOAD_VERSION)
+        assert payload["version"] == FLAT_PAYLOAD_VERSION
+        assert isinstance(payload["assignment_flat"], bytes)
+        back = decode_schedule(payload, problem)
+        assert back.response_time_ms == schedule.response_time_ms
+        assert back.assignment == schedule.assignment
+        assert back.solver == schedule.solver
+        for name in ("probes", "increments", "pushes", "relabels",
+                     "augmentations"):
+            assert getattr(back.stats, name) == getattr(schedule.stats, name)
+
+    def test_huge_stats_counters_survive_v2(self):
+        # stats stay a plain dict in v2 precisely because counters may
+        # exceed int64 — packing them into array('q') would overflow
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule, version=FLAT_PAYLOAD_VERSION)
+        payload["stats"]["pushes"] = 2**63 + 1
+        back = decode_schedule(payload, problem)
+        assert back.stats.pushes == 2**63 + 1
+
+    def test_unsupported_version_argument_rejected(self):
+        with pytest.raises(CodecError, match="version"):
+            encode_problem(small_problem(), version=99)
+        schedule = solve(small_problem(), solver="pr-binary")
+        with pytest.raises(CodecError, match="version"):
+            encode_schedule(schedule, version=99)
+
+
+class TestFlatPayloadAdversarial:
+    def test_truncated_column_rejected(self):
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        payload["disk_ids"] = payload["disk_ids"][:-8]
+        with pytest.raises(CodecError, match="disk_ids"):
+            decode_problem(payload)
+
+    def test_misaligned_column_rejected(self):
+        # a byte count not divisible by 8 cannot be an array('q')
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        payload["site_ids"] = payload["site_ids"] + b"\x00"
+        with pytest.raises(CodecError, match="site_ids"):
+            decode_problem(payload)
+
+    def test_non_bytes_column_rejected(self):
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        payload["replica_offsets"] = [0, 2, 4]
+        with pytest.raises(CodecError, match="replica_offsets"):
+            decode_problem(payload)
+
+    def test_spec_index_out_of_range_rejected(self):
+        from array import array
+
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        idx = array("q")
+        idx.frombytes(payload["disk_spec_idx"])
+        idx[0] = len(payload["disk_specs"])
+        payload["disk_spec_idx"] = idx.tobytes()
+        with pytest.raises(CodecError, match="disk_spec_idx"):
+            decode_problem(payload)
+
+    def test_malformed_spec_row_rejected(self):
+        payload = encode_problem(small_problem(), version=FLAT_PAYLOAD_VERSION)
+        payload["disk_specs"][0] = ["just", "four", "fields", "here"]
+        with pytest.raises(CodecError, match="disk_specs"):
+            decode_problem(payload)
+
+    def test_odd_assignment_flat_rejected(self):
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule, version=FLAT_PAYLOAD_VERSION)
+        payload["assignment_flat"] = payload["assignment_flat"] + bytes(8)
+        with pytest.raises(CodecError, match="assignment_flat"):
+            decode_schedule(payload, problem)
+
+    def test_corrupted_assignment_rejected_by_validation(self):
+        # flat wire form or not, schedule validation still gates entry
+        from array import array
+
+        problem = small_problem()
+        schedule = solve(problem, solver="pr-binary")
+        payload = encode_schedule(schedule, version=FLAT_PAYLOAD_VERSION)
+        pairs = array("q")
+        pairs.frombytes(payload["assignment_flat"])
+        replicas = set(problem.replicas[pairs[0]])
+        bad = next(
+            d for d in range(problem.system.num_disks) if d not in replicas
+        )
+        pairs[1] = bad
+        payload["assignment_flat"] = pairs.tobytes()
+        with pytest.raises(InfeasibleScheduleError):
+            decode_schedule(payload, problem)

@@ -16,6 +16,15 @@ from repro.fleet import (
     make_backend,
     resolve_backend_name,
 )
+from repro.fleet.codec import (
+    FLAT_PAYLOAD_VERSION,
+    PAYLOAD_VERSION,
+    SUPPORTED_PAYLOAD_VERSIONS,
+    decode_schedule,
+    encode_problem,
+)
+from repro.fleet.pool import CODEC_ENV, WorkerCrashedError
+from repro.fleet.worker import worker_die, worker_solve
 from repro.service import ServiceConfig
 from repro.storage import StorageSystem
 
@@ -85,6 +94,63 @@ class TestLanes:
         f.close()  # idempotent
         with pytest.raises(RuntimeError, match="closed"):
             f.solve(small_problem())
+
+
+class TestCodecNegotiation:
+    def test_lanes_negotiate_the_flat_codec(self, fleet):
+        for lane in range(fleet.num_workers):
+            assert fleet.lane_codec_version(lane) == FLAT_PAYLOAD_VERSION
+        # negotiated once, then cached
+        assert fleet._lane_codec == [FLAT_PAYLOAD_VERSION] * fleet.num_workers
+
+    def test_env_override_forces_legacy_v1(self, monkeypatch):
+        monkeypatch.setenv(CODEC_ENV, str(PAYLOAD_VERSION))
+        with SolveFleet(1, cache_size=0, warmup=False) as f:
+            assert f.lane_codec_version(0) == PAYLOAD_VERSION
+            schedule, _ = f.solve(small_problem())
+        assert schedule.assignment == solve(
+            small_problem(), solver="pr-binary"
+        ).assignment
+
+    def test_env_override_rejects_unknown_versions(self, monkeypatch):
+        monkeypatch.setenv(CODEC_ENV, "99")
+        with pytest.raises(ValueError, match="unsupported"):
+            SolveFleet(1, warmup=False)
+        monkeypatch.setenv(CODEC_ENV, "fast")
+        with pytest.raises(ValueError, match="integer"):
+            SolveFleet(1, warmup=False)
+
+    def test_worker_replies_in_the_request_version(self):
+        # a v1 coordinator must get a v1 reply — the worker mirrors the
+        # version the problem arrived in rather than its own maximum
+        problem = small_problem()
+        for version in SUPPORTED_PAYLOAD_VERSIONS:
+            reply = worker_solve({
+                "problem": encode_problem(problem, version=version),
+                "solver": "pr-binary",
+                "solver_kwargs": {},
+                "cache_ns": "",
+                "cache_size": 0,
+            })
+            assert reply["schedule"]["version"] == version
+            schedule = decode_schedule(reply["schedule"], problem)
+            assert schedule.assignment == solve(
+                problem, solver="pr-binary"
+            ).assignment
+
+    def test_rebuilt_lane_renegotiates(self):
+        with SolveFleet(1, cache_size=0) as f:
+            assert f.lane_codec_version(0) == FLAT_PAYLOAD_VERSION
+            future = f.submit_fn(0, worker_die)
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+            with pytest.raises(WorkerCrashedError):
+                f.solve(small_problem())
+            # the rebuild reset the cached version; it re-resolves
+            assert f._lane_codec[0] is None
+            assert f.lane_codec_version(0) == FLAT_PAYLOAD_VERSION
+            schedule, _ = f.solve(small_problem())
+            assert schedule.response_time_ms > 0
 
 
 class TestBackendRegistry:

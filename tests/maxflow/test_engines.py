@@ -163,6 +163,7 @@ class TestRegistry:
         # strings — renaming one is a breaking change
         assert sorted(ENGINES) == [
             "capacity-scaling",
+            "csr-push-relabel",
             "dinic",
             "edmonds-karp",
             "ford-fulkerson",
@@ -172,7 +173,8 @@ class TestRegistry:
             "push-relabel",
             "relabel-to-front",
         ]
-        for name in ("ford-fulkerson", "edmonds-karp", "push-relabel"):
+        for name in ("ford-fulkerson", "edmonds-karp", "push-relabel",
+                     "csr-push-relabel"):
             g, s, t, best = classic_example()
             assert get_engine(name).solve(g, s, t).value == pytest.approx(best)
 

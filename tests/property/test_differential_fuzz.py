@@ -41,6 +41,13 @@ N_INSTANCES = 200
 ENGINE_NAMES = sorted(ENGINES)
 
 
+def test_fuzz_matrix_covers_the_csr_kernel():
+    # the matrix iterates the registry, so a deregistered engine would
+    # silently shrink coverage — pin the ones the paper's claims ride on
+    for required in ("push-relabel", "csr-push-relabel", "dinic"):
+        assert required in ENGINE_NAMES
+
+
 def random_generalized(rng: np.random.Generator) -> RetrievalProblem:
     """An Experiment-5-shaped instance: two sites, mixed disk groups."""
     n_per_site = int(rng.integers(2, 5))
